@@ -1,0 +1,60 @@
+//! Figure 4 / §3.3 companion bench: training throughput of the
+//! ℓ₁-regularized logistic regression (the paper's MATLAB run took thirty
+//! minutes for sixty epochs on 2729 × 2908 features).
+
+use cbi::reports::{Label, Report};
+use cbi::sampler::Pcg32;
+use cbi::stats::{Dataset, LogisticModel, TrainConfig};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn synthetic_dataset(rows: usize, counters: usize) -> Dataset {
+    let mut rng = Pcg32::new(11);
+    let reports: Vec<Report> = (0..rows)
+        .map(|i| {
+            let crash = rng.next_f64() < 0.25;
+            let cs = (0..counters)
+                .map(|c| {
+                    if c == 17 && crash {
+                        5 + rng.below(20)
+                    } else {
+                        rng.below(3)
+                    }
+                })
+                .collect();
+            Report::new(
+                i as u64,
+                if crash { Label::Failure } else { Label::Success },
+                cs,
+            )
+        })
+        .collect();
+    let mut d = Dataset::from_reports(&reports);
+    d.fit_scale();
+    d
+}
+
+fn bench_training(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_regression");
+    group.sample_size(10);
+    let data = synthetic_dataset(1000, 500);
+    group.bench_function("sga_60_epochs_1000x500", |b| {
+        b.iter(|| {
+            black_box(LogisticModel::train(
+                &data,
+                &TrainConfig {
+                    lambda: 0.3,
+                    ..TrainConfig::default()
+                },
+            ))
+        });
+    });
+    group.bench_function("prediction_1000_rows", |b| {
+        let model = LogisticModel::train(&data, &TrainConfig::default());
+        b.iter(|| black_box(model.accuracy(&data)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_training);
+criterion_main!(benches);

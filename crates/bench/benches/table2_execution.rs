@@ -1,0 +1,53 @@
+//! Table 2 companion bench: wall-clock cost of executing the three builds
+//! (baseline, unconditional, sampled) of a representative benchmark.
+//! The printed Table 2 uses deterministic op counts; this bench confirms
+//! the same ordering holds for real time in our interpreter.
+
+use cbi::instrument::{apply_sampling, instrument, strip_sites, Scheme, TransformOptions};
+use cbi::sampler::{CountdownBank, SamplingDensity};
+use cbi::vm::Vm;
+use cbi::workloads::benchmark;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_builds(c: &mut Criterion) {
+    let b = benchmark("mst").expect("benchmark exists");
+    let inst = instrument(&b.program, Scheme::Checks).expect("instrument");
+    let baseline = strip_sites(&inst.program);
+    let (sampled, _) =
+        apply_sampling(&inst.program, &TransformOptions::default()).expect("transform");
+
+    let mut group = c.benchmark_group("table2_execution_mst");
+    group.sample_size(20);
+    group.bench_function("baseline", |bench| {
+        bench.iter(|| black_box(Vm::new(&baseline).run().expect("run")));
+    });
+    group.bench_function("unconditional", |bench| {
+        bench.iter(|| {
+            black_box(
+                Vm::new(&inst.program)
+                    .with_sites(&inst.sites)
+                    .run()
+                    .expect("run"),
+            )
+        });
+    });
+    group.bench_function("sampled_1in1000", |bench| {
+        let mut seed = 0;
+        bench.iter(|| {
+            seed += 1;
+            let bank = CountdownBank::generate(SamplingDensity::one_in(1000), 1024, seed);
+            black_box(
+                Vm::new(&sampled)
+                    .with_sites(&inst.sites)
+                    .with_sampling(Box::new(bank))
+                    .run()
+                    .expect("run"),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_builds);
+criterion_main!(benches);

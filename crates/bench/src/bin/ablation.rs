@@ -1,0 +1,102 @@
+//! Ablations of the design choices called out in DESIGN.md:
+//!
+//! 1. geometric countdowns vs periodic / uniform-interval triggers
+//!    (§2.1, §4) — statistical fairness over rotating sites;
+//! 2. acyclic-region threshold checks vs the devolved per-site pattern
+//!    (§2.2, §3.2.5) — sampled overhead;
+//! 3. local countdown + coalescing vs global countdown (§2.4);
+//! 4. interprocedural weightless analysis vs separate compilation (§2.3).
+
+use cbi::instrument::{CountdownStorage, Scheme, TransformOptions};
+use cbi::sampler::fairness::{chi_square_critical_001, rotate_sites};
+use cbi::sampler::{Geometric, Periodic, SamplingDensity, UniformInterval};
+use cbi::workloads::{benchmark, measure_overhead, OverheadConfig};
+
+fn main() {
+    fairness_ablation();
+    println!();
+    transform_ablation();
+}
+
+fn fairness_ablation() {
+    println!("== ablation 1: sampling trigger fairness (4 rotating sites) ==");
+    println!(
+        "{:<22} {:>10} {:>12} {:>8}",
+        "trigger", "chi-square", "max/min", "fair?"
+    );
+    let crit = chi_square_critical_001(3);
+    let mut geo = Geometric::new(SamplingDensity::one_in(10), 7);
+    let mut per = Periodic::new(10);
+    let mut uni = UniformInterval::new(8, 12, 7);
+    let rows: Vec<(&str, cbi::sampler::fairness::SiteCounts)> = vec![
+        ("geometric (ours)", rotate_sites(&mut geo, 4, 200_000)),
+        ("periodic (A&R)", rotate_sites(&mut per, 4, 200_000)),
+        ("uniform 8..12 (DCPI)", rotate_sites(&mut uni, 4, 200_000)),
+    ];
+    for (name, counts) in rows {
+        let chi = counts.chi_square();
+        println!(
+            "{:<22} {:>10.1} {:>12.2} {:>8}",
+            name,
+            chi,
+            counts.max_min_ratio(),
+            if chi < crit { "yes" } else { "NO" }
+        );
+    }
+    println!("(critical value at significance 0.001: {crit:.1})");
+}
+
+fn transform_ablation() {
+    println!("== ablation 2-4: transformation variants on `em3d` (1/1000) ==");
+    let b = benchmark("em3d").expect("benchmark exists");
+    let density = vec![SamplingDensity::one_in(1000)];
+
+    let variants: Vec<(&str, TransformOptions)> = vec![
+        ("full (default)", TransformOptions::default()),
+        (
+            "no coalescing",
+            TransformOptions {
+                coalesce: false,
+                ..TransformOptions::default()
+            },
+        ),
+        (
+            "global countdown",
+            TransformOptions {
+                countdown: CountdownStorage::Global,
+                ..TransformOptions::default()
+            },
+        ),
+        (
+            "devolved (no regions)",
+            TransformOptions {
+                regions: false,
+                ..TransformOptions::default()
+            },
+        ),
+        (
+            "separate compilation",
+            TransformOptions {
+                interprocedural: false,
+                ..TransformOptions::default()
+            },
+        ),
+    ];
+
+    println!("{:<24} {:>10} {:>10}", "variant", "always", "1/1000");
+    for (name, transform) in variants {
+        let config = OverheadConfig {
+            scheme: Scheme::Checks,
+            transform,
+            ..OverheadConfig::default()
+        };
+        let m = measure_overhead(b.name, &b.program, &[], &density, &config)
+            .expect("overhead measurement");
+        println!(
+            "{:<24} {:>10.3} {:>10.3}",
+            name, m.unconditional, m.sampled[0].1
+        );
+    }
+    println!();
+    println!("expected ordering: default <= each ablated variant at 1/1000.");
+}

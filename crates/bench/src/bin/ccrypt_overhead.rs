@@ -1,0 +1,63 @@
+//! §3.2.5 — Performance impact of the returns-scheme instrumentation on
+//! ccrypt.
+//!
+//! The paper: most call sites terminate acyclic regions and ccrypt is
+//! compiled one object at a time, so the transformation devolves toward a
+//! per-site countdown check — yet 1/1000 sampling still costs under 4%.
+//! We measure the same three conditions: unconditional, sampled with the
+//! interprocedural analysis, and sampled under separate compilation
+//! (`interprocedural = false`).
+
+use cbi::instrument::{CountdownStorage, Scheme, TransformOptions};
+use cbi::sampler::SamplingDensity;
+use cbi::workloads::{ccrypt_program, measure_overhead, OverheadConfig};
+
+fn main() {
+    let program = ccrypt_program();
+    // A busy non-crashing input: 5 files, all existing, all confirmed.
+    let input = vec![
+        99, 0, 5, 1, 400, 1, 1, 300, 1, 1, 200, 1, 1, 500, 1, 1, 100, 1,
+    ];
+    let densities = vec![
+        SamplingDensity::one_in(100),
+        SamplingDensity::one_in(1_000),
+        SamplingDensity::one_in(10_000),
+    ];
+
+    println!("== §3.2.5: ccrypt instrumentation overhead (returns scheme) ==");
+    for (label, transform) in [
+        ("whole-program", TransformOptions::default()),
+        (
+            "separate-compilation",
+            TransformOptions {
+                interprocedural: false,
+                ..TransformOptions::default()
+            },
+        ),
+        (
+            "devolved(global cd)",
+            TransformOptions {
+                interprocedural: false,
+                regions: false,
+                countdown: CountdownStorage::Global,
+                coalesce: false,
+            },
+        ),
+    ] {
+        let config = OverheadConfig {
+            scheme: Scheme::Returns,
+            transform,
+            ..OverheadConfig::default()
+        };
+        let m = measure_overhead("ccrypt", &program, &input, &densities, &config)
+            .expect("overhead measurement");
+        println!();
+        println!("[{label}]");
+        println!("  always: {:.3}", m.unconditional);
+        for (density, ratio) in &m.sampled {
+            println!("  {density}: {ratio:.3}");
+        }
+    }
+    println!();
+    println!("paper: 1/1000 sampling overhead below 4% even devolved.");
+}

@@ -1,0 +1,39 @@
+//! §3.1.3 — The effectiveness of sampling: runs needed to observe rare
+//! events at given confidence, and the Office-XP-scale deployment
+//! arithmetic.
+
+use cbi::stats::{detection_probability, runs_needed};
+
+fn main() {
+    println!("== §3.1.3: sampling effectiveness arithmetic ==");
+    let n90 = runs_needed(0.01, 0.001, 0.90);
+    println!(
+        "event 1/100 runs, sampling 1/1000, 90% confidence: {n90} runs (paper: 230,258)"
+    );
+    let n99 = runs_needed(0.001, 0.001, 0.99);
+    println!(
+        "event 1/1000 runs, sampling 1/1000, 99% confidence: {n99} runs (paper: 4,605,168)"
+    );
+
+    // Sixty million Office XP licenses, two runs per licensee per week.
+    let runs_per_minute = 60_000_000.0 * 2.0 / (7.0 * 24.0 * 60.0);
+    println!();
+    println!("deployment arithmetic at {runs_per_minute:.0} runs/minute:");
+    println!(
+        "  {n90} runs gathered in {:.0} minutes (paper: every nineteen minutes)",
+        n90 as f64 / runs_per_minute
+    );
+    println!(
+        "  {n99} runs gathered in {:.1} hours (paper: less than seven hours)",
+        n99 as f64 / runs_per_minute / 60.0
+    );
+
+    println!();
+    println!("detection probability vs run count (event 1/100, sampling 1/1000):");
+    for runs in [10_000u64, 50_000, 100_000, 230_258, 500_000, 1_000_000] {
+        println!(
+            "  {runs:>9} runs -> {:.3}",
+            detection_probability(0.01, 0.001, runs)
+        );
+    }
+}

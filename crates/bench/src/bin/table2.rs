@@ -1,0 +1,49 @@
+//! Table 2 — Relative performance of unconditional vs sampled
+//! instrumentation.
+//!
+//! Columns: the "always" build (unconditional checks) and sampling at
+//! densities 1/100, 1/1000, 1/10⁴, 1/10⁶, all as op-count ratios against
+//! the instrumentation-free baseline.  Values > 1 are slowdowns, exactly
+//! like the paper's table.
+
+use cbi::workloads::{all_benchmarks, measure_overhead, OverheadConfig};
+use cbi_bench::table2_densities;
+
+fn main() {
+    let densities = table2_densities();
+    println!("== Table 2: relative performance (ops vs baseline) ==");
+    println!(
+        "{:<10} {:>7} {:>7} {:>7} {:>7} {:>7}",
+        "benchmark", "always", "1/100", "1/1000", "1/10^4", "1/10^6"
+    );
+    let mut sampled_beats_always = 0;
+    let mut rows = 0;
+    for b in all_benchmarks() {
+        let m = measure_overhead(
+            b.name,
+            &b.program,
+            &[],
+            &densities,
+            &OverheadConfig::default(),
+        )
+        .expect("overhead measurement");
+        println!(
+            "{:<10} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
+            m.name,
+            m.unconditional,
+            m.sampled[0].1,
+            m.sampled[1].1,
+            m.sampled[2].1,
+            m.sampled[3].1
+        );
+        rows += 1;
+        if m.sampled[0].1 < m.unconditional {
+            sampled_beats_always += 1;
+        }
+    }
+    println!();
+    println!(
+        "benchmarks where 1/100 sampling beats unconditional: {sampled_beats_always}/{rows} \
+         (paper: more than two thirds)"
+    );
+}

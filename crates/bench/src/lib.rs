@@ -1,0 +1,42 @@
+//! Experiment harness for the PLDI 2003 evaluation.
+//!
+//! Each binary under `src/bin/` regenerates one table or figure of the
+//! paper; `cargo bench` micro-benchmarks live under `benches/`.  This
+//! library holds shared formatting and configuration helpers.
+//!
+//! | binary             | reproduces                                   |
+//! |--------------------|----------------------------------------------|
+//! | `table1`           | Table 1: static metrics                      |
+//! | `table2`           | Table 2: overhead at sampling densities      |
+//! | `selective`        | §3.1.2: single-function instrumentation      |
+//! | `effectiveness`    | §3.1.3: runs needed for rare events          |
+//! | `ccrypt_study`     | §3.2.3: elimination strategy counts          |
+//! | `fig2`             | Figure 2: progressive elimination            |
+//! | `ccrypt_overhead`  | §3.2.5: ccrypt sampling overhead             |
+//! | `bc_study`         | §3.3.3: regularized logistic regression      |
+//! | `fig4`             | Figure 4: bc overhead bars                   |
+//! | `ablation`         | design-choice ablations (§2.2/§2.4/§4)       |
+
+/// The sampling densities of Table 2, in column order.
+pub fn table2_densities() -> Vec<cbi::sampler::SamplingDensity> {
+    use cbi::sampler::SamplingDensity;
+    vec![
+        SamplingDensity::one_in(100),
+        SamplingDensity::one_in(1_000),
+        SamplingDensity::one_in(10_000),
+        SamplingDensity::one_in(1_000_000),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table2_densities_are_the_paper_columns() {
+        let ds = table2_densities();
+        assert_eq!(ds.len(), 4);
+        let names: Vec<String> = ds.iter().map(|d| d.to_string()).collect();
+        assert_eq!(names, vec!["1/100", "1/1000", "1/10000", "1/1000000"]);
+    }
+}

@@ -1,0 +1,105 @@
+//! Tiny hand-rolled argument parser (no external dependencies).
+//!
+//! Supports `--flag value` and `--flag=value` forms plus positional
+//! arguments, which is all the CLI needs.
+
+use std::collections::HashMap;
+
+/// Parsed command-line arguments: positionals in order, flags by name.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    positionals: Vec<String>,
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a `--flag` is missing its value.
+    pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        let mut args = Args::default();
+        let mut it = raw.into_iter().peekable();
+        while let Some(a) = it.next() {
+            if let Some(name) = a.strip_prefix("--") {
+                if let Some((k, v)) = name.split_once('=') {
+                    args.flags.insert(k.to_string(), v.to_string());
+                } else {
+                    let v = it
+                        .next()
+                        .ok_or_else(|| format!("flag --{name} requires a value"))?;
+                    args.flags.insert(name.to_string(), v);
+                }
+            } else {
+                args.positionals.push(a);
+            }
+        }
+        Ok(args)
+    }
+
+    /// The `i`-th positional argument.
+    pub fn positional(&self, i: usize) -> Option<&str> {
+        self.positionals.get(i).map(String::as_str)
+    }
+
+    /// Number of positional arguments.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn positional_count(&self) -> usize {
+        self.positionals.len()
+    }
+
+    /// A flag's raw value.
+    pub fn flag(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    /// A flag parsed to a type, with a default when absent.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the value does not parse.
+    pub fn flag_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.flag(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|_| format!("invalid value for --{name}: {v}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Args {
+        Args::parse(s.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn positionals_and_flags() {
+        let a = parse(&["run", "prog.mc", "--density", "100", "--seed=7"]);
+        assert_eq!(a.positional(0), Some("run"));
+        assert_eq!(a.positional(1), Some("prog.mc"));
+        assert_eq!(a.positional_count(), 2);
+        assert_eq!(a.flag("density"), Some("100"));
+        assert_eq!(a.flag("seed"), Some("7"));
+        assert_eq!(a.flag("missing"), None);
+    }
+
+    #[test]
+    fn flag_or_defaults_and_parses() {
+        let a = parse(&["--runs", "250"]);
+        assert_eq!(a.flag_or("runs", 10usize).unwrap(), 250);
+        assert_eq!(a.flag_or("seed", 42u64).unwrap(), 42);
+        assert!(a.flag_or::<usize>("runs", 0).is_ok());
+        let bad = parse(&["--runs", "abc"]);
+        assert!(bad.flag_or::<usize>("runs", 0).is_err());
+    }
+
+    #[test]
+    fn missing_flag_value_is_an_error() {
+        assert!(Args::parse(vec!["--density".to_string()]).is_err());
+    }
+}

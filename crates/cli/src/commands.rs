@@ -1,0 +1,349 @@
+//! CLI subcommand implementations.
+
+use crate::args::Args;
+use cbi::prelude::*;
+use cbi::RegressionConfig;
+use std::fs;
+
+/// Usage text shown on errors.
+pub const USAGE: &str = "\
+usage:
+  cbi instrument <file.mc> [--scheme checks|returns|scalar-pairs|branches]
+  cbi transform  <file.mc> [--scheme S] [--global-countdown] [--no-regions]
+  cbi run        <file.mc> [--scheme S] [--density D] [--seed N] [--input \"1 2 3\"]
+  cbi campaign   <file.mc> <inputs.txt> [--scheme S] [--density D] [--seed N]
+                 [--out reports.jsonl]
+  cbi analyze    <reports.jsonl> <file.mc> [--scheme S] [--mode eliminate|regress]";
+
+/// Dispatches a raw argument vector to a subcommand.
+///
+/// # Errors
+///
+/// Returns a user-facing message for any parse, I/O, or pipeline failure.
+pub fn dispatch(raw: Vec<String>) -> Result<(), String> {
+    let args = Args::parse(raw)?;
+    match args.positional(0) {
+        Some("instrument") => cmd_instrument(&args),
+        Some("transform") => cmd_transform(&args),
+        Some("run") => cmd_run(&args),
+        Some("campaign") => cmd_campaign(&args),
+        Some("analyze") => cmd_analyze(&args),
+        Some(other) => Err(format!("unknown subcommand `{other}`")),
+        None => Err("missing subcommand".to_string()),
+    }
+}
+
+fn load_program(args: &Args, at: usize) -> Result<Program, String> {
+    let path = args
+        .positional(at)
+        .ok_or_else(|| "missing program file argument".to_string())?;
+    let src = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let program = parse(&src).map_err(|e| format!("{path}: {e}"))?;
+    resolve(&program).map_err(|e| format!("{path}: {e}"))?;
+    Ok(program)
+}
+
+fn scheme_of(args: &Args) -> Result<Scheme, String> {
+    match args.flag("scheme").unwrap_or("checks") {
+        "checks" => Ok(Scheme::Checks),
+        "returns" => Ok(Scheme::Returns),
+        "scalar-pairs" => Ok(Scheme::ScalarPairs),
+        "branches" => Ok(Scheme::Branches),
+        other => Err(format!(
+            "unknown scheme `{other}` (expected checks, returns, scalar-pairs, or branches)"
+        )),
+    }
+}
+
+fn transform_options(args: &Args) -> TransformOptions {
+    TransformOptions {
+        countdown: if args.flag("global-countdown").is_some() {
+            cbi::instrument::CountdownStorage::Global
+        } else {
+            cbi::instrument::CountdownStorage::Local
+        },
+        regions: args.flag("no-regions").is_none(),
+        ..TransformOptions::default()
+    }
+}
+
+fn cmd_instrument(args: &Args) -> Result<(), String> {
+    let program = load_program(args, 1)?;
+    let scheme = scheme_of(args)?;
+    let inst = instrument(&program, scheme).map_err(|e| e.to_string())?;
+    println!("// {} sites, {} counters", inst.sites.len(), inst.sites.total_counters());
+    for site in &inst.sites {
+        println!("// {}  [{}]", site.predicate_name(0), site.kind);
+    }
+    println!();
+    println!("{}", pretty(&inst.program));
+    Ok(())
+}
+
+fn cmd_transform(args: &Args) -> Result<(), String> {
+    let program = load_program(args, 1)?;
+    let scheme = scheme_of(args)?;
+    let inst = instrument(&program, scheme).map_err(|e| e.to_string())?;
+    let (sampled, stats) =
+        apply_sampling(&inst.program, &transform_options(args)).map_err(|e| e.to_string())?;
+    println!(
+        "// {} site-containing functions, {} weightless, avg threshold weight {:.1}",
+        stats.functions_with_sites(),
+        stats.weightless_functions(),
+        stats.avg_threshold_weight()
+    );
+    println!("{}", pretty(&sampled));
+    Ok(())
+}
+
+fn parse_input(raw: &str) -> Result<Vec<i64>, String> {
+    raw.split_whitespace()
+        .map(|t| t.parse().map_err(|_| format!("bad input token `{t}`")))
+        .collect()
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let program = load_program(args, 1)?;
+    let scheme = scheme_of(args)?;
+    let density: u64 = args.flag_or("density", 100)?;
+    let seed: u64 = args.flag_or("seed", 42)?;
+    let input = parse_input(args.flag("input").unwrap_or(""))?;
+
+    let inst = instrument(&program, scheme).map_err(|e| e.to_string())?;
+    let (sampled, _) =
+        apply_sampling(&inst.program, &transform_options(args)).map_err(|e| e.to_string())?;
+    let bank = CountdownBank::generate(SamplingDensity::one_in(density), 1024, seed);
+    let result = Vm::new(&sampled)
+        .with_sites(&inst.sites)
+        .with_sampling(Box::new(bank))
+        .with_input(input)
+        .run()
+        .map_err(|e| e.to_string())?;
+
+    println!("outcome: {}", result.outcome);
+    println!("ops: {}", result.ops);
+    println!("output: {:?}", result.output);
+    println!("observations:");
+    for (i, &c) in result.counters.iter().enumerate() {
+        if c > 0 {
+            println!("  {:>6}x  {}", c, inst.sites.predicate_name(i));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_campaign(args: &Args) -> Result<(), String> {
+    let program = load_program(args, 1)?;
+    let inputs_path = args
+        .positional(2)
+        .ok_or_else(|| "missing inputs file".to_string())?;
+    let scheme = scheme_of(args)?;
+    let density: u64 = args.flag_or("density", 100)?;
+    let seed: u64 = args.flag_or("seed", 42)?;
+
+    let raw =
+        fs::read_to_string(inputs_path).map_err(|e| format!("cannot read {inputs_path}: {e}"))?;
+    let trials: Vec<Vec<i64>> = raw
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(parse_input)
+        .collect::<Result<_, _>>()?;
+
+    let mut config = CampaignConfig::sampled(scheme, SamplingDensity::one_in(density));
+    config.seed = seed;
+    let result = run_campaign(&program, &trials, &config).map_err(|e| e.to_string())?;
+    eprintln!(
+        "{} runs: {} success, {} failure, {} dropped",
+        result.collector.len(),
+        result.collector.success_count(),
+        result.collector.failure_count(),
+        result.dropped
+    );
+
+    match args.flag("out") {
+        Some(path) => {
+            let mut buf = Vec::new();
+            result
+                .collector
+                .write_jsonl(&mut buf)
+                .map_err(|e| e.to_string())?;
+            fs::write(path, buf).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("reports written to {path}");
+        }
+        None => {
+            result
+                .collector
+                .write_jsonl(std::io::stdout().lock())
+                .map_err(|e| e.to_string())?;
+        }
+    }
+    Ok(())
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let reports_path = args
+        .positional(1)
+        .ok_or_else(|| "missing reports file".to_string())?;
+    let program = load_program(args, 2)?;
+    let scheme = scheme_of(args)?;
+    let mode = args.flag("mode").unwrap_or("eliminate");
+
+    let raw =
+        fs::read_to_string(reports_path).map_err(|e| format!("cannot read {reports_path}: {e}"))?;
+    let collector = Collector::read_jsonl(raw.as_bytes()).map_err(|e| e.to_string())?;
+    eprintln!(
+        "{} reports ({} failures)",
+        collector.len(),
+        collector.failure_count()
+    );
+
+    // Rebuild the site table so predicates can be named; the counter
+    // layout must match the instrumented binary that produced the reports.
+    let inst = instrument(&program, scheme).map_err(|e| e.to_string())?;
+    if inst.sites.total_counters() != collector.counter_count() {
+        return Err(format!(
+            "report layout mismatch: program has {} counters, reports have {}",
+            inst.sites.total_counters(),
+            collector.counter_count()
+        ));
+    }
+    let result = cbi::workloads::CampaignResult {
+        instrumented: inst,
+        collector,
+        dropped: 0,
+    };
+
+    match mode {
+        "eliminate" => {
+            let report = cbi::eliminate(&result);
+            let [uf, cov, ex, sc] = report.independent_survivors;
+            println!("universal falsehood:        {uf} survivors");
+            println!("lack of failing coverage:   {cov} survivors");
+            println!("lack of failing example:    {ex} survivors");
+            println!("successful counterexample:  {sc} survivors");
+            println!("combined (falsehood ∧ counterexample):");
+            for name in &report.combined_names {
+                println!("  {name}");
+            }
+        }
+        "regress" => {
+            let n = result.collector.len();
+            let study = cbi::regress(&result, &RegressionConfig::paper_proportions(n));
+            println!(
+                "lambda {} (cv), test accuracy {:.3}, {} effective features",
+                study.lambda, study.test_accuracy, study.effective_features
+            );
+            for (i, (name, beta)) in study.top(10).iter().enumerate() {
+                println!("{:>3}. beta={beta:+.4}  {name}", i + 1);
+            }
+        }
+        other => return Err(format!("unknown mode `{other}`")),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::path::PathBuf;
+
+    fn tmp(name: &str, contents: &str) -> PathBuf {
+        let path = std::env::temp_dir().join(format!("cbi-cli-test-{name}"));
+        fs::write(&path, contents).expect("write temp file");
+        path
+    }
+
+    const PROG: &str = "fn g() -> int { if (has_input() == 0) { return 0; } return read(); }\n\
+         fn main() -> int { int v = g(); print(100 / v); return 0; }";
+
+    fn dispatch_strs(parts: &[&str]) -> Result<(), String> {
+        dispatch(parts.iter().map(|s| s.to_string()).collect())
+    }
+
+    #[test]
+    fn instrument_and_transform_commands_work() {
+        let p = tmp("prog1.mc", PROG);
+        dispatch_strs(&["instrument", p.to_str().unwrap(), "--scheme", "returns"]).unwrap();
+        dispatch_strs(&["transform", p.to_str().unwrap(), "--scheme", "returns"]).unwrap();
+        dispatch_strs(&[
+            "transform",
+            p.to_str().unwrap(),
+            "--global-countdown",
+            "1",
+            "--no-regions",
+            "1",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn run_command_works() {
+        let p = tmp("prog2.mc", PROG);
+        dispatch_strs(&[
+            "run",
+            p.to_str().unwrap(),
+            "--scheme",
+            "returns",
+            "--density",
+            "1",
+            "--input",
+            "5",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn campaign_and_analyze_round_trip() {
+        let p = tmp("prog3.mc", PROG);
+        let inputs = tmp("inputs3.txt", "5\n4\n\n3\n2\n1\n"); // all succeed
+        let out = std::env::temp_dir().join("cbi-cli-test-reports3.jsonl");
+        dispatch_strs(&[
+            "campaign",
+            p.to_str().unwrap(),
+            inputs.to_str().unwrap(),
+            "--scheme",
+            "returns",
+            "--density",
+            "1",
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .unwrap();
+        dispatch_strs(&[
+            "analyze",
+            out.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "--scheme",
+            "returns",
+        ])
+        .unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(dispatch_strs(&[]).is_err());
+        assert!(dispatch_strs(&["bogus"]).is_err());
+        assert!(dispatch_strs(&["run", "/nonexistent.mc"]).is_err());
+        let p = tmp("prog4.mc", PROG);
+        assert!(dispatch_strs(&["run", p.to_str().unwrap(), "--scheme", "bogus"]).is_err());
+        assert!(dispatch_strs(&["run", p.to_str().unwrap(), "--density", "x"]).is_err());
+    }
+
+    #[test]
+    fn analyze_rejects_layout_mismatch() {
+        let p = tmp("prog5.mc", PROG);
+        let reports = tmp(
+            "reports5.jsonl",
+            "{\"run_id\":0,\"label\":\"Success\",\"counters\":[0]}\n",
+        );
+        let err = dispatch_strs(&[
+            "analyze",
+            reports.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "--scheme",
+            "returns",
+        ])
+        .unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
+    }
+}

@@ -1,0 +1,40 @@
+//! `cbi` — cooperative bug isolation from the command line.
+//!
+//! ```text
+//! cbi instrument <file.mc> [--scheme checks|returns|scalar-pairs|branches]
+//!     Print the instrumented program (unconditional) and its site table.
+//!
+//! cbi transform <file.mc> [--scheme S] [--global-countdown] [--no-regions]
+//!     Print the sampling-transformed program.
+//!
+//! cbi run <file.mc> [--scheme S] [--density D] [--seed N] [--input "1 2 3"]
+//!     Run one sampled execution; print outcome, ops, output, and the
+//!     nonzero counters.
+//!
+//! cbi campaign <file.mc> --inputs <dir-or-file.jsonl>... (see below)
+//!     Run a campaign: one run per input line, writing reports as JSONL.
+//!
+//! cbi analyze <reports.jsonl> <file.mc> [--scheme S] [--mode eliminate|regress]
+//!     Run the §3.2 elimination or §3.3 regression analysis over reports.
+//! ```
+//!
+//! Inputs for `campaign` are given as a text file with one run per line,
+//! each line whitespace-separated integers.
+
+mod args;
+mod commands;
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    match commands::dispatch(raw) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("error: {message}");
+            eprintln!();
+            eprintln!("{}", commands::USAGE);
+            ExitCode::FAILURE
+        }
+    }
+}

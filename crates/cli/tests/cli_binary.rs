@@ -1,0 +1,130 @@
+//! End-to-end tests of the compiled `cbi` binary.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cbi() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cbi"))
+}
+
+fn tmp(name: &str, contents: &str) -> PathBuf {
+    let path = std::env::temp_dir().join(format!("cbi-bin-test-{name}"));
+    fs::write(&path, contents).expect("write temp file");
+    path
+}
+
+const PROG: &str = "fn parse_mode(int raw) -> int { if (raw > 2) { return -1; } return raw; }\n\
+     fn main() -> int {\n\
+         int mode = parse_mode(read());\n\
+         ptr buf = alloc(4);\n\
+         buf[mode] = 1;\n\
+         print(buf[mode]);\n\
+         free(buf);\n\
+         return 0;\n\
+     }";
+
+#[test]
+fn instrument_prints_sites_and_source() {
+    let p = tmp("bin1.mc", PROG);
+    let out = cbi()
+        .args(["instrument", p.to_str().unwrap(), "--scheme", "returns"])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("__obs_sign"), "{stdout}");
+    assert!(stdout.contains("parse_mode()"), "{stdout}");
+}
+
+#[test]
+fn run_reports_outcome_and_observations() {
+    let p = tmp("bin2.mc", PROG);
+    let out = cbi()
+        .args([
+            "run",
+            p.to_str().unwrap(),
+            "--scheme",
+            "returns",
+            "--density",
+            "1",
+            "--input",
+            "2",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("outcome: success"), "{stdout}");
+    assert!(stdout.contains("parse_mode() > 0"), "{stdout}");
+}
+
+#[test]
+fn crashing_run_is_reported_not_an_error() {
+    let p = tmp("bin3.mc", PROG);
+    // mode 3 -> parse_mode returns -1 -> buf[-1] segfaults.
+    let out = cbi()
+        .args([
+            "run",
+            p.to_str().unwrap(),
+            "--density",
+            "1",
+            "--input",
+            "3",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "a failure is data, not a CLI failure");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // Under the default `checks` scheme, the sampled bounds check catches
+    // the bad index before the segfault: an assertion failure at density 1.
+    assert!(stdout.contains("assertion failure"), "{stdout}");
+    assert!(stdout.contains("!(0 <= mode < len(buf))"), "{stdout}");
+}
+
+#[test]
+fn campaign_then_analyze_pipeline() {
+    let p = tmp("bin4.mc", PROG);
+    let inputs = tmp("bin4-inputs.txt", "0\n1\n2\n3\n0\n1\n3\n2\n");
+    let reports = std::env::temp_dir().join("cbi-bin-test-reports4.jsonl");
+    let out = cbi()
+        .args([
+            "campaign",
+            p.to_str().unwrap(),
+            inputs.to_str().unwrap(),
+            "--scheme",
+            "returns",
+            "--density",
+            "1",
+            "--out",
+            reports.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("8 runs"), "{stderr}");
+
+    let out = cbi()
+        .args([
+            "analyze",
+            reports.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "--scheme",
+            "returns",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    // The crashing condition is parse_mode() < 0.
+    assert!(stdout.contains("parse_mode() < 0"), "{stdout}");
+}
+
+#[test]
+fn bad_usage_exits_nonzero_with_usage() {
+    let out = cbi().args(["frobnicate"]).output().expect("spawn");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("usage:"), "{stderr}");
+}

@@ -1,0 +1,176 @@
+//! High-level bug-isolation pipelines.
+//!
+//! These functions glue the whole system together the way the paper's case
+//! studies do: run a campaign, then either eliminate predicates (§3.2) or
+//! train a regularized crash predictor (§3.3), and report *named*
+//! predicates ready for a human to read.
+
+use cbi_reports::SufficientStats;
+use cbi_stats::elimination::{apply, combine, survivor_count, survivors, Strategy};
+use cbi_stats::{choose_lambda, Dataset, LogisticModel, TrainConfig};
+use cbi_workloads::CampaignResult;
+
+/// Results of the §3.2 predicate-elimination analysis.
+#[derive(Debug, Clone)]
+pub struct EliminationReport {
+    /// Total runs analyzed.
+    pub runs: usize,
+    /// Failed runs among them.
+    pub failures: usize,
+    /// Survivor counts per strategy, applied independently:
+    /// (universal falsehood, lack of failing coverage,
+    ///  lack of failing example, successful counterexample).
+    pub independent_survivors: [usize; 4],
+    /// Counter indices surviving *universal falsehood ∧ successful
+    /// counterexample* — predicates sometimes true in failures, never
+    /// observed true in successes.
+    pub combined: Vec<usize>,
+    /// Human-readable names of the combined survivors.
+    pub combined_names: Vec<String>,
+}
+
+/// Runs the four elimination strategies over a campaign's reports.
+pub fn eliminate(result: &CampaignResult) -> EliminationReport {
+    let stats: SufficientStats = result.collector.reports().iter().cloned().collect();
+    let groups = result.site_groups();
+
+    let uf = apply(&stats, Strategy::UniversalFalsehood, &groups);
+    let cov = apply(&stats, Strategy::LackOfFailingCoverage, &groups);
+    let ex = apply(&stats, Strategy::LackOfFailingExample, &groups);
+    let sc = apply(&stats, Strategy::SuccessfulCounterexample, &groups);
+
+    let combined_mask = combine(&[uf.clone(), sc.clone()]);
+    let combined = survivors(&combined_mask);
+    let combined_names = combined
+        .iter()
+        .map(|&c| result.instrumented.sites.predicate_name(c))
+        .collect();
+
+    EliminationReport {
+        runs: result.collector.len(),
+        failures: result.collector.failure_count(),
+        independent_survivors: [
+            survivor_count(&uf),
+            survivor_count(&cov),
+            survivor_count(&ex),
+            survivor_count(&sc),
+        ],
+        combined,
+        combined_names,
+    }
+}
+
+/// Results of the §3.3 logistic-regression analysis.
+#[derive(Debug, Clone)]
+pub struct RegressionStudy {
+    /// Total counters in the report layout.
+    pub total_counters: usize,
+    /// Features surviving universal-falsehood preprocessing.
+    pub effective_features: usize,
+    /// Cross-validated regularization strength.
+    pub lambda: f64,
+    /// Classification accuracy on the held-out test split.
+    pub test_accuracy: f64,
+    /// Failed-run fraction of the analyzed reports.
+    pub failure_rate: f64,
+    /// Predicate names ranked by |β|, largest first, with their β.
+    pub ranked: Vec<(String, f64)>,
+    /// Counter index per ranked entry (parallel to `ranked`).
+    pub ranked_counters: Vec<usize>,
+}
+
+impl RegressionStudy {
+    /// The top `n` ranked predicates.
+    pub fn top(&self, n: usize) -> &[(String, f64)] {
+        &self.ranked[..n.min(self.ranked.len())]
+    }
+
+    /// 0-based rank of the first predicate whose name contains `needle`.
+    pub fn rank_of(&self, needle: &str) -> Option<usize> {
+        self.ranked.iter().position(|(name, _)| name.contains(needle))
+    }
+}
+
+/// Configuration for [`regress`].
+#[derive(Debug, Clone)]
+pub struct RegressionConfig {
+    /// Training split size.
+    pub train: usize,
+    /// Cross-validation split size (test takes the remainder).
+    pub cv: usize,
+    /// Candidate λ values for cross-validation.
+    pub lambdas: Vec<f64>,
+    /// Base training hyper-parameters (λ is overridden by the sweep).
+    pub train_config: TrainConfig,
+    /// Split shuffle seed.
+    pub split_seed: u64,
+}
+
+impl Default for RegressionConfig {
+    fn default() -> Self {
+        RegressionConfig {
+            train: 0,
+            cv: 0,
+            lambdas: vec![0.1, 0.3, 1.0],
+            train_config: TrainConfig::default(),
+            split_seed: 4390,
+        }
+    }
+}
+
+impl RegressionConfig {
+    /// Split sizes proportional to the paper's 2729 / 322 / 1339 of 4390.
+    pub fn paper_proportions(total: usize) -> Self {
+        RegressionConfig {
+            train: total * 2729 / 4390,
+            cv: total * 322 / 4390,
+            ..RegressionConfig::default()
+        }
+    }
+}
+
+/// Trains the §3.3 crash predictor over a campaign's reports and ranks
+/// predicates by coefficient magnitude.
+///
+/// # Panics
+///
+/// Panics if the campaign produced no reports or the split sizes exceed
+/// the report count.
+pub fn regress(result: &CampaignResult, config: &RegressionConfig) -> RegressionStudy {
+    let reports = result.collector.reports();
+    assert!(!reports.is_empty(), "no reports to analyze");
+
+    let dataset = Dataset::from_reports(reports);
+    let failure_rate = dataset.failure_count() as f64 / dataset.len() as f64;
+
+    let (mut train, mut cv, mut test) = dataset.split(config.train, config.cv, config.split_seed);
+    let scaler = train.fit_scale();
+    cv.scale_with(&scaler);
+    test.scale_with(&scaler);
+
+    let choice = choose_lambda(&train, &cv, &config.lambdas, &config.train_config);
+    let model: &LogisticModel = &choice.model;
+    let test_accuracy = model.accuracy(&test);
+
+    let ranked_features = model.ranked_features();
+    let mut ranked = Vec::with_capacity(ranked_features.len());
+    let mut ranked_counters = Vec::with_capacity(ranked_features.len());
+    for &f in &ranked_features {
+        let counter = dataset.feature_counters[f];
+        ranked.push((
+            result.instrumented.sites.predicate_name(counter),
+            model.weights[f],
+        ));
+        ranked_counters.push(counter);
+    }
+
+    RegressionStudy {
+        total_counters: result.instrumented.sites.total_counters(),
+        effective_features: dataset.feature_count(),
+        lambda: choice.lambda,
+        test_accuracy,
+        failure_rate,
+        ranked,
+        ranked_counters,
+    }
+}

@@ -1,0 +1,96 @@
+//! Static metrics for Table 1 and the code-growth measurements of §3.1.2.
+
+use crate::transform::TransformStats;
+use cbi_minic::ast::{program_size, Program};
+
+/// One row of Table 1: static metrics of the sampling transformation
+/// applied to a whole benchmark.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StaticMetrics {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Total number of (non-library) functions.
+    pub total_functions: usize,
+    /// Functions found weightless by the §2.3 analysis.
+    pub weightless: usize,
+    /// Functions that directly contain at least one instrumentation site.
+    pub with_sites: usize,
+    /// Average sites per site-containing function.
+    pub avg_sites: f64,
+    /// Average threshold check points per site-containing function.
+    pub avg_threshold_checks: f64,
+    /// Average weight over all threshold check points.
+    pub avg_threshold_weight: f64,
+}
+
+impl StaticMetrics {
+    /// Builds a Table 1 row from a program and its transformation stats.
+    pub fn from_stats(benchmark: impl Into<String>, program: &Program, stats: &TransformStats) -> Self {
+        StaticMetrics {
+            benchmark: benchmark.into(),
+            total_functions: program.functions.len(),
+            weightless: stats.weightless_functions(),
+            with_sites: stats.functions_with_sites(),
+            avg_sites: stats.avg_sites(),
+            avg_threshold_checks: stats.avg_threshold_checks(),
+            avg_threshold_weight: stats.avg_threshold_weight(),
+        }
+    }
+}
+
+/// Code growth of a transformed program relative to a reference, as a
+/// fraction (0.13 = "13% larger").  Sizes are AST node counts, the analogue
+/// of executable size for an interpreted substrate.
+pub fn code_growth(reference: &Program, transformed: &Program) -> f64 {
+    let base = program_size(reference) as f64;
+    let grown = program_size(transformed) as f64;
+    if base == 0.0 {
+        0.0
+    } else {
+        grown / base - 1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schemes::{instrument, Scheme};
+    use crate::transform::{apply_sampling, TransformOptions};
+    use cbi_minic::parse;
+
+    #[test]
+    fn metrics_reflect_transformation() {
+        let src = "fn quiet(int x) -> int { return x; }\n\
+             fn f(ptr p, int i) { check(p != null); check(i < 10); }\n\
+             fn g(ptr p) { check(p != null); }";
+        let p = parse(src).unwrap();
+        let inst = instrument(&p, Scheme::Checks).unwrap();
+        let (_, stats) = apply_sampling(&inst.program, &TransformOptions::default()).unwrap();
+        let m = StaticMetrics::from_stats("demo", &inst.program, &stats);
+        assert_eq!(m.total_functions, 3);
+        assert_eq!(m.with_sites, 2);
+        assert_eq!(m.weightless, 1); // quiet
+        assert!((m.avg_sites - 1.5).abs() < 1e-9);
+        assert!(m.avg_threshold_weight >= 1.0);
+    }
+
+    #[test]
+    fn code_growth_measures_cloning() {
+        let src = "fn f(ptr p, int i) { check(p != null); check(i < 10); print(i); }";
+        let p = parse(src).unwrap();
+        let inst = instrument(&p, Scheme::Checks).unwrap();
+        let (sampled, _) = apply_sampling(&inst.program, &TransformOptions::default()).unwrap();
+        let growth = code_growth(&inst.program, &sampled);
+        assert!(growth > 0.2, "dual paths should grow code: {growth}");
+        // And against the uninstrumented baseline it is even larger.
+        let baseline = crate::strip::strip_sites(&inst.program);
+        let growth2 = code_growth(&baseline, &sampled);
+        assert!(growth2 > growth);
+    }
+
+    #[test]
+    fn zero_growth_for_untouched_program() {
+        let p = parse("fn f() { print(1); }").unwrap();
+        assert_eq!(code_growth(&p, &p), 0.0);
+    }
+}

@@ -1,0 +1,118 @@
+//! Statically selective sampling (§3.1.2).
+//!
+//! Instead of one executable carrying every site, build many variants that
+//! each keep the instrumentation of a single function ("partitioning
+//! instrumentation … by function").  Each variant is smaller and faster;
+//! different users receive different variants.
+
+use crate::schemes::Instrumented;
+use crate::strip::strip_sites_except;
+use crate::transform::{apply_sampling, count_sites_block, TransformOptions, TransformStats};
+use crate::InstrumentError;
+use cbi_minic::ast::Program;
+
+/// One single-function instrumentation variant.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// The function whose sites this variant keeps.
+    pub function: String,
+    /// The variant program, still unconditional (pre-sampling).
+    pub program: Program,
+}
+
+/// Builds one variant per site-containing function of an instrumented
+/// program.
+pub fn single_function_variants(inst: &Instrumented) -> Vec<Variant> {
+    inst.program
+        .functions
+        .iter()
+        .filter(|f| count_sites_block(&f.body) > 0)
+        .map(|f| Variant {
+            function: f.name.clone(),
+            program: strip_sites_except(&inst.program, |name| name == f.name),
+        })
+        .collect()
+}
+
+/// A variant together with its sampling transformation.
+#[derive(Debug, Clone)]
+pub struct TransformedVariant {
+    /// The function whose sites this variant keeps.
+    pub function: String,
+    /// The sampled program.
+    pub program: Program,
+    /// Transformation statistics.
+    pub stats: TransformStats,
+}
+
+/// Applies the sampling transformation to every single-function variant.
+///
+/// # Errors
+///
+/// Propagates [`InstrumentError`] from the transformation.
+pub fn transform_variants(
+    inst: &Instrumented,
+    options: &TransformOptions,
+) -> Result<Vec<TransformedVariant>, InstrumentError> {
+    single_function_variants(inst)
+        .into_iter()
+        .map(|v| {
+            let (program, stats) = apply_sampling(&v.program, options)?;
+            Ok(TransformedVariant {
+                function: v.function,
+                program,
+                stats,
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::code_growth;
+    use crate::schemes::{instrument, Scheme};
+    use crate::strip::strip_sites;
+    use cbi_minic::parse;
+
+    const SRC: &str = "fn a(ptr p) { check(p != null); }\n\
+         fn b(int i) { check(i > 0); check(i < 10); }\n\
+         fn c() { print(1); }";
+
+    #[test]
+    fn one_variant_per_site_containing_function() {
+        let p = parse(SRC).unwrap();
+        let inst = instrument(&p, Scheme::Checks).unwrap();
+        let variants = single_function_variants(&inst);
+        let names: Vec<&str> = variants.iter().map(|v| v.function.as_str()).collect();
+        assert_eq!(names, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn variant_keeps_only_its_function_sites() {
+        let p = parse(SRC).unwrap();
+        let inst = instrument(&p, Scheme::Checks).unwrap();
+        let variants = single_function_variants(&inst);
+        let va = &variants[0];
+        assert_eq!(count_sites_block(&va.program.function("a").unwrap().body), 1);
+        assert_eq!(count_sites_block(&va.program.function("b").unwrap().body), 0);
+    }
+
+    #[test]
+    fn single_function_variants_grow_less_than_full() {
+        let p = parse(SRC).unwrap();
+        let inst = instrument(&p, Scheme::Checks).unwrap();
+        let baseline = strip_sites(&inst.program);
+        let (full, _) =
+            apply_sampling(&inst.program, &TransformOptions::default()).unwrap();
+        let full_growth = code_growth(&baseline, &full);
+        for tv in transform_variants(&inst, &TransformOptions::default()).unwrap() {
+            let g = code_growth(&baseline, &tv.program);
+            assert!(
+                g <= full_growth + 1e-9,
+                "variant {} grew {g} vs full {full_growth}",
+                tv.function
+            );
+        }
+    }
+}

@@ -1,0 +1,947 @@
+//! The sampling transformation (§2.2–§2.4).
+//!
+//! Given a program whose instrumentation sites have been inserted by a
+//! scheme (as `__check`/`__cmp`/`__obs_sign` statements), this pass rewrites
+//! every site-containing function so that sites fire according to the
+//! next-sample countdown:
+//!
+//! * the function body is decomposed into *acyclic segments*, broken at
+//!   loops containing instrumentation and at calls to non-weightless
+//!   functions (§2.2, §2.3);
+//! * each segment with site weight `w > 0` gets a *threshold check*
+//!   `if (cd > w)` selecting between a cloned **fast path** (sites replaced
+//!   by countdown decrements, coalesced where possible) and a **slow path**
+//!   (each site guarded by `cd -= 1; if (cd == 0) { observe; cd = __next_cd(); }`);
+//! * loop bodies are transformed recursively, which places a threshold
+//!   check along every loop back edge;
+//! * with [`CountdownStorage::Local`] the countdown is kept in a local
+//!   variable, imported from the global `__gcd` at entry and exported at
+//!   returns and around calls to non-weightless functions (§2.4) — this is
+//!   what lets decrements coalesce;
+//! * weightless functions (§2.3) are left completely untouched.
+//!
+//! Setting [`TransformOptions::regions`] to `false` produces the "devolved"
+//! pattern of §3.2.5 — a countdown check at each and every site, with no
+//! dual paths — which is also the ablation baseline for region weighting.
+
+use crate::sites::site_stmt;
+use crate::weightless::weightless_functions;
+use crate::InstrumentError;
+use cbi_minic::ast::*;
+use cbi_minic::builtins::{GLOBAL_COUNTDOWN, LOCAL_COUNTDOWN};
+use cbi_minic::{Builtin, Span};
+use std::collections::HashSet;
+
+/// Where the next-sample countdown lives during function execution.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CountdownStorage {
+    /// A per-function local copy, imported/exported at boundaries (§2.4).
+    /// Enables decrement coalescing.
+    #[default]
+    Local,
+    /// The global countdown is read and written directly at every
+    /// decrement.  Models the paper's observation that conservative
+    /// aliasing assumptions prevent the native compiler from coalescing;
+    /// coalescing is therefore disabled in this mode.
+    Global,
+}
+
+/// Options controlling the sampling transformation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransformOptions {
+    /// Countdown storage strategy (§2.4).
+    pub countdown: CountdownStorage,
+    /// Merge adjacent fast-path decrements into one (requires local
+    /// countdown storage to take effect).
+    pub coalesce: bool,
+    /// Run the interprocedural weightless-function analysis (§2.3).  With
+    /// `false`, every call conservatively breaks acyclic regions, as under
+    /// separate compilation (§3.2.5).
+    pub interprocedural: bool,
+    /// Amortize countdown checks over acyclic regions (§2.2).  With
+    /// `false`, each site individually checks the countdown.
+    pub regions: bool,
+}
+
+impl Default for TransformOptions {
+    fn default() -> Self {
+        TransformOptions {
+            countdown: CountdownStorage::Local,
+            coalesce: true,
+            interprocedural: true,
+            regions: true,
+        }
+    }
+}
+
+/// Per-function statistics from the transformation, feeding Table 1.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FunctionStats {
+    /// Function name.
+    pub name: String,
+    /// Number of instrumentation sites directly contained.
+    pub sites: usize,
+    /// Number of threshold check points placed.
+    pub threshold_checks: usize,
+    /// Sum of the weights of all threshold checks.
+    pub total_threshold_weight: u64,
+    /// Whether the function was weightless (left untouched).
+    pub weightless: bool,
+}
+
+/// Whole-program transformation statistics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TransformStats {
+    /// One entry per function, in program order.
+    pub functions: Vec<FunctionStats>,
+}
+
+impl TransformStats {
+    /// Functions that directly contain at least one site.
+    pub fn functions_with_sites(&self) -> usize {
+        self.functions.iter().filter(|f| f.sites > 0).count()
+    }
+
+    /// Number of weightless functions.
+    pub fn weightless_functions(&self) -> usize {
+        self.functions.iter().filter(|f| f.weightless).count()
+    }
+
+    /// Average sites per site-containing function (Table 1 "sites").
+    pub fn avg_sites(&self) -> f64 {
+        ratio(
+            self.functions.iter().map(|f| f.sites).sum::<usize>() as f64,
+            self.functions_with_sites() as f64,
+        )
+    }
+
+    /// Average threshold checks per site-containing function.
+    pub fn avg_threshold_checks(&self) -> f64 {
+        ratio(
+            self.functions
+                .iter()
+                .map(|f| f.threshold_checks)
+                .sum::<usize>() as f64,
+            self.functions_with_sites() as f64,
+        )
+    }
+
+    /// Average weight over all threshold checks.
+    pub fn avg_threshold_weight(&self) -> f64 {
+        ratio(
+            self.functions
+                .iter()
+                .map(|f| f.total_threshold_weight)
+                .sum::<u64>() as f64,
+            self.functions
+                .iter()
+                .map(|f| f.threshold_checks)
+                .sum::<usize>() as f64,
+        )
+    }
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den == 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+/// Applies the sampling transformation.
+///
+/// Returns the transformed program (with the `__gcd` countdown global
+/// added) and per-function statistics.
+///
+/// # Errors
+///
+/// Returns [`InstrumentError`] if the program was already transformed
+/// (it declares `__gcd`).
+pub fn apply_sampling(
+    program: &Program,
+    options: &TransformOptions,
+) -> Result<(Program, TransformStats), InstrumentError> {
+    if program.global(GLOBAL_COUNTDOWN).is_some() {
+        return Err(InstrumentError::new(
+            "program already contains the sampling countdown; refusing to transform twice",
+        ));
+    }
+
+    let weightless = weightless_functions(program, options.interprocedural);
+    let defined: HashSet<String> = program.functions.iter().map(|f| f.name.clone()).collect();
+
+    let mut out = program.clone();
+    out.globals.push(Global {
+        name: GLOBAL_COUNTDOWN.to_string(),
+        ty: Type::Int,
+        init: 0,
+        span: Span::synthesized(),
+    });
+
+    let mut stats = TransformStats::default();
+    for f in &mut out.functions {
+        let sites = count_sites_block(&f.body);
+        let is_weightless = weightless.contains(&f.name);
+        if sites == 0 {
+            // No cloning or countdown plumbing needed (§2.3/§3.1.2): the
+            // function has nothing to sample.  Calls inside it to
+            // instrumented functions are handled by those functions
+            // themselves.
+            stats.functions.push(FunctionStats {
+                name: f.name.clone(),
+                sites: 0,
+                threshold_checks: 0,
+                total_threshold_weight: 0,
+                weightless: is_weightless,
+            });
+            continue;
+        }
+        let mut tx = Transformer {
+            options: *options,
+            weightless: &weightless,
+            defined: &defined,
+            threshold_checks: 0,
+            total_threshold_weight: 0,
+        };
+        let mut body = tx.transform_block(&f.body);
+        if options.countdown == CountdownStorage::Local {
+            body = add_local_plumbing(body);
+        }
+        f.body = body;
+        stats.functions.push(FunctionStats {
+            name: f.name.clone(),
+            sites,
+            threshold_checks: tx.threshold_checks,
+            total_threshold_weight: tx.total_threshold_weight,
+            weightless: is_weightless,
+        });
+    }
+    Ok((out, stats))
+}
+
+/// Counts instrumentation sites in a block, recursively.
+pub fn count_sites_block(b: &Block) -> usize {
+    b.stmts.iter().map(count_sites_stmt).sum()
+}
+
+fn count_sites_stmt(s: &Stmt) -> usize {
+    if site_stmt(s).is_some() {
+        return 1;
+    }
+    match s {
+        Stmt::If {
+            then_block,
+            else_block,
+            ..
+        } => {
+            count_sites_block(then_block)
+                + else_block.as_ref().map_or(0, count_sites_block)
+        }
+        Stmt::While { body, .. } => count_sites_block(body),
+        _ => 0,
+    }
+}
+
+/// The maximum number of sites on any path through an acyclic segment —
+/// the segment's *weight* (§2.2).
+pub fn segment_weight(stmts: &[Stmt]) -> u64 {
+    stmts.iter().map(stmt_weight).sum()
+}
+
+fn stmt_weight(s: &Stmt) -> u64 {
+    if site_stmt(s).is_some() {
+        return 1;
+    }
+    match s {
+        Stmt::If {
+            then_block,
+            else_block,
+            ..
+        } => {
+            let t = segment_weight(&then_block.stmts);
+            let e = else_block.as_ref().map_or(0, |b| segment_weight(&b.stmts));
+            t.max(e)
+        }
+        // A `While` inside a segment is necessarily site-free (otherwise it
+        // would be a region boundary), so it contributes no weight — §2.2:
+        // "any cycle … without instrumentation is weightless".
+        Stmt::While { .. } => 0,
+        _ => 0,
+    }
+}
+
+enum Class {
+    /// Plain segment material.
+    Segment,
+    /// A root call to a non-weightless user function.
+    HeavyCall,
+    /// A loop or conditional whose interior must be transformed recursively.
+    Recurse,
+}
+
+struct Transformer<'a> {
+    options: TransformOptions,
+    weightless: &'a HashSet<String>,
+    defined: &'a HashSet<String>,
+    threshold_checks: usize,
+    total_threshold_weight: u64,
+}
+
+impl Transformer<'_> {
+    fn cd_name(&self) -> &'static str {
+        match self.options.countdown {
+            CountdownStorage::Local => LOCAL_COUNTDOWN,
+            CountdownStorage::Global => GLOBAL_COUNTDOWN,
+        }
+    }
+
+    fn is_heavy_call_name(&self, name: &str) -> bool {
+        if let Some(b) = Builtin::from_name(name) {
+            return !b.is_weightless();
+        }
+        if self.defined.contains(name) {
+            return !self.weightless.contains(name);
+        }
+        true
+    }
+
+    fn expr_has_heavy_call(&self, e: &Expr) -> bool {
+        let mut names = Vec::new();
+        e.called_names(&mut names);
+        names.iter().any(|n| self.is_heavy_call_name(n))
+    }
+
+    fn stmt_has_heavy_call(&self, s: &Stmt) -> bool {
+        match s {
+            Stmt::Decl { init, .. } => init.as_ref().is_some_and(|e| self.expr_has_heavy_call(e)),
+            Stmt::Assign { value, .. } => self.expr_has_heavy_call(value),
+            Stmt::Store { index, value, .. } => {
+                self.expr_has_heavy_call(index) || self.expr_has_heavy_call(value)
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                ..
+            } => {
+                self.expr_has_heavy_call(cond)
+                    || then_block.stmts.iter().any(|s| self.stmt_has_heavy_call(s))
+                    || else_block
+                        .as_ref()
+                        .is_some_and(|b| b.stmts.iter().any(|s| self.stmt_has_heavy_call(s)))
+            }
+            Stmt::While { cond, body, .. } => {
+                self.expr_has_heavy_call(cond)
+                    || body.stmts.iter().any(|s| self.stmt_has_heavy_call(s))
+            }
+            Stmt::Return { value, .. } => {
+                value.as_ref().is_some_and(|e| self.expr_has_heavy_call(e))
+            }
+            Stmt::Break { .. } | Stmt::Continue { .. } => false,
+            Stmt::Check { cond, .. } => self.expr_has_heavy_call(cond),
+            Stmt::Expr { expr, .. } => self.expr_has_heavy_call(expr),
+        }
+    }
+
+    fn classify(&self, s: &Stmt) -> Class {
+        if site_stmt(s).is_some() {
+            return Class::Segment;
+        }
+        match s {
+            Stmt::While { body, .. } => {
+                if count_sites_block(body) > 0 || self.stmt_has_heavy_call(s) {
+                    Class::Recurse
+                } else {
+                    Class::Segment
+                }
+            }
+            Stmt::If { .. } => {
+                if self.contains_instrumented_loop(s) || self.stmt_has_heavy_call(s) {
+                    Class::Recurse
+                } else {
+                    Class::Segment
+                }
+            }
+            Stmt::Decl { .. } | Stmt::Assign { .. } | Stmt::Expr { .. } => {
+                if self.stmt_has_heavy_call(s) {
+                    Class::HeavyCall
+                } else {
+                    Class::Segment
+                }
+            }
+            _ => Class::Segment,
+        }
+    }
+
+    /// Does the statement contain (at any depth) a loop whose body has
+    /// instrumentation?  Such a loop needs back-edge threshold checks and
+    /// forces recursion.
+    fn contains_instrumented_loop(&self, s: &Stmt) -> bool {
+        match s {
+            Stmt::While { body, .. } => count_sites_block(body) > 0,
+            Stmt::If {
+                then_block,
+                else_block,
+                ..
+            } => {
+                then_block
+                    .stmts
+                    .iter()
+                    .any(|s| self.contains_instrumented_loop(s))
+                    || else_block.as_ref().is_some_and(|b| {
+                        b.stmts.iter().any(|s| self.contains_instrumented_loop(s))
+                    })
+            }
+            _ => false,
+        }
+    }
+
+    fn transform_block(&mut self, b: &Block) -> Block {
+        let mut out: Vec<Stmt> = Vec::new();
+        let mut seg: Vec<Stmt> = Vec::new();
+        for s in &b.stmts {
+            match self.classify(s) {
+                Class::Segment => seg.push(s.clone()),
+                Class::HeavyCall => {
+                    self.flush(&mut seg, &mut out);
+                    if self.options.countdown == CountdownStorage::Local {
+                        out.push(export_stmt());
+                        out.push(s.clone());
+                        out.push(import_stmt());
+                    } else {
+                        out.push(s.clone());
+                    }
+                }
+                Class::Recurse => {
+                    self.flush(&mut seg, &mut out);
+                    match s {
+                        Stmt::While { cond, body, span } => out.push(Stmt::While {
+                            cond: cond.clone(),
+                            body: self.transform_block(body),
+                            span: *span,
+                        }),
+                        Stmt::If {
+                            cond,
+                            then_block,
+                            else_block,
+                            span,
+                        } => out.push(Stmt::If {
+                            cond: cond.clone(),
+                            then_block: self.transform_block(then_block),
+                            else_block: else_block.as_ref().map(|e| self.transform_block(e)),
+                            span: *span,
+                        }),
+                        _ => unreachable!("only loops and conditionals recurse"),
+                    }
+                }
+            }
+        }
+        self.flush(&mut seg, &mut out);
+        Block::new(out)
+    }
+
+    fn flush(&mut self, seg: &mut Vec<Stmt>, out: &mut Vec<Stmt>) {
+        if seg.is_empty() {
+            return;
+        }
+        let stmts = std::mem::take(seg);
+        let w = segment_weight(&stmts);
+        if w == 0 {
+            // Zero-weight threshold checks are discarded (§2.2).
+            out.extend(stmts);
+            return;
+        }
+        if self.options.regions {
+            self.threshold_checks += 1;
+            self.total_threshold_weight += w;
+            let fast = self.fast_copy(&stmts);
+            let slow = self.slow_copy(&stmts);
+            out.push(Stmt::If {
+                cond: Expr::binary(
+                    BinOp::Gt,
+                    Expr::var(self.cd_name()),
+                    Expr::int(w as i64),
+                ),
+                then_block: fast,
+                else_block: Some(slow),
+                span: Span::synthesized(),
+            });
+        } else {
+            // Devolved pattern: a countdown check at each and every site.
+            let slow = self.slow_copy(&stmts);
+            out.extend(slow.stmts);
+        }
+    }
+
+    fn decrement(&self, k: u64) -> Stmt {
+        Stmt::Assign {
+            name: self.cd_name().to_string(),
+            value: Expr::binary(
+                BinOp::Sub,
+                Expr::var(self.cd_name()),
+                Expr::int(k as i64),
+            ),
+            span: Span::synthesized(),
+        }
+    }
+
+    fn fast_copy(&self, stmts: &[Stmt]) -> Block {
+        let mut out = Vec::with_capacity(stmts.len());
+        for s in stmts {
+            if site_stmt(s).is_some() {
+                out.push(self.decrement(1));
+                continue;
+            }
+            match s {
+                Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                    span,
+                } => out.push(Stmt::If {
+                    cond: cond.clone(),
+                    then_block: self.fast_copy(&then_block.stmts),
+                    else_block: else_block.as_ref().map(|b| self.fast_copy(&b.stmts)),
+                    span: *span,
+                }),
+                other => out.push(other.clone()),
+            }
+        }
+        let mut block = Block::new(out);
+        if self.options.coalesce && self.options.countdown == CountdownStorage::Local {
+            block = coalesce_decrements(block, self.cd_name());
+        }
+        block
+    }
+
+    fn slow_copy(&self, stmts: &[Stmt]) -> Block {
+        let mut out = Vec::with_capacity(stmts.len() * 2);
+        for s in stmts {
+            if site_stmt(s).is_some() {
+                // cd -= 1; if (cd == 0) { <site>; cd = __next_cd(); }
+                out.push(self.decrement(1));
+                out.push(Stmt::If {
+                    cond: Expr::binary(BinOp::Eq, Expr::var(self.cd_name()), Expr::int(0)),
+                    then_block: Block::new(vec![
+                        s.clone(),
+                        Stmt::Assign {
+                            name: self.cd_name().to_string(),
+                            value: Expr::call(Builtin::NextCountdown.name(), vec![]),
+                            span: Span::synthesized(),
+                        },
+                    ]),
+                    else_block: None,
+                    span: Span::synthesized(),
+                });
+                continue;
+            }
+            match s {
+                Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                    span,
+                } => out.push(Stmt::If {
+                    cond: cond.clone(),
+                    then_block: self.slow_copy(&then_block.stmts),
+                    else_block: else_block.as_ref().map(|b| self.slow_copy(&b.stmts)),
+                    span: *span,
+                }),
+                other => out.push(other.clone()),
+            }
+        }
+        Block::new(out)
+    }
+}
+
+fn export_stmt() -> Stmt {
+    Stmt::Assign {
+        name: GLOBAL_COUNTDOWN.to_string(),
+        value: Expr::var(LOCAL_COUNTDOWN),
+        span: Span::synthesized(),
+    }
+}
+
+fn import_stmt() -> Stmt {
+    Stmt::Assign {
+        name: LOCAL_COUNTDOWN.to_string(),
+        value: Expr::var(GLOBAL_COUNTDOWN),
+        span: Span::synthesized(),
+    }
+}
+
+/// Wraps a transformed body with local-countdown import/export (§2.4):
+/// `int __cd = __gcd;` at entry, `__gcd = __cd;` before every `return` and
+/// at fall-through exit.
+fn add_local_plumbing(body: Block) -> Block {
+    let mut stmts = vec![Stmt::Decl {
+        ty: Type::Int,
+        name: LOCAL_COUNTDOWN.to_string(),
+        init: Some(Expr::var(GLOBAL_COUNTDOWN)),
+        span: Span::synthesized(),
+    }];
+    stmts.extend(export_before_returns(body).stmts);
+    stmts.push(export_stmt());
+    Block::new(stmts)
+}
+
+fn export_before_returns(b: Block) -> Block {
+    let mut out = Vec::with_capacity(b.stmts.len());
+    for s in b.stmts {
+        match s {
+            Stmt::Return { .. } => {
+                out.push(export_stmt());
+                out.push(s);
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                span,
+            } => out.push(Stmt::If {
+                cond,
+                then_block: export_before_returns(then_block),
+                else_block: else_block.map(export_before_returns),
+                span,
+            }),
+            Stmt::While { cond, body, span } => out.push(Stmt::While {
+                cond,
+                body: export_before_returns(body),
+                span,
+            }),
+            other => out.push(other),
+        }
+    }
+    Block::new(out)
+}
+
+/// Coalesces countdown decrements within basic blocks: all decrements in a
+/// straight-line run (uninterrupted by control flow) merge into a single
+/// `cd = cd - k;` at the head of the run — the `countdown -= 5` adjustment
+/// the native compiler performs once the countdown lives in a local (§2.4).
+///
+/// Hoisting never crosses `if`/`while`/`return`/`break`/`continue`, so the
+/// number of decrements executed along every path is preserved exactly.
+fn coalesce_decrements(b: Block, cd: &str) -> Block {
+    fn as_decrement(s: &Stmt, cd: &str) -> Option<i64> {
+        let Stmt::Assign { name, value, .. } = s else {
+            return None;
+        };
+        if name != cd {
+            return None;
+        }
+        let Expr::Binary {
+            op: BinOp::Sub,
+            lhs,
+            rhs,
+            ..
+        } = value
+        else {
+            return None;
+        };
+        match (&**lhs, &**rhs) {
+            (Expr::Var { name: v, .. }, Expr::Int { value, .. }) if v == cd => Some(*value),
+            _ => None,
+        }
+    }
+
+    fn decrement_of(total: i64, cd: &str) -> Stmt {
+        Stmt::Assign {
+            name: cd.to_string(),
+            value: Expr::binary(BinOp::Sub, Expr::var(cd), Expr::int(total)),
+            span: Span::synthesized(),
+        }
+    }
+
+    let mut out: Vec<Stmt> = Vec::with_capacity(b.stmts.len());
+    let mut run: Vec<Stmt> = Vec::new();
+    let mut total: i64 = 0;
+
+    let flush = |out: &mut Vec<Stmt>, run: &mut Vec<Stmt>, total: &mut i64, cd: &str| {
+        if *total > 0 {
+            out.push(decrement_of(*total, cd));
+        }
+        out.append(run);
+        *total = 0;
+    };
+
+    for s in b.stmts {
+        if let Some(k) = as_decrement(&s, cd) {
+            total += k;
+            continue;
+        }
+        match s {
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                span,
+            } => {
+                flush(&mut out, &mut run, &mut total, cd);
+                out.push(Stmt::If {
+                    cond,
+                    then_block: coalesce_decrements(then_block, cd),
+                    else_block: else_block.map(|e| coalesce_decrements(e, cd)),
+                    span,
+                });
+            }
+            Stmt::While { cond, body, span } => {
+                flush(&mut out, &mut run, &mut total, cd);
+                out.push(Stmt::While {
+                    cond,
+                    body: coalesce_decrements(body, cd),
+                    span,
+                });
+            }
+            s @ (Stmt::Return { .. } | Stmt::Break { .. } | Stmt::Continue { .. }) => {
+                flush(&mut out, &mut run, &mut total, cd);
+                out.push(s);
+            }
+            simple => run.push(simple),
+        }
+    }
+    flush(&mut out, &mut run, &mut total, cd);
+    Block::new(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbi_minic::{parse, pretty};
+
+    fn transform(src: &str, options: &TransformOptions) -> (Program, TransformStats, String) {
+        let p = parse(src).unwrap();
+        let (q, stats) = apply_sampling(&p, options).unwrap();
+        let s = pretty(&q);
+        (q, stats, s)
+    }
+
+    const TWO_SITES: &str = "fn f(ptr p, int i, int max) {\n\
+        __check(0, p != null);\n\
+        p = p + 1;\n\
+        __check(1, i < max);\n\
+        i = i + 1;\n\
+    }";
+
+    #[test]
+    fn straight_line_gets_one_threshold_check_of_weight_two() {
+        let (_, stats, s) = transform(TWO_SITES, &TransformOptions::default());
+        let f = &stats.functions[0];
+        assert_eq!(f.sites, 2);
+        assert_eq!(f.threshold_checks, 1);
+        assert_eq!(f.total_threshold_weight, 2);
+        assert!(s.contains("if (__cd > 2)"), "{s}");
+    }
+
+    #[test]
+    fn fast_path_coalesces_decrements() {
+        let (_, _, s) = transform(TWO_SITES, &TransformOptions::default());
+        assert!(s.contains("__cd = __cd - 2;"), "{s}");
+        // Exactly one merged decrement on the fast path; the slow path has
+        // two separate single decrements.
+        assert_eq!(s.matches("__cd = __cd - 2;").count(), 1, "{s}");
+        assert_eq!(s.matches("__cd = __cd - 1;").count(), 2, "{s}");
+    }
+
+    #[test]
+    fn slow_path_guards_each_site() {
+        let (_, _, s) = transform(TWO_SITES, &TransformOptions::default());
+        assert_eq!(s.matches("if (__cd == 0)").count(), 2, "{s}");
+        assert_eq!(s.matches("__next_cd()").count(), 2, "{s}");
+        assert!(s.contains("__check(0, p != null);"), "{s}");
+        assert!(s.contains("__check(1, i < max);"), "{s}");
+    }
+
+    #[test]
+    fn local_mode_imports_and_exports() {
+        let (_, _, s) = transform(TWO_SITES, &TransformOptions::default());
+        assert!(s.contains("int __cd = __gcd;"), "{s}");
+        assert!(s.contains("__gcd = __cd;"), "{s}");
+    }
+
+    #[test]
+    fn global_mode_uses_global_directly_without_coalescing() {
+        let opts = TransformOptions {
+            countdown: CountdownStorage::Global,
+            ..TransformOptions::default()
+        };
+        let (_, _, s) = transform(TWO_SITES, &opts);
+        assert!(!s.contains("__cd "), "no local countdown expected: {s}");
+        assert!(s.contains("if (__gcd > 2)"), "{s}");
+        // Two separate decrements in the fast path (no coalescing), plus two
+        // in the slow path.
+        assert_eq!(s.matches("__gcd = __gcd - 1;").count(), 4, "{s}");
+    }
+
+    #[test]
+    fn devolved_mode_has_no_threshold_checks() {
+        let opts = TransformOptions {
+            regions: false,
+            ..TransformOptions::default()
+        };
+        let (_, stats, s) = transform(TWO_SITES, &opts);
+        assert_eq!(stats.functions[0].threshold_checks, 0);
+        assert!(!s.contains("__cd > "), "{s}");
+        assert_eq!(s.matches("if (__cd == 0)").count(), 2, "{s}");
+    }
+
+    #[test]
+    fn loop_bodies_get_back_edge_checks() {
+        let src = "fn f(int n) { int i = 0; while (i < n) { __check(0, i < 100); i = i + 1; } }";
+        let (_, stats, s) = transform(src, &TransformOptions::default());
+        let f = &stats.functions[0];
+        assert_eq!(f.threshold_checks, 1);
+        // The threshold check sits inside the loop body.
+        let while_pos = s.find("while").unwrap();
+        let check_pos = s.find("if (__cd > 1)").unwrap();
+        assert!(check_pos > while_pos, "{s}");
+    }
+
+    #[test]
+    fn site_free_loops_stay_inside_segments() {
+        let src = "fn f(int n) {\n\
+            __check(0, n > 0);\n\
+            int i = 0;\n\
+            while (i < n) { i = i + 1; }\n\
+            __check(1, i == n);\n\
+        }";
+        let (_, stats, _) = transform(src, &TransformOptions::default());
+        // One region spanning the weightless loop: a single check, weight 2.
+        let f = &stats.functions[0];
+        assert_eq!(f.threshold_checks, 1);
+        assert_eq!(f.total_threshold_weight, 2);
+    }
+
+    #[test]
+    fn if_weight_is_max_of_branches() {
+        let src = "fn f(int x) {\n\
+            if (x > 0) { __check(0, x < 10); __check(1, x < 20); } else { __check(2, x > -10); }\n\
+        }";
+        let (_, stats, _) = transform(src, &TransformOptions::default());
+        let f = &stats.functions[0];
+        assert_eq!(f.threshold_checks, 1);
+        assert_eq!(f.total_threshold_weight, 2, "max(2, 1)");
+    }
+
+    #[test]
+    fn weightless_calls_do_not_break_regions() {
+        let src = "fn helper(int x) -> int { return x + 1; }\n\
+            fn f(int x) {\n\
+            __check(0, x > 0);\n\
+            int y = helper(x);\n\
+            __check(1, y > 1);\n\
+        }";
+        let (_, stats, _) = transform(src, &TransformOptions::default());
+        let f = stats.functions.iter().find(|f| f.name == "f").unwrap();
+        assert_eq!(f.threshold_checks, 1, "single region across the call");
+        assert_eq!(f.total_threshold_weight, 2);
+        let h = stats.functions.iter().find(|f| f.name == "helper").unwrap();
+        assert!(h.weightless);
+    }
+
+    #[test]
+    fn heavy_calls_break_regions_with_export_import() {
+        let src = "fn heavy(int x) -> int { __obs_sign(9, x); return x; }\n\
+            fn f(int x) {\n\
+            __check(0, x > 0);\n\
+            int y = heavy(x);\n\
+            __check(2, y > 1);\n\
+        }";
+        let (_, stats, s) = transform(src, &TransformOptions::default());
+        let f = stats.functions.iter().find(|f| f.name == "f").unwrap();
+        assert_eq!(f.threshold_checks, 2, "regions split at the call");
+        // Export before the call, import after.
+        let call = s.find("int y = heavy(x);").unwrap();
+        let export = s[..call].rfind("__gcd = __cd;").expect("export before call");
+        let import = s[call..].find("__cd = __gcd;").expect("import after call");
+        assert!(export < call && import > 0);
+    }
+
+    #[test]
+    fn separate_compilation_breaks_all_call_regions() {
+        let src = "fn helper(int x) -> int { return x + 1; }\n\
+            fn f(int x) {\n\
+            __check(0, x > 0);\n\
+            int y = helper(x);\n\
+            __check(1, y > 1);\n\
+        }";
+        let opts = TransformOptions {
+            interprocedural: false,
+            ..TransformOptions::default()
+        };
+        let (_, stats, _) = transform(src, &opts);
+        let f = stats.functions.iter().find(|f| f.name == "f").unwrap();
+        assert_eq!(f.threshold_checks, 2);
+        assert_eq!(stats.weightless_functions(), 0);
+    }
+
+    #[test]
+    fn functions_without_sites_untouched() {
+        let src = "fn quiet(int x) -> int { return x * 2; }\n\
+                   fn f(int x) { __check(0, x > 0); }";
+        let p = parse(src).unwrap();
+        let (q, _) = apply_sampling(&p, &TransformOptions::default()).unwrap();
+        assert_eq!(
+            p.function("quiet").unwrap().body,
+            q.function("quiet").unwrap().body
+        );
+    }
+
+    #[test]
+    fn transformed_program_still_resolves() {
+        let src = "fn heavy(int x) -> int { __obs_sign(9, x); return x; }\n\
+            fn f(int x) {\n\
+            __check(0, x > 0);\n\
+            int y = heavy(x);\n\
+            int i = 0;\n\
+            while (i < y) { __check(2, i < 100); i = i + 1; }\n\
+        }\n\
+        fn main() -> int { f(3); return 0; }";
+        let p = parse(src).unwrap();
+        let (q, _) = apply_sampling(&p, &TransformOptions::default()).unwrap();
+        cbi_minic::resolve_relaxed(&q).unwrap_or_else(|e| panic!("{e}\n{}", pretty(&q)));
+        // And the pretty-printed form re-parses to the same program shape.
+        let reparsed = parse(&pretty(&q)).unwrap();
+        assert_eq!(pretty(&reparsed), pretty(&q));
+    }
+
+    #[test]
+    fn double_transformation_rejected() {
+        let p = parse(TWO_SITES).unwrap();
+        let (q, _) = apply_sampling(&p, &TransformOptions::default()).unwrap();
+        assert!(apply_sampling(&q, &TransformOptions::default()).is_err());
+    }
+
+    #[test]
+    fn returns_get_countdown_export() {
+        let src = "fn f(int x) -> int { __check(0, x > 0); if (x > 5) { return 1; } return 0; }";
+        let (_, _, s) = transform(src, &TransformOptions::default());
+        // Exports appear before both returns (plus the fall-through export).
+        assert!(s.matches("__gcd = __cd;").count() >= 2, "{s}");
+        let ret1 = s.find("return 1;").unwrap();
+        assert!(s[..ret1].rfind("__gcd = __cd;").is_some(), "{s}");
+    }
+
+    #[test]
+    fn stats_aggregates() {
+        let src = "fn a(int x) { __check(0, x > 1); __check(1, x > 2); }\n\
+                   fn b(int x) { __check(2, x > 1); }\n\
+                   fn c() { print(1); }";
+        let (_, stats, _) = transform(src, &TransformOptions::default());
+        assert_eq!(stats.functions_with_sites(), 2);
+        assert_eq!(stats.weightless_functions(), 1);
+        assert!((stats.avg_sites() - 1.5).abs() < 1e-9);
+        assert!(stats.avg_threshold_weight() >= 1.0);
+    }
+
+    #[test]
+    fn segment_weight_rules() {
+        let p = parse(
+            "fn f(int x) { __check(0, x > 0); if (x > 1) { __check(1, x > 2); } while (x < 0) { x = x + 1; } }",
+        )
+        .unwrap();
+        let f = p.function("f").unwrap();
+        assert_eq!(segment_weight(&f.body.stmts), 2);
+    }
+}

@@ -1,0 +1,343 @@
+//! The MiniC lexer.
+//!
+//! Hand-written scanner producing a `Vec<Token>`.  Supports `//` line
+//! comments and `/* … */` block comments (non-nesting, like C).
+
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+use crate::MiniCError;
+
+/// Tokenizes MiniC source text.
+///
+/// # Errors
+///
+/// Returns [`MiniCError`] on unterminated block comments, malformed integer
+/// literals, or characters outside the language.
+pub fn lex(source: &str) -> Result<Vec<Token>, MiniCError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+    tokens: Vec<Token>,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            src: source.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            tokens: Vec::new(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn here(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn push(&mut self, kind: TokenKind, span: Span) {
+        self.tokens.push(Token { kind, span });
+    }
+
+    fn error(&self, span: Span, message: impl Into<String>) -> MiniCError {
+        MiniCError::lex(span, message)
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, MiniCError> {
+        while let Some(c) = self.peek() {
+            let span = self.here();
+            match c {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == Some(b'*') => {
+                    self.bump();
+                    self.bump();
+                    let mut closed = false;
+                    while let Some(c) = self.bump() {
+                        if c == b'*' && self.peek() == Some(b'/') {
+                            self.bump();
+                            closed = true;
+                            break;
+                        }
+                    }
+                    if !closed {
+                        return Err(self.error(span, "unterminated block comment"));
+                    }
+                }
+                b'0'..=b'9' => self.lex_number(span)?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.lex_word(span),
+                _ => self.lex_operator(span)?,
+            }
+        }
+        let span = self.here();
+        self.push(TokenKind::Eof, span);
+        Ok(self.tokens)
+    }
+
+    fn lex_number(&mut self, span: Span) -> Result<(), MiniCError> {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.bump();
+        }
+        if matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'_')) {
+            return Err(self.error(span, "identifier may not start with a digit"));
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits are ASCII");
+        let value: i64 = text
+            .parse()
+            .map_err(|_| self.error(span, format!("integer literal `{text}` out of range")))?;
+        self.push(TokenKind::Int(value), span);
+        Ok(())
+    }
+
+    fn lex_word(&mut self, span: Span) {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+        ) {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("word chars are ASCII");
+        let kind = TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_owned()));
+        self.push(kind, span);
+    }
+
+    fn lex_operator(&mut self, span: Span) -> Result<(), MiniCError> {
+        let c = self.bump().expect("caller checked peek");
+        let kind = match c {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semi,
+            b'+' => TokenKind::Plus,
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'%' => TokenKind::Percent,
+            b'-' => {
+                if self.peek() == Some(b'>') {
+                    self.bump();
+                    TokenKind::Arrow
+                } else {
+                    TokenKind::Minus
+                }
+            }
+            b'=' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::EqEq
+                } else {
+                    TokenKind::Assign
+                }
+            }
+            b'!' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::NotEq
+                } else {
+                    TokenKind::Bang
+                }
+            }
+            b'<' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Le
+                } else {
+                    TokenKind::Lt
+                }
+            }
+            b'>' => {
+                if self.peek() == Some(b'=') {
+                    self.bump();
+                    TokenKind::Ge
+                } else {
+                    TokenKind::Gt
+                }
+            }
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(self.error(span, "single `&` is not a MiniC operator"));
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(self.error(span, "single `|` is not a MiniC operator"));
+                }
+            }
+            other => {
+                return Err(self.error(
+                    span,
+                    format!("unexpected character `{}`", other as char),
+                ))
+            }
+        };
+        self.push(kind, span);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenKind as T;
+
+    fn kinds(src: &str) -> Vec<T> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_simple_function() {
+        let ks = kinds("fn main() -> int { return 0; }");
+        assert_eq!(
+            ks,
+            vec![
+                T::KwFn,
+                T::Ident("main".into()),
+                T::LParen,
+                T::RParen,
+                T::Arrow,
+                T::KwInt,
+                T::LBrace,
+                T::KwReturn,
+                T::Int(0),
+                T::Semi,
+                T::RBrace,
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_all_operators() {
+        let ks = kinds("+ - * / % == != < <= > >= && || ! = -> [ ] ( ) { } , ;");
+        assert_eq!(
+            ks,
+            vec![
+                T::Plus,
+                T::Minus,
+                T::Star,
+                T::Slash,
+                T::Percent,
+                T::EqEq,
+                T::NotEq,
+                T::Lt,
+                T::Le,
+                T::Gt,
+                T::Ge,
+                T::AndAnd,
+                T::OrOr,
+                T::Bang,
+                T::Assign,
+                T::Arrow,
+                T::LBracket,
+                T::RBracket,
+                T::LParen,
+                T::RParen,
+                T::LBrace,
+                T::RBrace,
+                T::Comma,
+                T::Semi,
+                T::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_comments() {
+        let ks = kinds("1 // ignore me\n2");
+        assert_eq!(ks, vec![T::Int(1), T::Int(2), T::Eof]);
+    }
+
+    #[test]
+    fn skips_block_comments() {
+        let ks = kinds("1 /* multi\nline */ 2");
+        assert_eq!(ks, vec![T::Int(1), T::Int(2), T::Eof]);
+    }
+
+    #[test]
+    fn unterminated_block_comment_errors() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn tracks_line_numbers() {
+        let toks = lex("a\nbb\n  c").unwrap();
+        assert_eq!(toks[0].span.line, 1);
+        assert_eq!(toks[1].span.line, 2);
+        assert_eq!(toks[2].span.line, 3);
+        assert_eq!(toks[2].span.col, 3);
+    }
+
+    #[test]
+    fn rejects_stray_characters() {
+        assert!(lex("#").is_err());
+        assert!(lex("a @ b").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn rejects_digit_led_identifier() {
+        assert!(lex("1abc").is_err());
+    }
+
+    #[test]
+    fn rejects_overflowing_literal() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn keywords_versus_identifiers() {
+        let ks = kinds("while whiles");
+        assert_eq!(ks, vec![T::KwWhile, T::Ident("whiles".into()), T::Eof]);
+    }
+
+    #[test]
+    fn empty_source_yields_eof_only() {
+        assert_eq!(kinds(""), vec![T::Eof]);
+    }
+}

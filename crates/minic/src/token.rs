@@ -1,0 +1,185 @@
+//! Tokens produced by the MiniC lexer.
+
+use crate::span::Span;
+use std::fmt;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What kind of token this is (and its payload, for literals/idents).
+    pub kind: TokenKind,
+    /// Where the token starts.
+    pub span: Span,
+}
+
+/// The kinds of MiniC tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An integer literal, e.g. `42`.
+    Int(i64),
+    /// An identifier, e.g. `more_arrays`.
+    Ident(String),
+
+    // Keywords.
+    /// `int`
+    KwInt,
+    /// `ptr`
+    KwPtr,
+    /// `fn`
+    KwFn,
+    /// `if`
+    KwIf,
+    /// `else`
+    KwElse,
+    /// `while`
+    KwWhile,
+    /// `return`
+    KwReturn,
+    /// `break`
+    KwBreak,
+    /// `continue`
+    KwContinue,
+    /// `null`
+    KwNull,
+    /// `check`
+    KwCheck,
+
+    // Punctuation and operators.
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `->`
+    Arrow,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Looks up the keyword for an identifier-shaped lexeme, if any.
+    pub fn keyword(word: &str) -> Option<TokenKind> {
+        Some(match word {
+            "int" => TokenKind::KwInt,
+            "ptr" => TokenKind::KwPtr,
+            "fn" => TokenKind::KwFn,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "return" => TokenKind::KwReturn,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "null" => TokenKind::KwNull,
+            "check" => TokenKind::KwCheck,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TokenKind::Int(v) => return write!(f, "{v}"),
+            TokenKind::Ident(name) => return write!(f, "{name}"),
+            TokenKind::KwInt => "int",
+            TokenKind::KwPtr => "ptr",
+            TokenKind::KwFn => "fn",
+            TokenKind::KwIf => "if",
+            TokenKind::KwElse => "else",
+            TokenKind::KwWhile => "while",
+            TokenKind::KwReturn => "return",
+            TokenKind::KwBreak => "break",
+            TokenKind::KwContinue => "continue",
+            TokenKind::KwNull => "null",
+            TokenKind::KwCheck => "check",
+            TokenKind::LParen => "(",
+            TokenKind::RParen => ")",
+            TokenKind::LBrace => "{",
+            TokenKind::RBrace => "}",
+            TokenKind::LBracket => "[",
+            TokenKind::RBracket => "]",
+            TokenKind::Comma => ",",
+            TokenKind::Semi => ";",
+            TokenKind::Arrow => "->",
+            TokenKind::Assign => "=",
+            TokenKind::Plus => "+",
+            TokenKind::Minus => "-",
+            TokenKind::Star => "*",
+            TokenKind::Slash => "/",
+            TokenKind::Percent => "%",
+            TokenKind::EqEq => "==",
+            TokenKind::NotEq => "!=",
+            TokenKind::Lt => "<",
+            TokenKind::Le => "<=",
+            TokenKind::Gt => ">",
+            TokenKind::Ge => ">=",
+            TokenKind::AndAnd => "&&",
+            TokenKind::OrOr => "||",
+            TokenKind::Bang => "!",
+            TokenKind::Eof => "<eof>",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_resolve() {
+        assert_eq!(TokenKind::keyword("while"), Some(TokenKind::KwWhile));
+        assert_eq!(TokenKind::keyword("check"), Some(TokenKind::KwCheck));
+        assert_eq!(TokenKind::keyword("banana"), None);
+    }
+
+    #[test]
+    fn display_round_trips_punctuation() {
+        assert_eq!(TokenKind::Arrow.to_string(), "->");
+        assert_eq!(TokenKind::Le.to_string(), "<=");
+        assert_eq!(TokenKind::Int(42).to_string(), "42");
+        assert_eq!(TokenKind::Ident("x".into()).to_string(), "x");
+    }
+}

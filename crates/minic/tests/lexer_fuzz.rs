@@ -1,0 +1,136 @@
+//! Fuzz-style robustness tests for the MiniC front end: no input may
+//! panic the lexer or parser, and token display forms re-lex to
+//! themselves.
+
+use cbi_minic::lexer::lex;
+use cbi_minic::parser::parse;
+use cbi_minic::token::TokenKind;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary strings never panic the lexer (they may, of course, be
+    /// rejected with an error).
+    #[test]
+    fn lexer_total_on_arbitrary_input(s in ".{0,200}") {
+        let _ = lex(&s);
+    }
+
+    /// Arbitrary ASCII-ish soup never panics the parser either.
+    #[test]
+    fn parser_total_on_arbitrary_input(s in "[ -~\n\t]{0,300}") {
+        let _ = parse(&s);
+    }
+
+    /// Any sequence of valid tokens, printed with their display forms and
+    /// spaces between, lexes back to exactly the same kinds.
+    #[test]
+    fn token_display_round_trips(kinds in prop::collection::vec(arb_token(), 0..40)) {
+        let text: Vec<String> = kinds.iter().map(|k| k.to_string()).collect();
+        let source = text.join(" ");
+        let relexed = lex(&source).expect("valid tokens must lex");
+        let got: Vec<TokenKind> = relexed
+            .into_iter()
+            .map(|t| t.kind)
+            .filter(|k| !matches!(k, TokenKind::Eof))
+            .collect();
+        prop_assert_eq!(got, kinds);
+    }
+}
+
+fn arb_token() -> impl Strategy<Value = TokenKind> {
+    prop_oneof![
+        (0i64..1_000_000).prop_map(TokenKind::Int),
+        "[a-z][a-z0-9_]{0,8}".prop_map(|s| {
+            // Avoid generating keywords as identifiers.
+            match TokenKind::keyword(&s) {
+                Some(k) => k,
+                None => TokenKind::Ident(s),
+            }
+        }),
+        Just(TokenKind::KwInt),
+        Just(TokenKind::KwPtr),
+        Just(TokenKind::KwFn),
+        Just(TokenKind::KwIf),
+        Just(TokenKind::KwElse),
+        Just(TokenKind::KwWhile),
+        Just(TokenKind::KwReturn),
+        Just(TokenKind::KwBreak),
+        Just(TokenKind::KwContinue),
+        Just(TokenKind::KwNull),
+        Just(TokenKind::KwCheck),
+        Just(TokenKind::LParen),
+        Just(TokenKind::RParen),
+        Just(TokenKind::LBrace),
+        Just(TokenKind::RBrace),
+        Just(TokenKind::LBracket),
+        Just(TokenKind::RBracket),
+        Just(TokenKind::Comma),
+        Just(TokenKind::Semi),
+        Just(TokenKind::Arrow),
+        Just(TokenKind::Assign),
+        Just(TokenKind::Plus),
+        Just(TokenKind::Star),
+        Just(TokenKind::Slash),
+        Just(TokenKind::Percent),
+        Just(TokenKind::EqEq),
+        Just(TokenKind::NotEq),
+        Just(TokenKind::Lt),
+        Just(TokenKind::Le),
+        Just(TokenKind::Gt),
+        Just(TokenKind::Ge),
+        Just(TokenKind::AndAnd),
+        Just(TokenKind::OrOr),
+        Just(TokenKind::Bang),
+    ]
+}
+
+#[test]
+fn pathological_nesting_is_rejected_not_crashed() {
+    // Deep unclosed nesting: rejected by the depth guard, not a stack
+    // overflow (this test originally caught exactly that bug).
+    let mut src = String::from("fn f() { ");
+    for _ in 0..5000 {
+        src.push_str("if (1) { ");
+    }
+    let err = parse(&src).unwrap_err();
+    assert!(err.to_string().contains("nesting too deep"), "{err}");
+
+    // Deeply nested parentheses: same guard.
+    let expr = format!(
+        "fn f() -> int {{ return {}1{}; }}",
+        "(".repeat(5000),
+        ")".repeat(5000)
+    );
+    let err = parse(&expr).unwrap_err();
+    assert!(err.to_string().contains("nesting too deep"), "{err}");
+
+    // Moderate nesting parses fine.
+    let ok = format!(
+        "fn f() -> int {{ return {}1{}; }}",
+        "(".repeat(80),
+        ")".repeat(80)
+    );
+    assert!(parse(&ok).is_ok());
+}
+
+#[test]
+fn adjacent_operator_lexing_is_maximal_munch() {
+    let toks = lex("<==>=!==-> - >").unwrap();
+    let kinds: Vec<TokenKind> = toks.into_iter().map(|t| t.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            TokenKind::Le,
+            TokenKind::Assign,
+            TokenKind::Ge,
+            TokenKind::NotEq,
+            TokenKind::Assign,
+            TokenKind::Arrow,
+            TokenKind::Minus,
+            TokenKind::Gt,
+            TokenKind::Eof
+        ]
+    );
+}

@@ -1,0 +1,252 @@
+//! The central report collector.
+//!
+//! Models the "central database" of §1: clients transmit counter-vector
+//! reports; analyses query them by outcome class.  All reports in one
+//! collector must share a counter layout (the same instrumented binary).
+
+use crate::report::{Label, Report};
+use std::error::Error;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Error from collector ingestion.
+#[derive(Debug)]
+pub enum CollectError {
+    /// A report's counter vector length did not match the collector's.
+    LayoutMismatch {
+        /// Expected counter count.
+        expected: usize,
+        /// Received counter count.
+        got: usize,
+    },
+    /// An I/O error while reading or writing the report stream.
+    Io(std::io::Error),
+    /// A malformed report line.
+    Parse(serde_json::Error),
+}
+
+impl fmt::Display for CollectError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectError::LayoutMismatch { expected, got } => write!(
+                f,
+                "report layout mismatch: expected {expected} counters, got {got}"
+            ),
+            CollectError::Io(e) => write!(f, "report stream i/o error: {e}"),
+            CollectError::Parse(e) => write!(f, "malformed report: {e}"),
+        }
+    }
+}
+
+impl Error for CollectError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            CollectError::Io(e) => Some(e),
+            CollectError::Parse(e) => Some(e),
+            CollectError::LayoutMismatch { .. } => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CollectError {
+    fn from(e: std::io::Error) -> Self {
+        CollectError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for CollectError {
+    fn from(e: serde_json::Error) -> Self {
+        CollectError::Parse(e)
+    }
+}
+
+/// The central database of reports for one instrumented program.
+#[derive(Debug, Clone, Default)]
+pub struct Collector {
+    counters: usize,
+    reports: Vec<Report>,
+    successes: usize,
+    failures: usize,
+}
+
+impl Collector {
+    /// Creates a collector for reports with `counters` counters each.
+    pub fn new(counters: usize) -> Self {
+        Collector {
+            counters,
+            reports: Vec::new(),
+            successes: 0,
+            failures: 0,
+        }
+    }
+
+    /// Ingests one report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError::LayoutMismatch`] if the report's counter
+    /// vector has the wrong length.
+    pub fn add(&mut self, report: Report) -> Result<(), CollectError> {
+        if report.counters.len() != self.counters {
+            return Err(CollectError::LayoutMismatch {
+                expected: self.counters,
+                got: report.counters.len(),
+            });
+        }
+        match report.label {
+            Label::Success => self.successes += 1,
+            Label::Failure => self.failures += 1,
+        }
+        self.reports.push(report);
+        Ok(())
+    }
+
+    /// Number of counters per report.
+    pub fn counter_count(&self) -> usize {
+        self.counters
+    }
+
+    /// Total reports collected.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Whether no reports have been collected.
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+
+    /// Number of successful runs.
+    pub fn success_count(&self) -> usize {
+        self.successes
+    }
+
+    /// Number of failed runs.
+    pub fn failure_count(&self) -> usize {
+        self.failures
+    }
+
+    /// All reports, in arrival order.
+    pub fn reports(&self) -> &[Report] {
+        &self.reports
+    }
+
+    /// Iterates over reports with a given label.
+    pub fn with_label(&self, label: Label) -> impl Iterator<Item = &Report> {
+        self.reports.iter().filter(move |r| r.label == label)
+    }
+
+    /// Writes all reports as JSON lines.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError`] on I/O or serialization failure.
+    pub fn write_jsonl<W: Write>(&self, mut w: W) -> Result<(), CollectError> {
+        for r in &self.reports {
+            writeln!(w, "{}", r.to_json()?)?;
+        }
+        Ok(())
+    }
+
+    /// Reads reports from a JSON-lines stream into a new collector whose
+    /// layout is taken from the first report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError`] on I/O failure, malformed lines, or
+    /// layout mismatches between lines.
+    pub fn read_jsonl<R: BufRead>(r: R) -> Result<Self, CollectError> {
+        let mut collector: Option<Collector> = None;
+        for line in r.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let report = Report::from_json(&line)?;
+            let c = collector.get_or_insert_with(|| Collector::new(report.counters.len()));
+            c.add(report)?;
+        }
+        Ok(collector.unwrap_or_default())
+    }
+}
+
+impl Extend<Report> for Collector {
+    /// Extends the collector, panicking on layout mismatches.
+    ///
+    /// Use [`Collector::add`] when mismatches must be handled gracefully.
+    fn extend<T: IntoIterator<Item = Report>>(&mut self, iter: T) {
+        for r in iter {
+            self.add(r).expect("report layout mismatch in extend");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Collector {
+        let mut c = Collector::new(3);
+        c.add(Report::new(0, Label::Success, vec![1, 0, 2])).unwrap();
+        c.add(Report::new(1, Label::Failure, vec![0, 5, 0])).unwrap();
+        c.add(Report::new(2, Label::Success, vec![0, 0, 0])).unwrap();
+        c
+    }
+
+    #[test]
+    fn counts_by_label() {
+        let c = sample();
+        assert_eq!(c.len(), 3);
+        assert_eq!(c.success_count(), 2);
+        assert_eq!(c.failure_count(), 1);
+        assert_eq!(c.with_label(Label::Failure).count(), 1);
+        assert_eq!(c.counter_count(), 3);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn layout_mismatch_rejected() {
+        let mut c = Collector::new(3);
+        let err = c.add(Report::new(0, Label::Success, vec![1])).unwrap_err();
+        assert!(matches!(
+            err,
+            CollectError::LayoutMismatch { expected: 3, got: 1 }
+        ));
+        assert!(err.to_string().contains("expected 3"));
+    }
+
+    #[test]
+    fn jsonl_round_trip() {
+        let c = sample();
+        let mut buf = Vec::new();
+        c.write_jsonl(&mut buf).unwrap();
+        let back = Collector::read_jsonl(buf.as_slice()).unwrap();
+        assert_eq!(back.reports(), c.reports());
+        assert_eq!(back.counter_count(), 3);
+    }
+
+    #[test]
+    fn jsonl_skips_blank_lines_and_rejects_garbage() {
+        let ok = "\n";
+        assert!(Collector::read_jsonl(ok.as_bytes()).unwrap().is_empty());
+        let bad = "{broken}";
+        assert!(Collector::read_jsonl(bad.as_bytes()).is_err());
+    }
+
+    #[test]
+    fn extend_accepts_matching_reports() {
+        let mut c = Collector::new(2);
+        c.extend(vec![
+            Report::new(0, Label::Success, vec![1, 1]),
+            Report::new(1, Label::Failure, vec![0, 1]),
+        ]);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "layout mismatch")]
+    fn extend_panics_on_mismatch() {
+        let mut c = Collector::new(2);
+        c.extend(vec![Report::new(0, Label::Success, vec![1])]);
+    }
+}

@@ -1,0 +1,33 @@
+//! Feedback reports and the central collection infrastructure (§2.5, §5).
+//!
+//! Instrumented clients emit one [`Report`] per run: a counter vector (one
+//! counter per predicate, ordering information discarded) plus a binary
+//! success/failure [`Label`].  A [`Collector`] models the central database;
+//! [`SufficientStats`] models the privacy-preserving alternative that folds
+//! each report into per-counter aggregates and discards the raw trace.
+//!
+//! # Example
+//!
+//! ```
+//! use cbi_reports::{Collector, Label, Report, SufficientStats};
+//!
+//! let mut db = Collector::new(2);
+//! db.add(Report::new(0, Label::Success, vec![3, 0]))?;
+//! db.add(Report::new(1, Label::Failure, vec![0, 1]))?;
+//! assert_eq!(db.failure_count(), 1);
+//!
+//! let stats: SufficientStats = db.reports().iter().cloned().collect();
+//! assert_eq!(stats.nonzero_failures(1), 1);
+//! # Ok::<(), cbi_reports::CollectError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collector;
+pub mod report;
+pub mod suffstats;
+
+pub use collector::{CollectError, Collector};
+pub use report::{Label, Report};
+pub use suffstats::SufficientStats;

@@ -1,0 +1,131 @@
+//! Feedback reports (§2.5).
+//!
+//! "The final form of the data is a vector of integers, with position *i*
+//! containing the number of times we observed that the *i*th predicate was
+//! true" — plus "a flag indicating whether it completed successfully or was
+//! aborted" (§3.3.1).  Ordering information is deliberately discarded to
+//! keep reports compact and constant-size per execution.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The binary outcome label attached to each report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Label {
+    /// The run completed successfully (class 0 in §3.3.2).
+    Success,
+    /// The run crashed or failed an assertion (class 1).
+    Failure,
+}
+
+impl Label {
+    /// The regression target: 0 for success, 1 for failure.
+    pub fn as_target(self) -> f64 {
+        match self {
+            Label::Success => 0.0,
+            Label::Failure => 1.0,
+        }
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Label::Success => f.write_str("success"),
+            Label::Failure => f.write_str("failure"),
+        }
+    }
+}
+
+/// One execution's feedback report.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Report {
+    /// Client-side run identifier (not interpreted by analyses).
+    pub run_id: u64,
+    /// Success or failure.
+    pub label: Label,
+    /// The counter vector, laid out per the program's site table.
+    pub counters: Vec<u64>,
+}
+
+impl Report {
+    /// Creates a report.
+    pub fn new(run_id: u64, label: Label, counters: Vec<u64>) -> Self {
+        Report {
+            run_id,
+            label,
+            counters,
+        }
+    }
+
+    /// Whether counter `i` was ever observed true in this run.
+    pub fn observed(&self, i: usize) -> bool {
+        self.counters.get(i).copied().unwrap_or(0) > 0
+    }
+
+    /// Number of counters in the report.
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the report has no counters.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Serializes to a single JSON line (the wire format).
+    ///
+    /// # Errors
+    ///
+    /// Returns a serialization error (should not occur for well-formed
+    /// reports).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string(self)
+    }
+
+    /// Parses a report from its JSON line form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a deserialization error on malformed input.
+    pub fn from_json(line: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_as_targets() {
+        assert_eq!(Label::Success.as_target(), 0.0);
+        assert_eq!(Label::Failure.as_target(), 1.0);
+        assert_eq!(Label::Failure.to_string(), "failure");
+    }
+
+    #[test]
+    fn observed_counters() {
+        let r = Report::new(1, Label::Success, vec![0, 3, 0]);
+        assert!(!r.observed(0));
+        assert!(r.observed(1));
+        assert!(!r.observed(2));
+        assert!(!r.observed(99), "out of range counts as unobserved");
+        assert_eq!(r.len(), 3);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let r = Report::new(42, Label::Failure, vec![1, 0, 7]);
+        let line = r.to_json().unwrap();
+        assert!(line.contains("Failure"));
+        let back = Report::from_json(&line).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn malformed_json_rejected() {
+        assert!(Report::from_json("{not json").is_err());
+    }
+}

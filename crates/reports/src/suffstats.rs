@@ -1,0 +1,210 @@
+//! Sufficient statistics for privacy-preserving analysis (§5).
+//!
+//! "Many statistical analyses are characterized by a set of sufficient
+//! statistics … once the logistic regression parameters have been updated
+//! with a new trace, the trace itself may be discarded."  The four
+//! predicate-elimination strategies of §3.2.2 likewise need only, per
+//! counter and per outcome class, *in how many runs the counter was
+//! nonzero* — not the runs themselves.  This accumulator retains exactly
+//! that, so a collector can discard raw reports as they arrive and an
+//! attacker compromising the analysis host cannot recover any single
+//! trace.
+
+use crate::report::{Label, Report};
+use serde::{Deserialize, Serialize};
+
+/// Per-counter, per-class observation statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SufficientStats {
+    /// Runs in which counter `i` was nonzero, among successful runs.
+    nonzero_in_success: Vec<u64>,
+    /// Runs in which counter `i` was nonzero, among failed runs.
+    nonzero_in_failure: Vec<u64>,
+    /// Total observations of counter `i` across successful runs.
+    sum_success: Vec<u64>,
+    /// Total observations of counter `i` across failed runs.
+    sum_failure: Vec<u64>,
+    /// Number of successful runs folded in.
+    successes: u64,
+    /// Number of failed runs folded in.
+    failures: u64,
+}
+
+impl SufficientStats {
+    /// Creates an accumulator for `counters` counters.
+    pub fn new(counters: usize) -> Self {
+        SufficientStats {
+            nonzero_in_success: vec![0; counters],
+            nonzero_in_failure: vec![0; counters],
+            sum_success: vec![0; counters],
+            sum_failure: vec![0; counters],
+            successes: 0,
+            failures: 0,
+        }
+    }
+
+    /// Number of counters tracked.
+    pub fn counter_count(&self) -> usize {
+        self.nonzero_in_success.len()
+    }
+
+    /// Folds in one report; the report may then be discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the report's counter count does not match.
+    pub fn update(&mut self, report: &Report) {
+        assert_eq!(
+            report.counters.len(),
+            self.counter_count(),
+            "report layout mismatch"
+        );
+        let (nonzero, sum) = match report.label {
+            Label::Success => (&mut self.nonzero_in_success, &mut self.sum_success),
+            Label::Failure => (&mut self.nonzero_in_failure, &mut self.sum_failure),
+        };
+        for (i, &c) in report.counters.iter().enumerate() {
+            if c > 0 {
+                nonzero[i] += 1;
+            }
+            sum[i] += c;
+        }
+        match report.label {
+            Label::Success => self.successes += 1,
+            Label::Failure => self.failures += 1,
+        }
+    }
+
+    /// Number of successful runs folded in.
+    pub fn success_runs(&self) -> u64 {
+        self.successes
+    }
+
+    /// Number of failed runs folded in.
+    pub fn failure_runs(&self) -> u64 {
+        self.failures
+    }
+
+    /// In how many successful runs counter `i` was observed true.
+    pub fn nonzero_successes(&self, i: usize) -> u64 {
+        self.nonzero_in_success[i]
+    }
+
+    /// In how many failed runs counter `i` was observed true.
+    pub fn nonzero_failures(&self, i: usize) -> u64 {
+        self.nonzero_in_failure[i]
+    }
+
+    /// Whether counter `i` was observed true in any run at all.
+    pub fn ever_observed(&self, i: usize) -> bool {
+        self.nonzero_in_success[i] + self.nonzero_in_failure[i] > 0
+    }
+
+    /// Total observations of counter `i` in successful runs.
+    pub fn total_in_successes(&self, i: usize) -> u64 {
+        self.sum_success[i]
+    }
+
+    /// Total observations of counter `i` in failed runs.
+    pub fn total_in_failures(&self, i: usize) -> u64 {
+        self.sum_failure[i]
+    }
+
+    /// Merges another accumulator (e.g. from a second collection server).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the counter counts differ.
+    pub fn merge(&mut self, other: &SufficientStats) {
+        assert_eq!(
+            self.counter_count(),
+            other.counter_count(),
+            "sufficient stats layout mismatch"
+        );
+        for i in 0..self.counter_count() {
+            self.nonzero_in_success[i] += other.nonzero_in_success[i];
+            self.nonzero_in_failure[i] += other.nonzero_in_failure[i];
+            self.sum_success[i] += other.sum_success[i];
+            self.sum_failure[i] += other.sum_failure[i];
+        }
+        self.successes += other.successes;
+        self.failures += other.failures;
+    }
+}
+
+impl FromIterator<Report> for SufficientStats {
+    fn from_iter<T: IntoIterator<Item = Report>>(iter: T) -> Self {
+        let mut it = iter.into_iter().peekable();
+        let counters = it.peek().map_or(0, |r| r.counters.len());
+        let mut stats = SufficientStats::new(counters);
+        for r in it {
+            stats.update(&r);
+        }
+        stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> SufficientStats {
+        let mut s = SufficientStats::new(3);
+        s.update(&Report::new(0, Label::Success, vec![2, 0, 1]));
+        s.update(&Report::new(1, Label::Failure, vec![0, 3, 1]));
+        s.update(&Report::new(2, Label::Success, vec![1, 0, 0]));
+        s
+    }
+
+    #[test]
+    fn per_class_nonzero_counts() {
+        let s = stats();
+        assert_eq!(s.success_runs(), 2);
+        assert_eq!(s.failure_runs(), 1);
+        assert_eq!(s.nonzero_successes(0), 2);
+        assert_eq!(s.nonzero_failures(0), 0);
+        assert_eq!(s.nonzero_failures(1), 1);
+        assert_eq!(s.nonzero_successes(1), 0);
+        assert!(s.ever_observed(2));
+        assert!(s.ever_observed(0));
+    }
+
+    #[test]
+    fn sums_accumulate() {
+        let s = stats();
+        assert_eq!(s.total_in_successes(0), 3);
+        assert_eq!(s.total_in_failures(1), 3);
+        assert_eq!(s.total_in_successes(2), 1);
+        assert_eq!(s.total_in_failures(2), 1);
+    }
+
+    #[test]
+    fn merge_combines_servers() {
+        let mut a = stats();
+        let b = stats();
+        a.merge(&b);
+        assert_eq!(a.success_runs(), 4);
+        assert_eq!(a.nonzero_successes(0), 4);
+        assert_eq!(a.total_in_failures(1), 6);
+    }
+
+    #[test]
+    fn from_iterator_builds_stats() {
+        let s: SufficientStats = vec![
+            Report::new(0, Label::Success, vec![1, 0]),
+            Report::new(1, Label::Failure, vec![0, 1]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(s.counter_count(), 2);
+        assert_eq!(s.success_runs(), 1);
+        assert_eq!(s.failure_runs(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "layout mismatch")]
+    fn update_rejects_wrong_layout() {
+        let mut s = SufficientStats::new(2);
+        s.update(&Report::new(0, Label::Success, vec![1]));
+    }
+}

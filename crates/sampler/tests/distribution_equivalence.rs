@@ -1,0 +1,79 @@
+//! Distributional equivalence between the geometric countdown generator
+//! and the naive per-site Bernoulli coin it replaces (§2.1): both must
+//! realize the same process, differing only in cost.
+
+use cbi_sampler::{Bernoulli, CountdownSource, Geometric, SamplingDensity};
+
+/// Empirical CDF comparison (two-sample Kolmogorov–Smirnov statistic).
+fn ks_statistic(mut a: Vec<u64>, mut b: Vec<u64>) -> f64 {
+    a.sort_unstable();
+    b.sort_unstable();
+    let (n, m) = (a.len() as f64, b.len() as f64);
+    let mut d: f64 = 0.0;
+    let (mut i, mut j) = (0usize, 0usize);
+    // Discrete data is tie-heavy: evaluate the CDF difference only at
+    // value boundaries, advancing both samples past each shared value.
+    while i < a.len() || j < b.len() {
+        let v = match (a.get(i), b.get(j)) {
+            (Some(&x), Some(&y)) => x.min(y),
+            (Some(&x), None) => x,
+            (None, Some(&y)) => y,
+            (None, None) => break,
+        };
+        while i < a.len() && a[i] == v {
+            i += 1;
+        }
+        while j < b.len() && b[j] == v {
+            j += 1;
+        }
+        let fa = i as f64 / n;
+        let fb = j as f64 / m;
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
+#[test]
+fn geometric_and_bernoulli_countdowns_are_the_same_distribution() {
+    let density = SamplingDensity::one_in(20);
+    let n = 40_000;
+    let mut geo = Geometric::new(density, 1);
+    let mut coin = Bernoulli::new(density, 2);
+    let a: Vec<u64> = (0..n).map(|_| geo.next_countdown()).collect();
+    let b: Vec<u64> = (0..n).map(|_| coin.next_countdown()).collect();
+
+    let d = ks_statistic(a, b);
+    // KS critical value at alpha = 0.001 for two samples of 40k each:
+    // c(α)·sqrt(2/n) ≈ 1.95 · sqrt(2/40000) ≈ 0.0138.
+    assert!(d < 0.0138, "KS statistic {d} too large");
+}
+
+#[test]
+fn geometric_tail_matches_closed_form() {
+    // P(N > k) = (1 - p)^k; check a few tail points empirically.
+    let p = 0.05;
+    let n = 200_000;
+    let mut geo = Geometric::new(SamplingDensity::new(p).unwrap(), 9);
+    let draws: Vec<u64> = (0..n).map(|_| geo.next_countdown()).collect();
+    for k in [1u64, 5, 20, 60] {
+        let empirical = draws.iter().filter(|&&x| x > k).count() as f64 / n as f64;
+        let exact = (1.0 - p).powi(k as i32);
+        assert!(
+            (empirical - exact).abs() < 0.005,
+            "tail at {k}: empirical {empirical} vs exact {exact}"
+        );
+    }
+}
+
+#[test]
+fn bank_draws_match_generator_draws() {
+    use cbi_sampler::CountdownBank;
+    // A bank generated from the same seed must replay the generator's
+    // sequence until it cycles.
+    let density = SamplingDensity::one_in(50);
+    let mut gen = Geometric::new(density, 31);
+    let mut bank = CountdownBank::generate(density, 256, 31);
+    for i in 0..256 {
+        assert_eq!(bank.next_countdown(), gen.next_countdown(), "draw {i}");
+    }
+}

@@ -1,0 +1,97 @@
+//! Sampling effectiveness arithmetic (§3.1.3).
+//!
+//! "Suppose we are interested in an event occurring once per hundred
+//! executions.  To achieve 90% confidence of observing this event in at
+//! least one run, we need at least
+//! ⌈log(1 − 0.90) / log(1 − 1/(100 × 1000))⌉ = 230,258 runs."
+
+/// Number of runs needed to observe, with the given `confidence`, at least
+/// one sampled occurrence of an event that occurs in a fraction
+/// `event_rate` of runs, under sampling probability `density`.
+///
+/// Assumes (like the paper) that each run independently yields an observed
+/// event with probability `event_rate × density`.
+///
+/// # Panics
+///
+/// Panics unless `0 < event_rate <= 1`, `0 < density <= 1`, and
+/// `0 < confidence < 1`.
+pub fn runs_needed(event_rate: f64, density: f64, confidence: f64) -> u64 {
+    assert!(event_rate > 0.0 && event_rate <= 1.0, "event rate in (0,1]");
+    assert!(density > 0.0 && density <= 1.0, "density in (0,1]");
+    assert!(
+        confidence > 0.0 && confidence < 1.0,
+        "confidence in (0,1)"
+    );
+    let p = event_rate * density;
+    if p >= 1.0 {
+        return 1;
+    }
+    ((1.0 - confidence).ln() / (1.0 - p).ln()).ceil() as u64
+}
+
+/// Probability of observing the event at least once in `runs` runs.
+pub fn detection_probability(event_rate: f64, density: f64, runs: u64) -> f64 {
+    let p = (event_rate * density).min(1.0);
+    1.0 - (1.0 - p).powf(runs as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_number_90_percent() {
+        // Event 1/100, sampling 1/1000, 90% confidence → 230,258 runs.
+        let n = runs_needed(0.01, 0.001, 0.90);
+        assert!((230_257..=230_259).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn paper_number_99_percent() {
+        // Event 1/1000, sampling 1/1000, 99% confidence → 4,605,168 runs.
+        let n = runs_needed(0.001, 0.001, 0.99);
+        assert!((4_605_167..=4_605_171).contains(&n), "got {n}");
+    }
+
+    #[test]
+    fn office_xp_arithmetic() {
+        // 60M licenses × 2 runs/week ≈ 17,143 runs/minute: 230,258 runs in
+        // about 19 minutes, 4,605,168 in under 7 hours — the paper's
+        // deployment argument.
+        let runs_per_minute = 60_000_000.0 * 2.0 / (7.0 * 24.0 * 60.0);
+        let minutes_90 = runs_needed(0.01, 0.001, 0.90) as f64 / runs_per_minute;
+        assert!((13.0..=20.0).contains(&minutes_90), "got {minutes_90}");
+        let hours_99 = runs_needed(0.001, 0.001, 0.99) as f64 / runs_per_minute / 60.0;
+        assert!(hours_99 < 7.0, "got {hours_99}");
+    }
+
+    #[test]
+    fn detection_probability_matches_inverse() {
+        let n = runs_needed(0.01, 0.001, 0.90);
+        let p = detection_probability(0.01, 0.001, n);
+        assert!((0.90..0.9001).contains(&p), "got {p}");
+        let p_fewer = detection_probability(0.01, 0.001, n / 2);
+        assert!(p_fewer < 0.90);
+    }
+
+    #[test]
+    fn dense_sampling_needs_fewer_runs() {
+        let sparse = runs_needed(0.01, 0.001, 0.9);
+        let dense = runs_needed(0.01, 0.01, 0.9);
+        assert!(dense < sparse);
+        assert_eq!(runs_needed(1.0, 1.0, 0.9), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "confidence")]
+    fn rejects_bad_confidence() {
+        let _ = runs_needed(0.01, 0.001, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "density")]
+    fn rejects_bad_density() {
+        let _ = runs_needed(0.01, 0.0, 0.9);
+    }
+}

@@ -1,0 +1,196 @@
+//! Datasets for crash prediction (§3.3.3).
+//!
+//! Converts collected reports into a design matrix: raw counters become
+//! `f64` features, always-zero features are discarded up front (the paper
+//! drops 27,242 of 30,150 this way), and rows are split into train /
+//! cross-validation / test sets with a seeded shuffle.
+
+use crate::scaling::FeatureScaler;
+use cbi_reports::Report;
+use cbi_sampler::Pcg32;
+
+/// A labeled design matrix.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Dataset {
+    /// Row-major feature values.
+    pub rows: Vec<Vec<f64>>,
+    /// Targets: 0.0 = success, 1.0 = failure.
+    pub labels: Vec<f64>,
+    /// For each feature column, the original counter index it came from.
+    pub feature_counters: Vec<usize>,
+}
+
+impl Dataset {
+    /// Builds a dataset from reports, keeping only counters that are
+    /// nonzero in at least one report ("elimination by universal
+    /// falsehood" as a preprocessing step, §3.3.3).
+    pub fn from_reports(reports: &[Report]) -> Dataset {
+        let Some(first) = reports.first() else {
+            return Dataset::default();
+        };
+        let n = first.counters.len();
+        let mut ever = vec![false; n];
+        for r in reports {
+            for (i, &c) in r.counters.iter().enumerate() {
+                if c > 0 {
+                    ever[i] = true;
+                }
+            }
+        }
+        let feature_counters: Vec<usize> = (0..n).filter(|&i| ever[i]).collect();
+        let rows = reports
+            .iter()
+            .map(|r| {
+                feature_counters
+                    .iter()
+                    .map(|&i| r.counters[i] as f64)
+                    .collect()
+            })
+            .collect();
+        let labels = reports.iter().map(|r| r.label.as_target()).collect();
+        Dataset {
+            rows,
+            labels,
+            feature_counters,
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the dataset has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Number of feature columns.
+    pub fn feature_count(&self) -> usize {
+        self.feature_counters.len()
+    }
+
+    /// Number of failure rows.
+    pub fn failure_count(&self) -> usize {
+        self.labels.iter().filter(|&&l| l == 1.0).count()
+    }
+
+    /// Splits into (train, cross-validation, test) with the given row
+    /// counts after a seeded shuffle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `train + cv` exceeds the dataset size; the test set takes
+    /// the remainder.
+    pub fn split(&self, train: usize, cv: usize, seed: u64) -> (Dataset, Dataset, Dataset) {
+        assert!(
+            train + cv <= self.len(),
+            "split sizes exceed dataset ({} + {cv} > {})",
+            train,
+            self.len()
+        );
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        let mut rng = Pcg32::new(seed);
+        // Fisher–Yates shuffle.
+        for i in (1..order.len()).rev() {
+            let j = rng.below((i + 1) as u64) as usize;
+            order.swap(i, j);
+        }
+        let take = |idx: &[usize]| Dataset {
+            rows: idx.iter().map(|&i| self.rows[i].clone()).collect(),
+            labels: idx.iter().map(|&i| self.labels[i]).collect(),
+            feature_counters: self.feature_counters.clone(),
+        };
+        (
+            take(&order[..train]),
+            take(&order[train..train + cv]),
+            take(&order[train + cv..]),
+        )
+    }
+
+    /// Fits a scaler on this dataset and applies it in place; returns the
+    /// scaler so other splits can be transformed consistently.
+    pub fn fit_scale(&mut self) -> FeatureScaler {
+        let scaler = FeatureScaler::fit(&self.rows);
+        scaler.apply(&mut self.rows);
+        scaler
+    }
+
+    /// Applies a previously fitted scaler in place.
+    pub fn scale_with(&mut self, scaler: &FeatureScaler) {
+        scaler.apply(&mut self.rows);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbi_reports::Label;
+
+    fn reports() -> Vec<Report> {
+        vec![
+            Report::new(0, Label::Success, vec![0, 1, 0, 4]),
+            Report::new(1, Label::Failure, vec![0, 0, 0, 9]),
+            Report::new(2, Label::Success, vec![0, 2, 0, 1]),
+            Report::new(3, Label::Failure, vec![0, 3, 0, 0]),
+        ]
+    }
+
+    #[test]
+    fn always_zero_features_dropped() {
+        let d = Dataset::from_reports(&reports());
+        assert_eq!(d.feature_counters, vec![1, 3]);
+        assert_eq!(d.feature_count(), 2);
+        assert_eq!(d.len(), 4);
+        assert_eq!(d.failure_count(), 2);
+        assert_eq!(d.rows[0], vec![1.0, 4.0]);
+    }
+
+    #[test]
+    fn empty_reports_give_empty_dataset() {
+        let d = Dataset::from_reports(&[]);
+        assert!(d.is_empty());
+        assert_eq!(d.feature_count(), 0);
+    }
+
+    #[test]
+    fn split_partitions_rows() {
+        let d = Dataset::from_reports(&reports());
+        let (tr, cv, te) = d.split(2, 1, 42);
+        assert_eq!(tr.len(), 2);
+        assert_eq!(cv.len(), 1);
+        assert_eq!(te.len(), 1);
+        // All rows accounted for.
+        let mut all: Vec<Vec<f64>> = tr.rows.clone();
+        all.extend(cv.rows.clone());
+        all.extend(te.rows.clone());
+        let mut orig = d.rows.clone();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        orig.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        assert_eq!(all, orig);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = Dataset::from_reports(&reports());
+        let (a, _, _) = d.split(2, 1, 7);
+        let (b, _, _) = d.split(2, 1, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed")]
+    fn oversized_split_panics() {
+        let d = Dataset::from_reports(&reports());
+        let _ = d.split(4, 1, 0);
+    }
+
+    #[test]
+    fn scaling_integrates() {
+        let mut d = Dataset::from_reports(&reports());
+        let scaler = d.fit_scale();
+        let mut other = Dataset::from_reports(&reports());
+        other.scale_with(&scaler);
+        assert_eq!(d.rows, other.rows);
+    }
+}

@@ -1,0 +1,208 @@
+//! Predicate elimination strategies for deterministic bugs (§3.2.2).
+//!
+//! Starting from the hypothesis that every predicate "should always be
+//! false during correct execution", each strategy discards predicates the
+//! observed runs disprove:
+//!
+//! * **universal falsehood** — discard counters zero on *all* runs;
+//! * **lack of failing coverage** — discard counter *triples* whose site
+//!   was never even reached in any failed run;
+//! * **lack of failing example** — discard counters zero on all *failed*
+//!   runs;
+//! * **successful counterexample** — discard counters nonzero on *any*
+//!   successful run (assumes the bug is deterministic).
+//!
+//! All four need only the per-class nonzero-run counts retained by
+//! [`SufficientStats`], so they run without access to raw reports.
+
+use cbi_reports::SufficientStats;
+use std::fmt;
+
+/// One of the four elimination strategies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Discard counters zero on all runs.
+    UniversalFalsehood,
+    /// Discard whole sites never observed (any counter) in failed runs.
+    LackOfFailingCoverage,
+    /// Discard counters zero on all failed runs.
+    LackOfFailingExample,
+    /// Discard counters nonzero on any successful run.
+    SuccessfulCounterexample,
+}
+
+impl fmt::Display for Strategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Strategy::UniversalFalsehood => "universal falsehood",
+            Strategy::LackOfFailingCoverage => "lack of failing coverage",
+            Strategy::LackOfFailingExample => "lack of failing example",
+            Strategy::SuccessfulCounterexample => "successful counterexample",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A keep/discard mask over counters: `true` means the counter survives.
+pub type KeepMask = Vec<bool>;
+
+/// Applies a strategy, returning the survivor mask.
+///
+/// `site_groups` gives each site's `(counter_base, arity)`; it is only
+/// consulted by [`Strategy::LackOfFailingCoverage`] (the paper's "triples").
+pub fn apply(
+    stats: &SufficientStats,
+    strategy: Strategy,
+    site_groups: &[(usize, usize)],
+) -> KeepMask {
+    let n = stats.counter_count();
+    match strategy {
+        Strategy::UniversalFalsehood => (0..n).map(|i| stats.ever_observed(i)).collect(),
+        Strategy::LackOfFailingExample => (0..n).map(|i| stats.nonzero_failures(i) > 0).collect(),
+        Strategy::SuccessfulCounterexample => {
+            (0..n).map(|i| stats.nonzero_successes(i) == 0).collect()
+        }
+        Strategy::LackOfFailingCoverage => {
+            let mut mask = vec![false; n];
+            for &(base, arity) in site_groups {
+                let covered = (base..base + arity).any(|i| stats.nonzero_failures(i) > 0);
+                for slot in mask.iter_mut().skip(base).take(arity) {
+                    *slot = covered;
+                }
+            }
+            mask
+        }
+    }
+}
+
+/// Intersects masks: a counter survives only if it survives every mask.
+pub fn combine(masks: &[KeepMask]) -> KeepMask {
+    assert!(!masks.is_empty(), "need at least one mask");
+    let n = masks[0].len();
+    assert!(
+        masks.iter().all(|m| m.len() == n),
+        "mask lengths must agree"
+    );
+    (0..n).map(|i| masks.iter().all(|m| m[i])).collect()
+}
+
+/// Indices of surviving counters.
+pub fn survivors(mask: &KeepMask) -> Vec<usize> {
+    mask.iter()
+        .enumerate()
+        .filter_map(|(i, &keep)| keep.then_some(i))
+        .collect()
+}
+
+/// Number of surviving counters.
+pub fn survivor_count(mask: &KeepMask) -> usize {
+    mask.iter().filter(|&&k| k).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbi_reports::{Label, Report};
+
+    /// Six counters = two triples.  Failure profile:
+    ///   c0: only in failures        (the smoking gun)
+    ///   c1: in both                 (innocuous, common)
+    ///   c2: never observed
+    ///   c3: only in successes
+    ///   c4: never observed          (site 1 untouched by failures after c5)
+    ///   c5: only in failures
+    fn stats() -> SufficientStats {
+        let mut s = SufficientStats::new(6);
+        s.update(&Report::new(0, Label::Success, vec![0, 2, 0, 1, 0, 0]));
+        s.update(&Report::new(1, Label::Success, vec![0, 1, 0, 0, 0, 0]));
+        s.update(&Report::new(2, Label::Failure, vec![3, 1, 0, 0, 0, 1]));
+        s
+    }
+
+    const GROUPS: &[(usize, usize)] = &[(0, 3), (3, 3)];
+
+    #[test]
+    fn universal_falsehood_drops_never_observed() {
+        let mask = apply(&stats(), Strategy::UniversalFalsehood, GROUPS);
+        assert_eq!(mask, vec![true, true, false, true, false, true]);
+    }
+
+    #[test]
+    fn lack_of_failing_example_keeps_failure_observed() {
+        let mask = apply(&stats(), Strategy::LackOfFailingExample, GROUPS);
+        assert_eq!(mask, vec![true, true, false, false, false, true]);
+    }
+
+    #[test]
+    fn successful_counterexample_keeps_never_in_success() {
+        let mask = apply(&stats(), Strategy::SuccessfulCounterexample, GROUPS);
+        assert_eq!(mask, vec![true, false, true, false, true, true]);
+    }
+
+    #[test]
+    fn coverage_works_on_whole_sites() {
+        // Site 0 (c0-c2) reached in the failure; site 1 (c3-c5) also
+        // reached (c5 nonzero) — both survive wholesale.
+        let mask = apply(&stats(), Strategy::LackOfFailingCoverage, GROUPS);
+        assert_eq!(mask, vec![true; 6]);
+
+        // Remove c5's failure observation: site 1 becomes uncovered.
+        let mut s = SufficientStats::new(6);
+        s.update(&Report::new(0, Label::Failure, vec![1, 0, 0, 0, 0, 0]));
+        let mask = apply(&s, Strategy::LackOfFailingCoverage, GROUPS);
+        assert_eq!(mask, vec![true, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn combination_isolates_smoking_gun() {
+        // universal falsehood ∧ successful counterexample = "sometimes true
+        // in failures, never in successes" — the paper's winning combination.
+        let s = stats();
+        let uf = apply(&s, Strategy::UniversalFalsehood, GROUPS);
+        let sc = apply(&s, Strategy::SuccessfulCounterexample, GROUPS);
+        let both = combine(&[uf, sc]);
+        assert_eq!(survivors(&both), vec![0, 5]);
+        assert_eq!(survivor_count(&both), 2);
+    }
+
+    #[test]
+    fn subset_relations_hold() {
+        // (universal falsehood) and (lack of failing coverage) each
+        // eliminate a subset of what (lack of failing example) eliminates —
+        // i.e. their survivor sets are supersets of its survivors.
+        let s = stats();
+        let uf = apply(&s, Strategy::UniversalFalsehood, GROUPS);
+        let cov = apply(&s, Strategy::LackOfFailingCoverage, GROUPS);
+        let ex = apply(&s, Strategy::LackOfFailingExample, GROUPS);
+        for i in 0..6 {
+            assert!(!ex[i] || uf[i], "counter {i}: ex ⊆ uf violated");
+            assert!(!ex[i] || cov[i], "counter {i}: ex ⊆ cov violated");
+        }
+    }
+
+    #[test]
+    fn nondeterministic_bug_defeats_successful_counterexample() {
+        // §3.3: "if we have enough runs no predicates will satisfy
+        // elimination by successful counterexample" — a predicate true in
+        // both classes is discarded.
+        let mut s = SufficientStats::new(1);
+        s.update(&Report::new(0, Label::Failure, vec![5]));
+        s.update(&Report::new(1, Label::Success, vec![2])); // got lucky
+        let mask = apply(&s, Strategy::SuccessfulCounterexample, &[(0, 1)]);
+        assert_eq!(survivor_count(&mask), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one mask")]
+    fn combine_rejects_empty() {
+        let _ = combine(&[]);
+    }
+
+    #[test]
+    fn strategy_display() {
+        assert_eq!(
+            Strategy::SuccessfulCounterexample.to_string(),
+            "successful counterexample"
+        );
+    }
+}

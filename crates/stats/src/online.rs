@@ -1,0 +1,216 @@
+//! Online (streaming) training — the §5 privacy argument for regression.
+//!
+//! "Once the logistic regression parameters have been updated with a new
+//! trace, the trace itself may be discarded.  If the analysis host is
+//! compromised, an attacker cannot recover the precise details of any
+//! single past trace."
+//!
+//! [`OnlineTrainer`] consumes one report at a time: it updates the model
+//! parameters (and the running feature-scaling statistics) and retains
+//! nothing else.  Feature scaling uses running min/max and variance
+//! estimates rather than the batch statistics of
+//! [`crate::scaling::FeatureScaler`], so early updates see slightly
+//! different scales than late ones — the price of never storing traces.
+
+use crate::logistic::{sigmoid, LogisticModel};
+
+/// Streaming trainer for the crash-prediction model.
+#[derive(Debug, Clone)]
+pub struct OnlineTrainer {
+    weights: Vec<f64>,
+    bias: f64,
+    learning_rate: f64,
+    lambda: f64,
+    seen: u64,
+    // Running scaling state.
+    mins: Vec<f64>,
+    maxs: Vec<f64>,
+    sums: Vec<f64>,
+    sq_sums: Vec<f64>,
+    // Cumulative-penalty bookkeeping.
+    u: f64,
+    q: Vec<f64>,
+}
+
+impl OnlineTrainer {
+    /// Creates a trainer for reports with `features` counters.
+    pub fn new(features: usize, learning_rate: f64, lambda: f64) -> Self {
+        OnlineTrainer {
+            weights: vec![0.0; features],
+            bias: 0.0,
+            learning_rate,
+            lambda,
+            seen: 0,
+            mins: vec![f64::INFINITY; features],
+            maxs: vec![f64::NEG_INFINITY; features],
+            sums: vec![0.0; features],
+            sq_sums: vec![0.0; features],
+            u: 0.0,
+            q: vec![0.0; features],
+        }
+    }
+
+    /// Number of reports folded in so far.
+    pub fn seen(&self) -> u64 {
+        self.seen
+    }
+
+    /// Number of features.
+    pub fn feature_count(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Folds in one run: raw counter values plus the failure flag.  The
+    /// caller may discard the counters immediately afterwards.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `counters` has the wrong length.
+    pub fn update(&mut self, counters: &[u64], failed: bool) {
+        assert_eq!(
+            counters.len(),
+            self.feature_count(),
+            "feature count mismatch"
+        );
+        self.seen += 1;
+        let n = self.seen as f64;
+
+        // Update running scale statistics, then scale this row with them.
+        let mut row = vec![0.0; counters.len()];
+        for (j, &c) in counters.iter().enumerate() {
+            let v = c as f64;
+            self.mins[j] = self.mins[j].min(v);
+            self.maxs[j] = self.maxs[j].max(v);
+            let range = (self.maxs[j] - self.mins[j]).max(1.0);
+            let unit = (v - self.mins[j]) / range;
+            self.sums[j] += unit;
+            self.sq_sums[j] += unit * unit;
+            let mean = self.sums[j] / n;
+            let var = (self.sq_sums[j] / n - mean * mean).max(0.0);
+            let sd = if var.sqrt() > 1e-12 { var.sqrt() } else { 1.0 };
+            row[j] = unit / sd;
+        }
+
+        let y = if failed { 1.0 } else { 0.0 };
+        let z = self.bias + dot(&self.weights, &row);
+        let err = y - sigmoid(z);
+        self.bias += self.learning_rate * err;
+        self.u += self.learning_rate * self.lambda;
+        for ((w, &x), q) in self
+            .weights
+            .iter_mut()
+            .zip(&row)
+            .zip(self.q.iter_mut())
+        {
+            if x != 0.0 {
+                *w += self.learning_rate * err * x;
+            }
+            let before = *w;
+            if before > 0.0 {
+                *w = (before - (self.u + *q)).max(0.0);
+            } else if before < 0.0 {
+                *w = (before + (self.u - *q)).min(0.0);
+            }
+            *q += *w - before;
+        }
+    }
+
+    /// A snapshot of the current model.
+    pub fn model(&self) -> LogisticModel {
+        LogisticModel {
+            bias: self.bias,
+            weights: self.weights.clone(),
+        }
+    }
+}
+
+fn dot(w: &[f64], x: &[f64]) -> f64 {
+    w.iter().zip(x).map(|(a, b)| a * b).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbi_sampler::Pcg32;
+
+    /// Stream of runs where feature 1 predicts failure.
+    fn stream(n: usize, seed: u64) -> Vec<(Vec<u64>, bool)> {
+        let mut rng = Pcg32::new(seed);
+        (0..n)
+            .map(|_| {
+                let crash = rng.next_f64() < 0.3;
+                let counters: Vec<u64> = (0..5)
+                    .map(|j| {
+                        if j == 1 && crash {
+                            6 + rng.below(6)
+                        } else {
+                            rng.below(3)
+                        }
+                    })
+                    .collect();
+                (counters, crash)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn online_training_finds_the_signal() {
+        let mut t = OnlineTrainer::new(5, 0.05, 0.02);
+        // Stream three epochs' worth of fresh runs, discarding each.
+        for seed in 0..3 {
+            for (counters, failed) in stream(2000, seed) {
+                t.update(&counters, failed);
+            }
+        }
+        let model = t.model();
+        assert_eq!(model.ranked_features()[0], 1, "weights: {:?}", model.weights);
+        assert!(model.weights[1] > 0.0);
+        assert_eq!(t.seen(), 6000);
+    }
+
+    #[test]
+    fn online_model_predicts_held_out_runs() {
+        let mut t = OnlineTrainer::new(5, 0.05, 0.02);
+        for (counters, failed) in stream(4000, 9) {
+            t.update(&counters, failed);
+        }
+        let model = t.model();
+        // Score on a fresh stream, scaling roughly like the trainer does.
+        let mut correct = 0;
+        let test = stream(1000, 99);
+        for (counters, failed) in &test {
+            let row: Vec<f64> = counters.iter().map(|&c| c as f64 / 4.0).collect();
+            if model.classify(&row) == *failed {
+                correct += 1;
+            }
+        }
+        let acc = correct as f64 / test.len() as f64;
+        assert!(acc > 0.8, "online accuracy {acc}");
+    }
+
+    #[test]
+    fn trainer_retains_no_traces() {
+        // The trainer's entire state is parameter vectors of fixed size —
+        // independent of how many runs were folded in.
+        let mut t = OnlineTrainer::new(5, 0.05, 0.02);
+        let before = std::mem::size_of_val(&t)
+            + t.weights.capacity() * 8
+            + t.q.capacity() * 8
+            + t.mins.capacity() * 8 * 4;
+        for (counters, failed) in stream(500, 3) {
+            t.update(&counters, failed);
+        }
+        let after = std::mem::size_of_val(&t)
+            + t.weights.capacity() * 8
+            + t.q.capacity() * 8
+            + t.mins.capacity() * 8 * 4;
+        assert_eq!(before, after, "state must not grow with the stream");
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn wrong_width_panics() {
+        let mut t = OnlineTrainer::new(3, 0.1, 0.1);
+        t.update(&[1, 2], false);
+    }
+}

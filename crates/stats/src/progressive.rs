@@ -1,0 +1,234 @@
+//! Progressive elimination over time (§3.2.4, Figure 2).
+//!
+//! How fast does elimination by *successful counterexample* shrink the
+//! candidate predicate set as successful runs accumulate?  The paper draws
+//! random subsets of successful runs in steps of fifty, repeats the whole
+//! process one hundred times, and plots mean ± one standard deviation of
+//! the surviving predicate count.
+
+use cbi_reports::{Label, Report};
+use cbi_sampler::Pcg32;
+
+/// One point on the Figure 2 curve.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProgressivePoint {
+    /// Number of successful trials used.
+    pub runs: usize,
+    /// Mean surviving-predicate count over the repetitions.
+    pub mean: f64,
+    /// Standard deviation of the surviving-predicate count.
+    pub std_dev: f64,
+}
+
+/// Configuration for the progressive-elimination experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgressiveConfig {
+    /// Subset size increment (the paper uses 50).
+    pub step: usize,
+    /// Repetitions per subset size (the paper uses 100).
+    pub repetitions: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ProgressiveConfig {
+    fn default() -> Self {
+        ProgressiveConfig {
+            step: 50,
+            repetitions: 100,
+            seed: 2003,
+        }
+    }
+}
+
+/// Runs the Figure 2 experiment.
+///
+/// `candidates` is the starting predicate set (the paper starts from the
+/// counters surviving *universal falsehood*: "the 141 candidate predicates
+/// that are ever nonzero on any run").  Reports with non-success labels are
+/// ignored.
+pub fn progressive_elimination(
+    reports: &[Report],
+    candidates: &[usize],
+    config: &ProgressiveConfig,
+) -> Vec<ProgressivePoint> {
+    let successes: Vec<&Report> = reports
+        .iter()
+        .filter(|r| r.label == Label::Success)
+        .collect();
+    let mut rng = Pcg32::new(config.seed);
+    let mut points = Vec::new();
+
+    let mut size = config.step;
+    while size <= successes.len() {
+        let mut counts = Vec::with_capacity(config.repetitions);
+        for _ in 0..config.repetitions {
+            let subset = sample_indices(&mut rng, successes.len(), size);
+            let surviving = candidates
+                .iter()
+                .filter(|&&c| subset.iter().all(|&ri| !successes[ri].observed(c)))
+                .count();
+            counts.push(surviving as f64);
+        }
+        points.push(point(size, &counts));
+        // Also emit a final point at the full suite size if the next step
+        // would skip past it.
+        if size + config.step > successes.len() && size != successes.len() {
+            let all: Vec<usize> = (0..successes.len()).collect();
+            let surviving = candidates
+                .iter()
+                .filter(|&&c| all.iter().all(|&ri| !successes[ri].observed(c)))
+                .count();
+            points.push(ProgressivePoint {
+                runs: successes.len(),
+                mean: surviving as f64,
+                std_dev: 0.0,
+            });
+        }
+        size += config.step;
+    }
+    points
+}
+
+fn point(runs: usize, counts: &[f64]) -> ProgressivePoint {
+    let n = counts.len() as f64;
+    let mean = counts.iter().sum::<f64>() / n;
+    let var = counts.iter().map(|c| (c - mean).powi(2)).sum::<f64>() / n;
+    ProgressivePoint {
+        runs,
+        mean,
+        std_dev: var.sqrt(),
+    }
+}
+
+/// Samples `k` distinct indices from `0..n` (partial Fisher–Yates).
+fn sample_indices(rng: &mut Pcg32, n: usize, k: usize) -> Vec<usize> {
+    debug_assert!(k <= n);
+    let mut idx: Vec<usize> = (0..n).collect();
+    for i in 0..k {
+        let j = i + rng.below((n - i) as u64) as usize;
+        idx.swap(i, j);
+    }
+    idx.truncate(k);
+    idx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbi_sampler::Pcg32;
+
+    /// Synthetic suite: 300 successful runs over 10 candidate counters.
+    /// Counter `c` is observed true in a successful run with probability
+    /// c/10, so higher-indexed counters are eliminated faster.
+    fn synthetic_reports(n: usize) -> Vec<Report> {
+        let mut rng = Pcg32::new(7);
+        (0..n)
+            .map(|i| {
+                let counters = (0..10)
+                    .map(|c| u64::from(rng.next_f64() < c as f64 / 10.0))
+                    .collect();
+                Report::new(i as u64, Label::Success, counters)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn curve_is_monotonically_nonincreasing_in_mean() {
+        let reports = synthetic_reports(300);
+        let candidates: Vec<usize> = (0..10).collect();
+        let config = ProgressiveConfig {
+            step: 50,
+            repetitions: 40,
+            seed: 1,
+        };
+        let points = progressive_elimination(&reports, &candidates, &config);
+        assert!(points.len() >= 6);
+        for w in points.windows(2) {
+            assert!(
+                w[1].mean <= w[0].mean + 1e-9,
+                "means must not increase: {points:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn never_eliminated_counter_survives() {
+        // Counter 0 is never observed true, so it always survives.
+        let reports = synthetic_reports(200);
+        let points = progressive_elimination(
+            &reports,
+            &[0],
+            &ProgressiveConfig {
+                step: 100,
+                repetitions: 10,
+                seed: 3,
+            },
+        );
+        for p in &points {
+            assert_eq!(p.mean, 1.0);
+            assert_eq!(p.std_dev, 0.0);
+        }
+    }
+
+    #[test]
+    fn frequently_observed_counter_dies_quickly() {
+        let reports = synthetic_reports(200);
+        // Counter 9 is true in ~90% of runs: after 50 runs survival is
+        // essentially impossible.
+        let points = progressive_elimination(
+            &reports,
+            &[9],
+            &ProgressiveConfig {
+                step: 50,
+                repetitions: 20,
+                seed: 5,
+            },
+        );
+        assert!(points[0].mean < 0.05, "{points:?}");
+    }
+
+    #[test]
+    fn failure_reports_are_ignored() {
+        let mut reports = synthetic_reports(100);
+        // A failure run observing candidate 0 must not eliminate it.
+        reports.push(Report::new(999, Label::Failure, vec![1; 10]));
+        let points = progressive_elimination(
+            &reports,
+            &[0],
+            &ProgressiveConfig {
+                step: 100,
+                repetitions: 5,
+                seed: 8,
+            },
+        );
+        assert_eq!(points[0].mean, 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let reports = synthetic_reports(150);
+        let candidates: Vec<usize> = (0..10).collect();
+        let cfg = ProgressiveConfig {
+            step: 50,
+            repetitions: 15,
+            seed: 11,
+        };
+        let a = progressive_elimination(&reports, &candidates, &cfg);
+        let b = progressive_elimination(&reports, &candidates, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn final_point_covers_full_suite() {
+        let reports = synthetic_reports(130);
+        let candidates: Vec<usize> = (0..10).collect();
+        let cfg = ProgressiveConfig {
+            step: 50,
+            repetitions: 5,
+            seed: 2,
+        };
+        let points = progressive_elimination(&reports, &candidates, &cfg);
+        assert_eq!(points.last().unwrap().runs, 130);
+    }
+}

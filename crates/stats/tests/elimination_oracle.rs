@@ -1,0 +1,116 @@
+//! Differential testing of the elimination strategies against a
+//! brute-force oracle that works directly on raw reports.
+
+use cbi_reports::{Label, Report, SufficientStats};
+use cbi_stats::elimination::{apply, combine, survivors, Strategy as Elim};
+use proptest::prelude::*;
+
+/// Random report sets: `sites` triples (3 counters each), sparse counts.
+fn arb_reports() -> impl Strategy<Value = (Vec<Report>, Vec<(usize, usize)>)> {
+    (1usize..6, 1usize..40).prop_flat_map(|(sites, runs)| {
+        let counters = sites * 3;
+        let report = (
+            any::<bool>(),
+            prop::collection::vec(0u64..3, counters),
+        );
+        prop::collection::vec(report, runs).prop_map(move |rows| {
+            let reports = rows
+                .into_iter()
+                .enumerate()
+                .map(|(i, (failed, counters))| {
+                    Report::new(
+                        i as u64,
+                        if failed { Label::Failure } else { Label::Success },
+                        counters,
+                    )
+                })
+                .collect();
+            let groups = (0..sites).map(|s| (s * 3, 3)).collect();
+            (reports, groups)
+        })
+    })
+}
+
+fn oracle(reports: &[Report], groups: &[(usize, usize)], strategy: Elim) -> Vec<usize> {
+    let n = reports.first().map_or(0, Report::len);
+    let keep = |c: usize| -> bool {
+        match strategy {
+            Elim::UniversalFalsehood => reports.iter().any(|r| r.observed(c)),
+            Elim::LackOfFailingExample => reports
+                .iter()
+                .filter(|r| r.label == Label::Failure)
+                .any(|r| r.observed(c)),
+            Elim::SuccessfulCounterexample => !reports
+                .iter()
+                .filter(|r| r.label == Label::Success)
+                .any(|r| r.observed(c)),
+            Elim::LackOfFailingCoverage => {
+                let (base, arity) = *groups
+                    .iter()
+                    .find(|(b, a)| c >= *b && c < b + a)
+                    .expect("counter belongs to a group");
+                (base..base + arity).any(|cc| {
+                    reports
+                        .iter()
+                        .filter(|r| r.label == Label::Failure)
+                        .any(|r| r.observed(cc))
+                })
+            }
+        }
+    };
+    (0..n).filter(|&c| keep(c)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn strategies_match_brute_force((reports, groups) in arb_reports()) {
+        let stats: SufficientStats = reports.iter().cloned().collect();
+        for strategy in [
+            Elim::UniversalFalsehood,
+            Elim::LackOfFailingCoverage,
+            Elim::LackOfFailingExample,
+            Elim::SuccessfulCounterexample,
+        ] {
+            let fast = survivors(&apply(&stats, strategy, &groups));
+            let slow = oracle(&reports, &groups, strategy);
+            prop_assert_eq!(&fast, &slow, "strategy {}", strategy);
+        }
+    }
+
+    #[test]
+    fn combination_is_set_intersection((reports, groups) in arb_reports()) {
+        let stats: SufficientStats = reports.iter().cloned().collect();
+        let uf = apply(&stats, Elim::UniversalFalsehood, &groups);
+        let sc = apply(&stats, Elim::SuccessfulCounterexample, &groups);
+        let both = survivors(&combine(&[uf.clone(), sc.clone()]));
+        let uf_set = survivors(&uf);
+        let sc_set = survivors(&sc);
+        for c in &both {
+            prop_assert!(uf_set.contains(c) && sc_set.contains(c));
+        }
+        for c in &uf_set {
+            if sc_set.contains(c) {
+                prop_assert!(both.contains(c));
+            }
+        }
+    }
+
+    /// §3.2.2 subset relations hold on arbitrary data: anything discarded
+    /// by universal falsehood or lack-of-failing-coverage is also
+    /// discarded by lack-of-failing-example.
+    #[test]
+    fn subset_relations_universal((reports, groups) in arb_reports()) {
+        let stats: SufficientStats = reports.iter().cloned().collect();
+        let uf = apply(&stats, Elim::UniversalFalsehood, &groups);
+        let cov = apply(&stats, Elim::LackOfFailingCoverage, &groups);
+        let ex = apply(&stats, Elim::LackOfFailingExample, &groups);
+        for c in 0..uf.len() {
+            if ex[c] {
+                prop_assert!(uf[c], "counter {c}: ex ⊆ uf");
+                prop_assert!(cov[c], "counter {c}: ex ⊆ cov");
+            }
+        }
+    }
+}

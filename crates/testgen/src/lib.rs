@@ -1,0 +1,333 @@
+//! Proptest strategies that generate random, *well-formed, crash-free,
+//! terminating* MiniC programs, for differential testing:
+//!
+//! * `parse(pretty(p))` must be structurally identical to `p`;
+//! * the VM must produce identical output for a program and its
+//!   pretty-printed/re-parsed form;
+//! * instrumented and sampling-transformed builds must produce the same
+//!   output as the baseline.
+//!
+//! Generated programs use a fixed set of int variables (`v0..v3`), a
+//! fixed pointer variable `buf` over an 8-cell block with all indices
+//! reduced modulo 8, division only by nonzero constants, and loops in the
+//! shape `i = 0; while (i < K) { …; i = i + 1; }` with `K <= 8` — so every
+//! generated program terminates successfully by construction.
+
+#![forbid(unsafe_code)]
+
+use cbi_minic::ast::*;
+use cbi_minic::Span;
+use proptest::prelude::*;
+
+const INT_VARS: [&str; 4] = ["v0", "v1", "v2", "v3"];
+const BUF_LEN: i64 = 8;
+
+fn sp() -> Span {
+    Span::new(1, 1)
+}
+
+/// A strategy for arithmetic expressions over the fixed int variables.
+///
+/// Division and modulus only ever use nonzero constant divisors, so
+/// generated expressions cannot trap.
+pub fn arb_int_expr() -> impl Strategy<Value = Expr> {
+    let leaf = prop_oneof![
+        (-50i64..50).prop_map(|v| Expr::Int { value: v, span: sp() }),
+        (0usize..INT_VARS.len()).prop_map(|i| Expr::Var {
+            name: INT_VARS[i].to_string(),
+            span: sp(),
+        }),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone(), arb_arith_op()).prop_map(|(l, r, op)| {
+                Expr::Binary {
+                    op,
+                    lhs: Box::new(l),
+                    rhs: Box::new(r),
+                    span: sp(),
+                }
+            }),
+            (inner.clone(), 1i64..9).prop_map(|(l, d)| Expr::Binary {
+                op: BinOp::Div,
+                lhs: Box::new(l),
+                rhs: Box::new(Expr::Int { value: d, span: sp() }),
+                span: sp(),
+            }),
+            (inner.clone(), 1i64..9).prop_map(|(l, d)| Expr::Binary {
+                op: BinOp::Mod,
+                lhs: Box::new(l),
+                rhs: Box::new(Expr::Int { value: d, span: sp() }),
+                span: sp(),
+            }),
+            inner.clone().prop_map(|e| Expr::Unary {
+                op: UnOp::Neg,
+                expr: Box::new(e),
+                span: sp(),
+            }),
+            // A bounded heap read: buf[(e % 8 + 8) % 8].
+            inner.prop_map(|e| Expr::Load {
+                ptr: Box::new(Expr::var("buf")),
+                index: Box::new(bounded_index(e)),
+                span: sp(),
+            }),
+        ]
+    })
+}
+
+fn arb_arith_op() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+    ]
+}
+
+fn arb_cmp_op() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Eq),
+        Just(BinOp::Ne),
+        Just(BinOp::Lt),
+        Just(BinOp::Le),
+        Just(BinOp::Gt),
+        Just(BinOp::Ge),
+    ]
+}
+
+/// `(e % 8 + 8) % 8` — always a valid index into the 8-cell buffer.
+fn bounded_index(e: Expr) -> Expr {
+    let m = Expr::binary(BinOp::Mod, e, Expr::int(BUF_LEN));
+    let plus = Expr::binary(BinOp::Add, m, Expr::int(BUF_LEN));
+    Expr::binary(BinOp::Mod, plus, Expr::int(BUF_LEN))
+}
+
+/// A strategy for boolean conditions (comparisons and their combinations).
+pub fn arb_cond() -> impl Strategy<Value = Expr> {
+    let cmp = (arb_int_expr(), arb_int_expr(), arb_cmp_op()).prop_map(|(l, r, op)| {
+        Expr::Binary {
+            op,
+            lhs: Box::new(l),
+            rhs: Box::new(r),
+            span: sp(),
+        }
+    });
+    cmp.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Binary {
+                op: BinOp::And,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+                span: sp(),
+            }),
+            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Binary {
+                op: BinOp::Or,
+                lhs: Box::new(l),
+                rhs: Box::new(r),
+                span: sp(),
+            }),
+            inner.prop_map(|e| Expr::Unary {
+                op: UnOp::Not,
+                expr: Box::new(e),
+                span: sp(),
+            }),
+        ]
+    })
+}
+
+/// A strategy for statements (assignments, stores, checks, prints, ifs,
+/// bounded loops).
+pub fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let simple = prop_oneof![
+        ((0usize..INT_VARS.len()), arb_int_expr()).prop_map(|(i, e)| Stmt::Assign {
+            name: INT_VARS[i].to_string(),
+            value: e,
+            span: sp(),
+        }),
+        (arb_int_expr(), arb_int_expr()).prop_map(|(idx, val)| Stmt::Store {
+            target: "buf".to_string(),
+            index: bounded_index(idx),
+            value: val,
+            span: sp(),
+        }),
+        arb_int_expr().prop_map(|e| Stmt::Expr {
+            expr: Expr::call("print", vec![e]),
+            span: sp(),
+        }),
+        // check(cond || 1) — a user assertion that can never fail, so
+        // instrumented builds stay crash-free.
+        arb_cond().prop_map(|c| Stmt::Check {
+            cond: Expr::binary(BinOp::Or, c, Expr::int(1)),
+            span: sp(),
+        }),
+    ];
+    simple.prop_recursive(2, 16, 4, |inner| {
+        let block = prop::collection::vec(inner.clone(), 1..4).prop_map(Block::new);
+        prop_oneof![
+            (arb_cond(), block.clone(), prop::option::of(block.clone())).prop_map(
+                |(c, t, e)| Stmt::If {
+                    cond: c,
+                    then_block: t,
+                    else_block: e,
+                    span: sp(),
+                }
+            ),
+            // Bounded loop over a dedicated counter variable name chosen
+            // outside the assignable int vars, so the body cannot clobber
+            // the counter and loops always terminate.
+            (1i64..6, block).prop_map(|(k, body)| bounded_loop(k, body)),
+        ]
+    })
+}
+
+/// Counter for bounded loops.  Generated loop bodies never assign to it
+/// (it is not in `INT_VARS`), so termination is structural.
+static LOOP_COUNTERS: [&str; 3] = ["lc0", "lc1", "lc2"];
+
+fn bounded_loop(k: i64, body: Block) -> Stmt {
+    // Nested loops reuse distinct counters by depth; proptest recursion
+    // depth is <= 2, so three counters suffice.  Reassignment of the same
+    // counter at the same depth is harmless: the loop resets it to zero.
+    let depth = loop_depth(&body).min(LOOP_COUNTERS.len() - 1);
+    let counter = LOOP_COUNTERS[depth];
+    let mut stmts = vec![Stmt::Assign {
+        name: counter.to_string(),
+        value: Expr::int(0),
+        span: sp(),
+    }];
+    let mut inner = body.stmts;
+    inner.push(Stmt::Assign {
+        name: counter.to_string(),
+        value: Expr::binary(BinOp::Add, Expr::var(counter), Expr::int(1)),
+        span: sp(),
+    });
+    stmts.push(Stmt::While {
+        cond: Expr::binary(BinOp::Lt, Expr::var(counter), Expr::int(k)),
+        body: Block::new(inner),
+        span: sp(),
+    });
+    Stmt::If {
+        cond: Expr::int(1),
+        then_block: Block::new(stmts),
+        else_block: None,
+        span: sp(),
+    }
+}
+
+fn loop_depth(b: &Block) -> usize {
+    b.stmts
+        .iter()
+        .map(|s| match s {
+            Stmt::While { body, .. } => 1 + loop_depth(body),
+            Stmt::If {
+                then_block,
+                else_block,
+                ..
+            } => loop_depth(then_block).max(else_block.as_ref().map_or(0, loop_depth)),
+            _ => 0,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// A strategy for whole programs: `main` declares the fixed variables, an
+/// 8-cell buffer, runs 2–8 generated statements, prints a digest of all
+/// state, and exits 0.
+pub fn arb_program() -> impl Strategy<Value = Program> {
+    prop::collection::vec(arb_stmt(), 2..8).prop_map(|stmts| {
+        let mut body = Vec::new();
+        for c in LOOP_COUNTERS {
+            body.push(Stmt::Decl {
+                ty: Type::Int,
+                name: c.to_string(),
+                init: None,
+                span: sp(),
+            });
+        }
+        for (i, v) in INT_VARS.iter().enumerate() {
+            body.push(Stmt::Decl {
+                ty: Type::Int,
+                name: (*v).to_string(),
+                init: Some(Expr::int(i as i64 + 1)),
+                span: sp(),
+            });
+        }
+        body.push(Stmt::Decl {
+            ty: Type::Ptr,
+            name: "buf".to_string(),
+            init: Some(Expr::call("alloc", vec![Expr::int(BUF_LEN)])),
+            span: sp(),
+        });
+        body.extend(stmts);
+        // Digest: print all variables and the buffer contents.
+        for v in INT_VARS {
+            body.push(Stmt::Expr {
+                expr: Expr::call("print", vec![Expr::var(v)]),
+                span: sp(),
+            });
+        }
+        let mut digest_loop = bounded_loop(
+            BUF_LEN,
+            Block::new(vec![Stmt::Expr {
+                expr: Expr::call(
+                    "print",
+                    vec![Expr::Load {
+                        ptr: Box::new(Expr::var("buf")),
+                        index: Box::new(Expr::var(LOOP_COUNTERS[0])),
+                        span: sp(),
+                    }],
+                ),
+                span: sp(),
+            }]),
+        );
+        // The digest loop iterates exactly BUF_LEN times over valid
+        // indices by construction.
+        if let Stmt::If { then_block, .. } = &mut digest_loop {
+            let _ = then_block;
+        }
+        body.push(digest_loop);
+        body.push(Stmt::Expr {
+            expr: Expr::call("free", vec![Expr::var("buf")]),
+            span: sp(),
+        });
+        body.push(Stmt::Return {
+            value: Some(Expr::int(0)),
+            span: sp(),
+        });
+        Program {
+            globals: vec![],
+            functions: vec![Function {
+                name: "main".to_string(),
+                params: vec![],
+                ret: Some(Type::Int),
+                body: Block::new(body),
+                span: sp(),
+            }],
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbi_minic::{parse, pretty, resolve};
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn generated_programs_resolve(p in arb_program()) {
+            resolve(&p).expect("generated program must resolve");
+        }
+
+        #[test]
+        fn generated_programs_round_trip(p in arb_program()) {
+            // One parse normalizes generator-built ASTs (the parser folds
+            // `-literal` into negative literals); from then on
+            // pretty∘parse must be a fixed point.
+            let p1 = parse(&pretty(&p)).expect("pretty output must parse");
+            let s1 = pretty(&p1);
+            let p2 = parse(&s1).expect("normalized output must parse");
+            prop_assert_eq!(s1, pretty(&p2));
+        }
+    }
+}

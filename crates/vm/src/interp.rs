@@ -1,0 +1,990 @@
+//! The MiniC interpreter.
+//!
+//! A deterministic tree-walking evaluator with:
+//!
+//! * function-level flat frames (sound because the resolver forbids
+//!   shadowing; required because the sampling transformation clones
+//!   declarations into both arms of threshold checks);
+//! * the corruptible [`crate::heap::Heap`];
+//! * scripted integer input (`read`/`has_input`) and an output log;
+//! * the sampling runtime: observation builtins update the report counter
+//!   vector, `__next_cd()` refills from a [`CountdownSource`], and the
+//!   `__gcd` global is seeded at startup;
+//! * op-cost accounting per [`CostModel`] for the overhead experiments.
+
+use crate::cost::CostModel;
+use crate::heap::{Heap, DEFAULT_SLACK};
+use crate::outcome::{CrashKind, RunOutcome};
+use crate::value::{PtrVal, Value};
+use cbi_instrument::SiteTable;
+use cbi_minic::ast::*;
+use cbi_minic::builtins::GLOBAL_COUNTDOWN;
+use cbi_minic::Builtin;
+use cbi_sampler::CountdownSource;
+use std::cmp::Ordering;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Default operation budget per run.
+pub const DEFAULT_OP_LIMIT: u64 = 50_000_000;
+
+/// Default call-depth limit.
+pub const DEFAULT_MAX_DEPTH: usize = 256;
+
+/// A configuration error detected before execution starts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VmError {
+    message: String,
+}
+
+impl VmError {
+    fn new(message: impl Into<String>) -> Self {
+        VmError {
+            message: message.into(),
+        }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for VmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "vm configuration error: {}", self.message)
+    }
+}
+
+impl Error for VmError {}
+
+/// The result of one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunResult {
+    /// How the run ended.
+    pub outcome: RunOutcome,
+    /// Total abstract operation units consumed — the run's "time".
+    pub ops: u64,
+    /// The counter vector (report payload), laid out per the site table.
+    pub counters: Vec<u64>,
+    /// Values printed by the program.
+    pub output: Vec<i64>,
+    /// The last observations in execution order (newest last), when trace
+    /// capture was enabled with [`Vm::with_trace`]: `(counter index,
+    /// observed-true flag)` per executed observation.  Empty otherwise.
+    ///
+    /// This is the "partial traces (with ordering information)" the paper
+    /// leaves to future work in §2.5, bounded so client-side memory stays
+    /// constant.
+    pub trace: Vec<(usize, bool)>,
+}
+
+/// A configured MiniC virtual machine (non-consuming builder).
+///
+/// # Example
+///
+/// ```
+/// use cbi_vm::Vm;
+///
+/// let program = cbi_minic::parse(
+///     "fn main() -> int { print(40 + 2); return 0; }",
+/// )?;
+/// let result = Vm::new(&program).run()?;
+/// assert!(result.outcome.is_success());
+/// assert_eq!(result.output, vec![42]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Vm<'a> {
+    program: &'a Program,
+    sites: Option<&'a SiteTable>,
+    sampling: Option<Box<dyn CountdownSource>>,
+    input: Vec<i64>,
+    op_limit: u64,
+    max_depth: usize,
+    costs: CostModel,
+    heap_slack: usize,
+    trace_limit: usize,
+}
+
+impl fmt::Debug for Vm<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Vm")
+            .field("functions", &self.program.functions.len())
+            .field("has_sites", &self.sites.is_some())
+            .field("has_sampling", &self.sampling.is_some())
+            .field("input_len", &self.input.len())
+            .field("op_limit", &self.op_limit)
+            .finish()
+    }
+}
+
+impl<'a> Vm<'a> {
+    /// Creates a VM for a program with default settings.
+    pub fn new(program: &'a Program) -> Self {
+        Vm {
+            program,
+            sites: None,
+            sampling: None,
+            input: Vec::new(),
+            op_limit: DEFAULT_OP_LIMIT,
+            max_depth: DEFAULT_MAX_DEPTH,
+            costs: CostModel::default(),
+            heap_slack: DEFAULT_SLACK,
+            trace_limit: 0,
+        }
+    }
+
+    /// Attaches the site table defining the counter layout; required when
+    /// the program contains observation builtins.
+    pub fn with_sites(&mut self, sites: &'a SiteTable) -> &mut Self {
+        self.sites = Some(sites);
+        self
+    }
+
+    /// Attaches the countdown source used by `__next_cd()` and the initial
+    /// `__gcd` seed; required for sampled programs.
+    pub fn with_sampling(&mut self, source: Box<dyn CountdownSource>) -> &mut Self {
+        self.sampling = Some(source);
+        self
+    }
+
+    /// Sets the scripted input consumed by `read()`.
+    pub fn with_input(&mut self, input: Vec<i64>) -> &mut Self {
+        self.input = input;
+        self
+    }
+
+    /// Sets the operation budget (default [`DEFAULT_OP_LIMIT`]).
+    pub fn with_op_limit(&mut self, limit: u64) -> &mut Self {
+        self.op_limit = limit;
+        self
+    }
+
+    /// Sets the call-depth limit (default [`DEFAULT_MAX_DEPTH`]).
+    pub fn with_max_depth(&mut self, depth: usize) -> &mut Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Sets the cost model.
+    pub fn with_costs(&mut self, costs: CostModel) -> &mut Self {
+        self.costs = costs;
+        self
+    }
+
+    /// Sets the heap slack (overrun tolerance) per allocation.
+    pub fn with_heap_slack(&mut self, slack: usize) -> &mut Self {
+        self.heap_slack = slack;
+        self
+    }
+
+    /// Enables bounded trace capture: the run result will carry the last
+    /// `limit` observations in execution order (a ring buffer, so client
+    /// memory stays constant — the §2.5 future-work extension).
+    pub fn with_trace(&mut self, limit: usize) -> &mut Self {
+        self.trace_limit = limit;
+        self
+    }
+
+    /// Executes `main` and returns the run result.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VmError`] if the program has no `main` function or `main`
+    /// takes parameters.  Runtime failures are *not* errors: they are
+    /// reported in [`RunResult::outcome`].
+    pub fn run(&mut self) -> Result<RunResult, VmError> {
+        let main = self
+            .program
+            .function("main")
+            .ok_or_else(|| VmError::new("program has no `main` function"))?;
+        if !main.params.is_empty() {
+            return Err(VmError::new("`main` must take no parameters"));
+        }
+
+        let mut counter_layout = Vec::new();
+        let total_counters = match self.sites {
+            Some(t) => {
+                counter_layout = t.iter().map(|s| (s.counter_base, s.kind.arity())).collect();
+                t.total_counters()
+            }
+            None => 0,
+        };
+
+        let mut funcs: HashMap<&str, &Function> = HashMap::new();
+        for f in &self.program.functions {
+            funcs.insert(&f.name, f);
+        }
+
+        let mut globals: HashMap<String, Value> = HashMap::new();
+        for g in &self.program.globals {
+            let v = match g.ty {
+                Type::Int => Value::Int(g.init),
+                Type::Ptr => Value::Null,
+            };
+            globals.insert(g.name.clone(), v);
+        }
+
+        let mut exec = Exec {
+            funcs,
+            free_depth: 0,
+            globals,
+            heap: Heap::with_slack(self.heap_slack),
+            input: &self.input,
+            input_pos: 0,
+            output: Vec::new(),
+            counters: vec![0; total_counters],
+            counter_layout,
+            sampling: self.sampling.as_deref_mut(),
+            ops: 0,
+            op_limit: self.op_limit,
+            costs: self.costs,
+            depth: 0,
+            max_depth: self.max_depth,
+            trace_limit: self.trace_limit,
+            trace: std::collections::VecDeque::new(),
+        };
+
+        // Seed the global countdown before the first instruction (§2.1):
+        // the instrumented program starts with a fresh next-sample distance.
+        if exec.globals.contains_key(GLOBAL_COUNTDOWN) {
+            let seed = match exec.sampling.as_deref_mut() {
+                Some(src) => saturating_i64(src.next_countdown()),
+                None => {
+                    return Err(VmError::new(
+                        "sampled program requires a countdown source (with_sampling)",
+                    ))
+                }
+            };
+            exec.globals
+                .insert(GLOBAL_COUNTDOWN.to_string(), Value::Int(seed));
+        }
+
+        let outcome = match exec.call_function(main, Vec::new()) {
+            Ok(v) => RunOutcome::Success(match v {
+                Some(Value::Int(code)) => code,
+                _ => 0,
+            }),
+            Err(Trap::Crash(kind)) => RunOutcome::Crash(kind),
+            Err(Trap::Assertion(site)) => RunOutcome::AssertionFailure(site),
+            Err(Trap::Exit(code)) => RunOutcome::Success(code),
+            Err(Trap::OpLimit) => RunOutcome::OpLimit,
+        };
+
+        Ok(RunResult {
+            outcome,
+            ops: exec.ops,
+            counters: exec.counters,
+            output: exec.output,
+            trace: exec.trace.into_iter().collect(),
+        })
+    }
+}
+
+fn saturating_i64(v: u64) -> i64 {
+    i64::try_from(v).unwrap_or(i64::MAX)
+}
+
+enum Trap {
+    Crash(CrashKind),
+    Assertion(u32),
+    Exit(i64),
+    OpLimit,
+}
+
+enum Flow {
+    Normal,
+    Break,
+    Continue,
+    Return(Option<Value>),
+}
+
+type Frame = HashMap<String, Value>;
+
+struct Exec<'a> {
+    funcs: HashMap<&'a str, &'a Function>,
+    /// When nonzero, per-node charges are suspended (inside synthesized
+    /// countdown bookkeeping, which is charged flat instead).
+    free_depth: u32,
+    globals: HashMap<String, Value>,
+    heap: Heap,
+    input: &'a [i64],
+    input_pos: usize,
+    output: Vec<i64>,
+    counters: Vec<u64>,
+    counter_layout: Vec<(usize, usize)>,
+    sampling: Option<&'a mut (dyn CountdownSource + 'static)>,
+    ops: u64,
+    op_limit: u64,
+    costs: CostModel,
+    depth: usize,
+    max_depth: usize,
+    trace_limit: usize,
+    trace: std::collections::VecDeque<(usize, bool)>,
+}
+
+impl Exec<'_> {
+    fn record_trace(&mut self, site: i64, which: usize, truth: bool) {
+        if self.trace_limit == 0 {
+            return;
+        }
+        if self.trace.len() == self.trace_limit {
+            self.trace.pop_front();
+        }
+        let base = self
+            .counter_layout
+            .get(site as usize)
+            .map(|&(b, _)| b)
+            .unwrap_or(0);
+        self.trace.push_back((base + which, truth));
+    }
+
+    fn charge(&mut self, units: u64) -> Result<(), Trap> {
+        if self.free_depth > 0 {
+            return Ok(());
+        }
+        self.charge_always(units)
+    }
+
+    fn charge_always(&mut self, units: u64) -> Result<(), Trap> {
+        self.ops += units;
+        if self.ops > self.op_limit {
+            Err(Trap::OpLimit)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// Evaluates countdown-arithmetic expressions of synthesized
+    /// statements without per-node charges (they model register ops); a
+    /// flat bookkeeping charge is applied by the caller.
+    fn eval_uncharged(&mut self, e: &Expr, frame: &mut Frame) -> Result<Value, Trap> {
+        self.free_depth += 1;
+        let r = self.eval(e, frame);
+        self.free_depth -= 1;
+        r
+    }
+
+    fn type_error(&self, msg: impl Into<String>) -> Trap {
+        Trap::Crash(CrashKind::TypeError(msg.into()))
+    }
+
+    fn call_function(
+        &mut self,
+        f: &Function,
+        args: Vec<Value>,
+    ) -> Result<Option<Value>, Trap> {
+        if self.depth >= self.max_depth {
+            return Err(Trap::Crash(CrashKind::StackOverflow));
+        }
+        self.depth += 1;
+        self.charge(self.costs.call)?;
+        let mut frame: Frame = HashMap::with_capacity(f.params.len() + 8);
+        debug_assert_eq!(args.len(), f.params.len());
+        for (p, v) in f.params.iter().zip(args) {
+            frame.insert(p.name.clone(), v);
+        }
+        let flow = self.exec_block(&f.body, &mut frame)?;
+        self.depth -= 1;
+        match flow {
+            Flow::Return(v) => Ok(v),
+            // Falling off the end returns the zero value for the declared
+            // return type (or nothing for procedures).
+            _ => Ok(f.ret.map(Value::zero_of)),
+        }
+    }
+
+    fn exec_block(&mut self, b: &Block, frame: &mut Frame) -> Result<Flow, Trap> {
+        for s in &b.stmts {
+            match self.exec_stmt(s, frame)? {
+                Flow::Normal => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(Flow::Normal)
+    }
+
+    fn exec_stmt(&mut self, s: &Stmt, frame: &mut Frame) -> Result<Flow, Trap> {
+        // Synthesized countdown bookkeeping (decrements, threshold checks,
+        // imports/exports) costs a flat unit: in a native build these are
+        // register operations (§2.4).  Branch bodies of synthesized
+        // conditionals still charge normally — they contain real code.
+        if s.span().is_synthesized() {
+            match s {
+                Stmt::Decl { ty, name, init, .. } => {
+                    self.charge(self.costs.bookkeeping)?;
+                    let v = match init {
+                        Some(e) => self.eval_uncharged(e, frame)?,
+                        None => Value::zero_of(*ty),
+                    };
+                    frame.insert(name.clone(), v);
+                    return Ok(Flow::Normal);
+                }
+                Stmt::Assign { name, value, .. } => {
+                    self.charge(self.costs.bookkeeping)?;
+                    let v = self.eval_uncharged(value, frame)?;
+                    self.assign(name, v, frame)?;
+                    return Ok(Flow::Normal);
+                }
+                Stmt::If {
+                    cond,
+                    then_block,
+                    else_block,
+                    ..
+                } => {
+                    self.charge(self.costs.bookkeeping)?;
+                    let taken = match self.eval_uncharged(cond, frame)? {
+                        Value::Int(v) => v != 0,
+                        other => {
+                            return Err(self.type_error(format!(
+                                "synthesized condition evaluated to {other}"
+                            )))
+                        }
+                    };
+                    if taken {
+                        return self.exec_block(then_block, frame);
+                    } else if let Some(e) = else_block {
+                        return self.exec_block(e, frame);
+                    }
+                    return Ok(Flow::Normal);
+                }
+                _ => {}
+            }
+        }
+        self.charge(self.costs.stmt)?;
+        match s {
+            Stmt::Decl { ty, name, init, .. } => {
+                let v = match init {
+                    Some(e) => self.eval(e, frame)?,
+                    None => Value::zero_of(*ty),
+                };
+                frame.insert(name.clone(), v);
+                Ok(Flow::Normal)
+            }
+            Stmt::Assign { name, value, .. } => {
+                let v = self.eval(value, frame)?;
+                self.assign(name, v, frame)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::Store {
+                target,
+                index,
+                value,
+                ..
+            } => {
+                let ptr = match self.lookup(target, frame)? {
+                    Value::Ptr(p) => p,
+                    Value::Null => return Err(Trap::Crash(CrashKind::NullDeref)),
+                    other => {
+                        return Err(self.type_error(format!(
+                            "store through non-pointer `{target}` = {other}"
+                        )))
+                    }
+                };
+                let idx = self.eval_int(index, frame)?;
+                let v = self.eval(value, frame)?;
+                self.charge(self.costs.mem)?;
+                self.heap.store(ptr, idx, v).map_err(Trap::Crash)?;
+                Ok(Flow::Normal)
+            }
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+                ..
+            } => {
+                if self.eval_bool(cond, frame)? {
+                    self.exec_block(then_block, frame)
+                } else if let Some(e) = else_block {
+                    self.exec_block(e, frame)
+                } else {
+                    Ok(Flow::Normal)
+                }
+            }
+            Stmt::While { cond, body, .. } => {
+                while self.eval_bool(cond, frame)? {
+                    match self.exec_block(body, frame)? {
+                        Flow::Normal | Flow::Continue => {}
+                        Flow::Break => break,
+                        ret @ Flow::Return(_) => return Ok(ret),
+                    }
+                }
+                Ok(Flow::Normal)
+            }
+            Stmt::Return { value, .. } => {
+                let v = match value {
+                    Some(e) => Some(self.eval(e, frame)?),
+                    None => None,
+                };
+                Ok(Flow::Return(v))
+            }
+            Stmt::Break { .. } => Ok(Flow::Break),
+            Stmt::Continue { .. } => Ok(Flow::Continue),
+            // Un-lowered assertion markers are inert: only the `checks`
+            // scheme turns them into real observations.
+            Stmt::Check { .. } => Ok(Flow::Normal),
+            Stmt::Expr { expr, .. } => {
+                self.eval(expr, frame)?;
+                Ok(Flow::Normal)
+            }
+        }
+    }
+
+    fn lookup(&self, name: &str, frame: &Frame) -> Result<Value, Trap> {
+        if let Some(v) = frame.get(name) {
+            return Ok(*v);
+        }
+        if let Some(v) = self.globals.get(name) {
+            return Ok(*v);
+        }
+        Err(self.type_error(format!("undefined variable `{name}`")))
+    }
+
+    fn assign(&mut self, name: &str, v: Value, frame: &mut Frame) -> Result<(), Trap> {
+        if let Some(slot) = frame.get_mut(name) {
+            *slot = v;
+            return Ok(());
+        }
+        if let Some(slot) = self.globals.get_mut(name) {
+            *slot = v;
+            return Ok(());
+        }
+        Err(self.type_error(format!("assignment to undefined variable `{name}`")))
+    }
+
+    fn eval_int(&mut self, e: &Expr, frame: &mut Frame) -> Result<i64, Trap> {
+        match self.eval(e, frame)? {
+            Value::Int(v) => Ok(v),
+            other => Err(self.type_error(format!("expected integer, got {other}"))),
+        }
+    }
+
+    fn eval_bool(&mut self, e: &Expr, frame: &mut Frame) -> Result<bool, Trap> {
+        Ok(self.eval_int(e, frame)? != 0)
+    }
+
+    fn eval(&mut self, e: &Expr, frame: &mut Frame) -> Result<Value, Trap> {
+        self.charge(self.costs.expr)?;
+        match e {
+            Expr::Int { value, .. } => Ok(Value::Int(*value)),
+            Expr::Null { .. } => Ok(Value::Null),
+            Expr::Var { name, .. } => self.lookup(name, frame),
+            Expr::Load { ptr, index, .. } => {
+                let p = match self.eval(ptr, frame)? {
+                    Value::Ptr(p) => p,
+                    Value::Null => return Err(Trap::Crash(CrashKind::NullDeref)),
+                    other => {
+                        return Err(
+                            self.type_error(format!("indexing non-pointer value {other}"))
+                        )
+                    }
+                };
+                let idx = self.eval_int(index, frame)?;
+                self.charge(self.costs.mem)?;
+                self.heap.load(p, idx).map_err(Trap::Crash)
+            }
+            Expr::Call { name, args, .. } => self.eval_call(name, args, frame),
+            Expr::Unary { op, expr, .. } => {
+                let v = self.eval_int(expr, frame)?;
+                Ok(Value::Int(match op {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => i64::from(v == 0),
+                }))
+            }
+            Expr::Binary { op, lhs, rhs, .. } => self.eval_binary(*op, lhs, rhs, frame),
+        }
+    }
+
+    fn eval_binary(
+        &mut self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        frame: &mut Frame,
+    ) -> Result<Value, Trap> {
+        // Short-circuit operators evaluate the right side conditionally.
+        if op == BinOp::And {
+            return Ok(Value::Int(i64::from(
+                self.eval_bool(lhs, frame)? && self.eval_bool(rhs, frame)?,
+            )));
+        }
+        if op == BinOp::Or {
+            return Ok(Value::Int(i64::from(
+                self.eval_bool(lhs, frame)? || self.eval_bool(rhs, frame)?,
+            )));
+        }
+
+        let a = self.eval(lhs, frame)?;
+        let b = self.eval(rhs, frame)?;
+
+        if op.is_comparison() {
+            let ord = a
+                .compare(b)
+                .ok_or_else(|| self.type_error(format!("comparing {a} with {b}")))?;
+            let truth = match op {
+                BinOp::Eq => ord == Ordering::Equal,
+                BinOp::Ne => ord != Ordering::Equal,
+                BinOp::Lt => ord == Ordering::Less,
+                BinOp::Le => ord != Ordering::Greater,
+                BinOp::Gt => ord == Ordering::Greater,
+                BinOp::Ge => ord != Ordering::Less,
+                _ => unreachable!(),
+            };
+            return Ok(Value::Int(i64::from(truth)));
+        }
+
+        match (op, a, b) {
+            (BinOp::Add, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_add(y))),
+            (BinOp::Sub, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_sub(y))),
+            (BinOp::Mul, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_mul(y))),
+            (BinOp::Div, Value::Int(x), Value::Int(y)) => {
+                if y == 0 {
+                    Err(Trap::Crash(CrashKind::DivideByZero))
+                } else {
+                    Ok(Value::Int(x.wrapping_div(y)))
+                }
+            }
+            (BinOp::Mod, Value::Int(x), Value::Int(y)) => {
+                if y == 0 {
+                    Err(Trap::Crash(CrashKind::DivideByZero))
+                } else {
+                    Ok(Value::Int(x.wrapping_rem(y)))
+                }
+            }
+            (BinOp::Add, Value::Ptr(p), Value::Int(d)) => Ok(Value::Ptr(PtrVal {
+                block: p.block,
+                offset: p.offset + d,
+            })),
+            (BinOp::Sub, Value::Ptr(p), Value::Int(d)) => Ok(Value::Ptr(PtrVal {
+                block: p.block,
+                offset: p.offset - d,
+            })),
+            (BinOp::Sub, Value::Ptr(p), Value::Ptr(q)) if p.block == q.block => {
+                Ok(Value::Int(p.offset - q.offset))
+            }
+            (op, a, b) => Err(self.type_error(format!("invalid operands {a} {op} {b}"))),
+        }
+    }
+
+    fn eval_call(
+        &mut self,
+        name: &str,
+        args: &[Expr],
+        frame: &mut Frame,
+    ) -> Result<Value, Trap> {
+        if let Some(b) = Builtin::from_name(name) {
+            return self.eval_builtin(b, args, frame);
+        }
+        let f = *self
+            .funcs
+            .get(name)
+            .ok_or_else(|| self.type_error(format!("call to undefined function `{name}`")))?;
+        let mut vals = Vec::with_capacity(args.len());
+        for a in args {
+            vals.push(self.eval(a, frame)?);
+        }
+        let ret = self.call_function(f, vals)?;
+        // Procedure results are only legal in statement position; the
+        // resolver guarantees the value is never consumed.
+        Ok(ret.unwrap_or(Value::Int(0)))
+    }
+
+    fn counter_slot(&mut self, site: i64, which: usize) -> Result<(), Trap> {
+        let (base, arity) = *self
+            .counter_layout
+            .get(site as usize)
+            .ok_or_else(|| self.type_error(format!("unknown site id {site}")))?;
+        if which >= arity {
+            return Err(self.type_error(format!(
+                "site {site} counter {which} out of range (arity {arity})"
+            )));
+        }
+        self.counters[base + which] += 1;
+        Ok(())
+    }
+
+    fn eval_builtin(
+        &mut self,
+        b: Builtin,
+        args: &[Expr],
+        frame: &mut Frame,
+    ) -> Result<Value, Trap> {
+        match b {
+            Builtin::Alloc => {
+                let n = self.eval_int(&args[0], frame)?;
+                self.charge(self.costs.mem)?;
+                self.heap.alloc(n).map_err(Trap::Crash)
+            }
+            Builtin::Free => {
+                let v = self.eval(&args[0], frame)?;
+                match v {
+                    // free(null) is a no-op, as in C.
+                    Value::Null => Ok(Value::Int(0)),
+                    Value::Ptr(p) => {
+                        self.charge(self.costs.mem)?;
+                        self.heap.free(p).map_err(Trap::Crash)?;
+                        Ok(Value::Int(0))
+                    }
+                    other => Err(self.type_error(format!("free of non-pointer {other}"))),
+                }
+            }
+            Builtin::Len => {
+                let v = self.eval(&args[0], frame)?;
+                match v {
+                    Value::Null => Err(Trap::Crash(CrashKind::NullDeref)),
+                    Value::Ptr(p) => Ok(Value::Int(self.heap.len(p).map_err(Trap::Crash)?)),
+                    other => Err(self.type_error(format!("len of non-pointer {other}"))),
+                }
+            }
+            Builtin::Read => {
+                let v = self.input.get(self.input_pos).copied().unwrap_or(0);
+                if self.input_pos < self.input.len() {
+                    self.input_pos += 1;
+                }
+                Ok(Value::Int(v))
+            }
+            Builtin::HasInput => Ok(Value::Int(i64::from(self.input_pos < self.input.len()))),
+            Builtin::Print => {
+                let v = self.eval_int(&args[0], frame)?;
+                self.output.push(v);
+                Ok(Value::Int(0))
+            }
+            Builtin::Exit => {
+                let code = self.eval_int(&args[0], frame)?;
+                Err(Trap::Exit(code))
+            }
+            Builtin::ObsCheck => {
+                let site = self.eval_int(&args[0], frame)?;
+                let ok = self.eval_bool(&args[1], frame)?;
+                self.charge(self.costs.observe)?;
+                self.counter_slot(site, usize::from(ok))?;
+                self.record_trace(site, usize::from(ok), !ok);
+                if ok {
+                    Ok(Value::Int(0))
+                } else {
+                    Err(Trap::Assertion(site as u32))
+                }
+            }
+            Builtin::ObsCmp => {
+                // A three-way compare plus one counter bump is a handful of
+                // native instructions; charge it flat (unlike `__check`,
+                // which evaluates a real predicate).
+                self.charge(self.costs.observe)?;
+                self.free_depth += 1;
+                let site = self.eval_int(&args[0], frame);
+                let a = self.eval(&args[1], frame);
+                let b = self.eval(&args[2], frame);
+                self.free_depth -= 1;
+                let (site, a, b) = (site?, a?, b?);
+                let ord = a
+                    .compare(b)
+                    .ok_or_else(|| self.type_error(format!("__cmp of {a} and {b}")))?;
+                let which = match ord {
+                    Ordering::Less => 0,
+                    Ordering::Equal => 1,
+                    Ordering::Greater => 2,
+                };
+                self.counter_slot(site, which)?;
+                self.record_trace(site, which, true);
+                Ok(Value::Int(0))
+            }
+            Builtin::ObsSign => {
+                self.charge(self.costs.observe)?;
+                self.free_depth += 1;
+                let site = self.eval_int(&args[0], frame);
+                let v = self.eval(&args[1], frame);
+                self.free_depth -= 1;
+                let (site, v) = (site?, v?);
+                let class = v.sign_class();
+                self.counter_slot(site, class)?;
+                self.record_trace(site, class, true);
+                Ok(Value::Int(0))
+            }
+            Builtin::NextCountdown => {
+                self.charge_always(self.costs.refill)?;
+                match self.sampling.as_deref_mut() {
+                    Some(src) => Ok(Value::Int(saturating_i64(src.next_countdown()))),
+                    None => Err(self.type_error(
+                        "program called __next_cd() but no countdown source is configured",
+                    )),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbi_minic::parse;
+
+    fn run(src: &str) -> RunResult {
+        let p = parse(src).unwrap();
+        cbi_minic::resolve(&p).unwrap_or_else(|e| panic!("{e}"));
+        Vm::new(&p).run().unwrap()
+    }
+
+    fn run_with_input(src: &str, input: Vec<i64>) -> RunResult {
+        let p = parse(src).unwrap();
+        Vm::new(&p).with_input(input).run().unwrap()
+    }
+
+    #[test]
+    fn arithmetic_and_output() {
+        let r = run("fn main() -> int { print(2 + 3 * 4); print(10 / 3); print(10 % 3); print(-7); return 0; }");
+        assert_eq!(r.output, vec![14, 3, 1, -7]);
+        assert_eq!(r.outcome, RunOutcome::Success(0));
+        assert!(r.ops > 0);
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let r = run(
+            "fn main() -> int { print(1 < 2); print(2 <= 1); print(3 == 3); print(3 != 3); \
+             print(1 && 0); print(1 || 0); print(!5); print(!0); return 0; }",
+        );
+        assert_eq!(r.output, vec![1, 0, 1, 0, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn short_circuit_avoids_crash() {
+        let r = run("fn main() -> int { ptr p; if (p != null && p[0] == 1) { print(1); } return 0; }");
+        assert_eq!(r.outcome, RunOutcome::Success(0));
+    }
+
+    #[test]
+    fn control_flow_while_break_continue() {
+        let r = run(
+            "fn main() -> int { int i = 0; int s = 0; while (1) { i = i + 1; \
+             if (i % 2 == 0) { continue; } if (i > 9) { break; } s = s + i; } print(s); return 0; }",
+        );
+        assert_eq!(r.output, vec![1 + 3 + 5 + 7 + 9]);
+    }
+
+    #[test]
+    fn functions_recursion_and_globals() {
+        let r = run(
+            "int calls = 0;\n\
+             fn fib(int n) -> int { calls = calls + 1; if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }\n\
+             fn main() -> int { print(fib(10)); print(calls); return 0; }",
+        );
+        assert_eq!(r.output[0], 55);
+        assert!(r.output[1] > 100);
+    }
+
+    #[test]
+    fn heap_programs_work() {
+        let r = run(
+            "fn main() -> int { ptr a = alloc(5); int i = 0; while (i < 5) { a[i] = i * i; i = i + 1; } \
+             int s = 0; i = 0; while (i < len(a)) { s = s + a[i]; i = i + 1; } free(a); print(s); return 0; }",
+        );
+        assert_eq!(r.output, vec![1 + 4 + 9 + 16]);
+    }
+
+    #[test]
+    fn pointer_arithmetic() {
+        let r = run(
+            "fn main() -> int { ptr a = alloc(4); ptr b = a + 2; b[0] = 7; print(a[2]); print(b - a); return 0; }",
+        );
+        assert_eq!(r.output, vec![7, 2]);
+    }
+
+    #[test]
+    fn null_deref_crashes() {
+        let r = run("fn main() -> int { ptr p; return p[0]; }");
+        assert_eq!(r.outcome, RunOutcome::Crash(CrashKind::NullDeref));
+    }
+
+    #[test]
+    fn divide_by_zero_crashes() {
+        let r = run("fn main() -> int { int z = 0; return 1 / z; }");
+        assert_eq!(r.outcome, RunOutcome::Crash(CrashKind::DivideByZero));
+    }
+
+    #[test]
+    fn overrun_then_free_crashes_later() {
+        let r = run(
+            "fn main() -> int { ptr a = alloc(4); a[5] = 1; print(99); free(a); return 0; }",
+        );
+        // The overrun itself is silent (99 printed), the free crashes.
+        assert_eq!(r.output, vec![99]);
+        assert_eq!(r.outcome, RunOutcome::Crash(CrashKind::HeapCorruption));
+    }
+
+    #[test]
+    fn overrun_without_free_gets_lucky() {
+        let r = run("fn main() -> int { ptr a = alloc(4); a[5] = 1; return 0; }");
+        assert_eq!(r.outcome, RunOutcome::Success(0));
+    }
+
+    #[test]
+    fn stack_overflow_detected() {
+        let p = parse("fn loop_(int n) -> int { return loop_(n + 1); } fn main() -> int { return loop_(0); }").unwrap();
+        let r = Vm::new(&p).with_max_depth(50).run().unwrap();
+        assert_eq!(r.outcome, RunOutcome::Crash(CrashKind::StackOverflow));
+    }
+
+    #[test]
+    fn op_limit_bounds_infinite_loops() {
+        let p = parse("fn main() -> int { while (1) { } return 0; }").unwrap();
+        let r = Vm::new(&p).with_op_limit(10_000).run().unwrap();
+        assert_eq!(r.outcome, RunOutcome::OpLimit);
+        assert!(r.ops >= 10_000);
+    }
+
+    #[test]
+    fn scripted_input() {
+        let r = run_with_input(
+            "fn main() -> int { int s = 0; while (has_input()) { s = s + read(); } print(s); print(read()); return 0; }",
+            vec![5, 6, 7],
+        );
+        assert_eq!(r.output, vec![18, 0], "read() at EOF yields 0");
+    }
+
+    #[test]
+    fn exit_terminates_successfully() {
+        let r = run("fn main() -> int { print(1); exit(3); print(2); return 0; }");
+        assert_eq!(r.outcome, RunOutcome::Success(3));
+        assert_eq!(r.output, vec![1]);
+    }
+
+    #[test]
+    fn missing_main_is_config_error() {
+        let p = parse("fn f() { }").unwrap();
+        assert!(Vm::new(&p).run().is_err());
+    }
+
+    #[test]
+    fn main_with_params_is_config_error() {
+        let p = parse("fn main(int x) -> int { return x; }").unwrap();
+        assert!(Vm::new(&p).run().is_err());
+    }
+
+    #[test]
+    fn check_markers_are_inert() {
+        let r = run("fn main() -> int { check(0); return 0; }");
+        assert_eq!(r.outcome, RunOutcome::Success(0));
+    }
+
+    #[test]
+    fn fall_through_returns_zero() {
+        let r = run("fn f() -> int { } fn main() -> int { print(f()); return 0; }");
+        assert_eq!(r.output, vec![0]);
+    }
+
+    #[test]
+    fn ops_scale_with_work() {
+        let small = run("fn main() -> int { int i = 0; while (i < 10) { i = i + 1; } return 0; }");
+        let large = run("fn main() -> int { int i = 0; while (i < 1000) { i = i + 1; } return 0; }");
+        assert!(large.ops > small.ops * 50);
+    }
+
+    #[test]
+    fn determinism() {
+        let src = "fn main() -> int { int i = 0; int s = 0; while (i < 100) { s = s + i * i; i = i + 1; } print(s); return 0; }";
+        let a = run(src);
+        let b = run(src);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,112 @@
+//! Run outcomes: how an execution ended.
+
+use std::fmt;
+
+/// How a MiniC run terminated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The program ran to completion (or called `exit`); carries the exit
+    /// code.
+    Success(i64),
+    /// The program died with a fatal error — the analogue of being
+    /// "aborted by a fatal signal" (§3.3.1).
+    Crash(CrashKind),
+    /// A sampled `check(...)` assertion observed a violation and halted
+    /// the program (§3.1); carries the site id.
+    AssertionFailure(u32),
+    /// The run exceeded its operation budget (used to bound fuzzing runs;
+    /// treated as neither success nor crash by the analyses).
+    OpLimit,
+}
+
+impl RunOutcome {
+    /// Whether the run counts as a successful execution for the analyses.
+    pub fn is_success(&self) -> bool {
+        matches!(self, RunOutcome::Success(_))
+    }
+
+    /// Whether the run counts as a failed (crashed) execution.
+    ///
+    /// Assertion failures count as failures: in the deployed system a
+    /// failed check aborts the program just like a fatal signal.
+    pub fn is_failure(&self) -> bool {
+        matches!(self, RunOutcome::Crash(_) | RunOutcome::AssertionFailure(_))
+    }
+}
+
+impl fmt::Display for RunOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunOutcome::Success(code) => write!(f, "success (exit {code})"),
+            RunOutcome::Crash(kind) => write!(f, "crash: {kind}"),
+            RunOutcome::AssertionFailure(site) => {
+                write!(f, "assertion failure at site#{site}")
+            }
+            RunOutcome::OpLimit => f.write_str("operation limit exceeded"),
+        }
+    }
+}
+
+/// The kind of fatal error that killed a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CrashKind {
+    /// Dereference of the null pointer.
+    NullDeref,
+    /// Access far outside an allocation (beyond even its slack capacity).
+    SegFault,
+    /// The allocator detected a corrupted block (overrun slack) during
+    /// `free` — the delayed, input-dependent crash mode of heap overruns.
+    HeapCorruption,
+    /// `free` of an already-freed block.
+    DoubleFree,
+    /// Load or store through a freed block.
+    UseAfterFree,
+    /// Integer division or modulus by zero.
+    DivideByZero,
+    /// A dynamically ill-typed operation (e.g. using heap garbage as a
+    /// pointer).
+    TypeError(String),
+    /// Call recursion exceeded the stack limit.
+    StackOverflow,
+}
+
+impl fmt::Display for CrashKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CrashKind::NullDeref => f.write_str("null pointer dereference"),
+            CrashKind::SegFault => f.write_str("segmentation fault"),
+            CrashKind::HeapCorruption => f.write_str("heap corruption detected by allocator"),
+            CrashKind::DoubleFree => f.write_str("double free"),
+            CrashKind::UseAfterFree => f.write_str("use after free"),
+            CrashKind::DivideByZero => f.write_str("division by zero"),
+            CrashKind::TypeError(msg) => write!(f, "type error: {msg}"),
+            CrashKind::StackOverflow => f.write_str("stack overflow"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn success_and_failure_classification() {
+        assert!(RunOutcome::Success(0).is_success());
+        assert!(!RunOutcome::Success(1).is_failure());
+        assert!(RunOutcome::Crash(CrashKind::NullDeref).is_failure());
+        assert!(RunOutcome::AssertionFailure(3).is_failure());
+        assert!(!RunOutcome::OpLimit.is_success());
+        assert!(!RunOutcome::OpLimit.is_failure());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        assert_eq!(RunOutcome::Success(0).to_string(), "success (exit 0)");
+        assert!(RunOutcome::Crash(CrashKind::HeapCorruption)
+            .to_string()
+            .contains("corruption"));
+        assert!(CrashKind::TypeError("int as ptr".into())
+            .to_string()
+            .contains("int as ptr"));
+    }
+}

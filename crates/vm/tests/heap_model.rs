@@ -1,0 +1,179 @@
+//! Differential testing of the corruptible heap against a simple
+//! reference model, plus crash-semantics edge cases.
+
+use cbi_vm::{CrashKind, Heap, PtrVal, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+
+/// Operations the fuzzer may perform.
+#[derive(Debug, Clone)]
+enum Op {
+    Alloc(u8),
+    /// Store into block `b % live` at (possibly out-of-range) index.
+    Store(u8, i16, i16),
+    Load(u8, i16),
+    Free(u8),
+    Len(u8),
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0u8..32).prop_map(Op::Alloc),
+        (any::<u8>(), -4i16..40, any::<i16>()).prop_map(|(b, i, v)| Op::Store(b, i, v)),
+        (any::<u8>(), -4i16..40).prop_map(|(b, i)| Op::Load(b, i)),
+        any::<u8>().prop_map(Op::Free),
+        any::<u8>().prop_map(Op::Len),
+    ]
+}
+
+/// Reference model: per block, its logical length, cell contents, freed
+/// and corrupted flags.
+#[derive(Debug, Default)]
+struct Model {
+    blocks: Vec<ModelBlock>,
+}
+
+#[derive(Debug)]
+struct ModelBlock {
+    len: usize,
+    slack: usize,
+    cells: HashMap<i64, i64>,
+    freed: bool,
+    corrupted: bool,
+}
+
+const SLACK: usize = 8;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The heap agrees with the reference model on every observable
+    /// result: values loaded, lengths, and the exact crash kind of every
+    /// failing operation.
+    #[test]
+    fn heap_matches_reference_model(ops in prop::collection::vec(arb_op(), 1..60)) {
+        let mut heap = Heap::with_slack(SLACK);
+        let mut model = Model::default();
+        let mut handles: Vec<PtrVal> = Vec::new();
+
+        for op in ops {
+            match op {
+                Op::Alloc(n) => {
+                    let v = heap.alloc(n as i64).expect("non-negative alloc");
+                    let Value::Ptr(p) = v else { panic!("alloc returns ptr") };
+                    handles.push(p);
+                    model.blocks.push(ModelBlock {
+                        len: n as usize,
+                        slack: SLACK,
+                        cells: HashMap::new(),
+                        freed: false,
+                        corrupted: false,
+                    });
+                }
+                Op::Store(b, i, v) if !handles.is_empty() => {
+                    let b = b as usize % handles.len();
+                    let p = handles[b];
+                    let m = &mut model.blocks[b];
+                    let got = heap.store(p, i as i64, Value::Int(v as i64));
+                    let expect = if m.freed {
+                        Err(CrashKind::UseAfterFree)
+                    } else if i < 0 || i as usize >= m.len + m.slack {
+                        Err(CrashKind::SegFault)
+                    } else {
+                        Ok(())
+                    };
+                    prop_assert_eq!(&got, &expect, "store");
+                    if got.is_ok() {
+                        m.cells.insert(i as i64, v as i64);
+                        if i as usize >= m.len {
+                            m.corrupted = true;
+                        }
+                    }
+                }
+                Op::Load(b, i) if !handles.is_empty() => {
+                    let b = b as usize % handles.len();
+                    let p = handles[b];
+                    let m = &model.blocks[b];
+                    let got = heap.load(p, i as i64);
+                    if m.freed {
+                        prop_assert_eq!(got, Err(CrashKind::UseAfterFree));
+                    } else if i < 0 || i as usize >= m.len + m.slack {
+                        prop_assert_eq!(got, Err(CrashKind::SegFault));
+                    } else {
+                        let expect = m.cells.get(&(i as i64)).copied().unwrap_or(0);
+                        prop_assert_eq!(got, Ok(Value::Int(expect)));
+                    }
+                }
+                Op::Free(b) if !handles.is_empty() => {
+                    let b = b as usize % handles.len();
+                    let p = handles[b];
+                    let m = &mut model.blocks[b];
+                    let got = heap.free(p);
+                    let expect = if m.freed {
+                        Err(CrashKind::DoubleFree)
+                    } else if m.corrupted {
+                        Err(CrashKind::HeapCorruption)
+                    } else {
+                        Ok(())
+                    };
+                    prop_assert_eq!(&got, &expect, "free");
+                    if got.is_ok() {
+                        m.freed = true;
+                    }
+                }
+                Op::Len(b) if !handles.is_empty() => {
+                    let b = b as usize % handles.len();
+                    let m = &model.blocks[b];
+                    let got = heap.len(handles[b]);
+                    if m.freed {
+                        prop_assert_eq!(got, Err(CrashKind::UseAfterFree));
+                    } else {
+                        prop_assert_eq!(got, Ok(m.len as i64));
+                    }
+                }
+                _ => {} // op on empty heap: skip
+            }
+        }
+
+        // Aggregate invariant: live-block accounting agrees.
+        let live_model = model.blocks.iter().filter(|b| !b.freed).count();
+        prop_assert_eq!(heap.live_blocks(), live_model);
+        let corrupted_model = model.blocks.iter().any(|b| b.corrupted);
+        prop_assert_eq!(heap.any_corruption(), corrupted_model);
+    }
+}
+
+#[test]
+fn pointer_offsets_compose_with_indices() {
+    let mut heap = Heap::with_slack(4);
+    let Value::Ptr(base) = heap.alloc(10).unwrap() else {
+        panic!()
+    };
+    // (base + 3)[2] aliases base[5].
+    let shifted = PtrVal {
+        block: base.block,
+        offset: 3,
+    };
+    heap.store(shifted, 2, Value::Int(77)).unwrap();
+    assert_eq!(heap.load(base, 5).unwrap(), Value::Int(77));
+    // Negative composed index below the block start faults.
+    let neg = PtrVal {
+        block: base.block,
+        offset: 1,
+    };
+    assert_eq!(heap.load(neg, -2), Err(CrashKind::SegFault));
+}
+
+#[test]
+fn corruption_is_per_block() {
+    let mut heap = Heap::with_slack(4);
+    let Value::Ptr(a) = heap.alloc(2).unwrap() else {
+        panic!()
+    };
+    let Value::Ptr(b) = heap.alloc(2).unwrap() else {
+        panic!()
+    };
+    heap.store(a, 3, Value::Int(1)).unwrap(); // corrupt a's slack
+    assert_eq!(heap.free(b), Ok(()), "b is untouched");
+    assert_eq!(heap.free(a), Err(CrashKind::HeapCorruption));
+}

@@ -1,0 +1,178 @@
+//! Additional interpreter semantics: globals, pointer comparisons,
+//! nested-call control flow, and cost accounting visibility.
+
+use cbi_vm::{CrashKind, RunOutcome, Vm};
+
+fn run(src: &str) -> cbi_vm::RunResult {
+    let p = cbi_minic::parse(src).unwrap();
+    cbi_minic::resolve(&p).unwrap();
+    Vm::new(&p).run().unwrap()
+}
+
+#[test]
+fn globals_initialize_and_persist_across_calls() {
+    let r = run(
+        "int counter = 10;\n\
+         ptr shared;\n\
+         fn bump() { counter = counter + 1; }\n\
+         fn stash() { shared = alloc(2); shared[0] = counter; }\n\
+         fn main() -> int { bump(); bump(); stash(); print(counter); print(shared[0]); return 0; }",
+    );
+    assert_eq!(r.output, vec![12, 12]);
+}
+
+#[test]
+fn pointer_comparisons_follow_block_then_offset_order() {
+    let r = run(
+        "fn main() -> int {\n\
+             ptr a = alloc(4);\n\
+             ptr b = alloc(4);\n\
+             print(a < b);\n\
+             print(a + 2 > a);\n\
+             print(a + 1 == a + 1);\n\
+             print(a == b);\n\
+             print(null < a);\n\
+             print(null == null);\n\
+             return 0;\n\
+         }",
+    );
+    assert_eq!(r.output, vec![1, 1, 1, 0, 1, 1]);
+}
+
+#[test]
+fn exit_unwinds_nested_calls() {
+    let r = run(
+        "fn inner() { exit(9); }\n\
+         fn outer() { inner(); print(1); }\n\
+         fn main() -> int { outer(); print(2); return 0; }",
+    );
+    assert_eq!(r.outcome, RunOutcome::Success(9));
+    assert!(r.output.is_empty());
+}
+
+#[test]
+fn crash_in_callee_propagates() {
+    let r = run(
+        "fn boom(ptr p) -> int { return p[0]; }\n\
+         fn main() -> int { ptr q; return boom(q); }",
+    );
+    assert_eq!(r.outcome, RunOutcome::Crash(CrashKind::NullDeref));
+}
+
+#[test]
+fn recursion_to_exact_depth_limit() {
+    let src = "fn down(int n) -> int { if (n == 0) { return 0; } return down(n - 1); }\n\
+               fn main() -> int { return down(40); }";
+    let p = cbi_minic::parse(src).unwrap();
+    // depth needed: main + 41 calls of down = 42.
+    let ok = Vm::new(&p).with_max_depth(64).run().unwrap();
+    assert!(ok.outcome.is_success());
+    let too_shallow = Vm::new(&p).with_max_depth(10).run().unwrap();
+    assert_eq!(too_shallow.outcome, RunOutcome::Crash(CrashKind::StackOverflow));
+}
+
+#[test]
+fn modulo_and_division_semantics_match_rust() {
+    let r = run(
+        "fn main() -> int {\n\
+             print(7 / 2); print(-7 / 2); print(7 % 3); print(-7 % 3); print(7 % -3);\n\
+             return 0;\n\
+         }",
+    );
+    assert_eq!(r.output, vec![3, -3, 1, -1, 1]);
+}
+
+#[test]
+fn wrapping_arithmetic_does_not_panic() {
+    let r = run(
+        "fn main() -> int {\n\
+             int big = 9223372036854775807;\n\
+             print(big + 1 < 0);\n\
+             print(big * 2 != 0);\n\
+             int small = -9223372036854775807;\n\
+             print(small - 2 > 0);\n\
+             return 0;\n\
+         }",
+    );
+    assert!(r.outcome.is_success());
+    assert_eq!(r.output[0], 1, "wrap to negative");
+}
+
+#[test]
+fn free_null_is_a_noop_like_c() {
+    let r = run("fn main() -> int { ptr p; free(p); free(null); return 0; }");
+    assert!(r.outcome.is_success());
+}
+
+#[test]
+fn op_accounting_charges_heap_traffic_more() {
+    let arith = run(
+        "fn main() -> int { int i = 0; int s = 0; while (i < 500) { s = s + i; i = i + 1; } print(s); return 0; }",
+    );
+    let memory = run(
+        "fn main() -> int { ptr a = alloc(4); int i = 0; while (i < 500) { a[0] = a[0] + i; i = i + 1; } print(a[0]); return 0; }",
+    );
+    assert_eq!(arith.output, memory.output);
+    assert!(
+        memory.ops > arith.ops,
+        "heap loop {} should cost more than register loop {}",
+        memory.ops,
+        arith.ops
+    );
+}
+
+#[test]
+fn output_and_counters_survive_crash() {
+    // Observations made before a crash are retained in the report —
+    // essential for failure reports (§3.3.1).
+    let src = "fn main() -> int { print(1); __check(0, 1); ptr p; return p[0]; }";
+    let p = cbi_minic::parse(src).unwrap();
+    let mut table = cbi_instrument::SiteTable::new();
+    table.add(
+        "main",
+        cbi_minic::Span::new(1, 1),
+        cbi_instrument::SiteKind::Assert,
+        "1".into(),
+    );
+    let r = Vm::new(&p).with_sites(&table).run().unwrap();
+    assert_eq!(r.outcome, RunOutcome::Crash(CrashKind::NullDeref));
+    assert_eq!(r.output, vec![1]);
+    assert_eq!(r.counters, vec![0, 1]);
+}
+
+#[test]
+fn assertion_failure_reports_site_and_counts_violation() {
+    let src = "fn main() -> int { __check(0, 0); return 0; }";
+    let p = cbi_minic::parse(src).unwrap();
+    let mut table = cbi_instrument::SiteTable::new();
+    table.add(
+        "main",
+        cbi_minic::Span::new(1, 1),
+        cbi_instrument::SiteKind::Assert,
+        "never".into(),
+    );
+    let r = Vm::new(&p).with_sites(&table).run().unwrap();
+    assert_eq!(r.outcome, RunOutcome::AssertionFailure(0));
+    assert_eq!(r.counters, vec![1, 0], "violation counter bumped");
+}
+
+#[test]
+fn logical_operators_yield_canonical_booleans() {
+    let r = run(
+        "fn main() -> int { print(5 && 3); print(0 || 7); print(!!9); return 0; }",
+    );
+    assert_eq!(r.output, vec![1, 1, 1]);
+}
+
+#[test]
+fn load_of_heap_garbage_used_as_pointer_is_a_type_error() {
+    // Reading slack garbage and dereferencing it models wild-pointer
+    // crashes after corruption.
+    let r = run(
+        "fn main() -> int { ptr a = alloc(2); ptr q = a[0]; return q[0]; }",
+    );
+    match r.outcome {
+        RunOutcome::Crash(CrashKind::TypeError(_)) => {}
+        other => panic!("expected type error, got {other:?}"),
+    }
+}

@@ -1,0 +1,156 @@
+//! Randomized bc trials (§3.3).
+//!
+//! "We find that feeding bc nine megabytes of random input causes it to
+//! crash roughly one time in four."  A trial is an input script for the
+//! `bc` MiniC analogue: interpreter configuration followed by a command
+//! stream that defines variables, defines arrays, and evaluates
+//! expressions.  Crashes require enough variable definitions to push
+//! `v_count` past the next arrays capacity *and* a second arrays growth to
+//! free the corrupted block — both input-dependent, hence the bug's
+//! non-determinism.
+
+use cbi_sampler::Pcg32;
+
+/// Distribution parameters for bc trials.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BcTrialConfig {
+    /// Variable definitions per run are uniform in `0..=max_vars`.
+    pub max_vars: u64,
+    /// Array definitions per run are uniform in `0..=max_arrays`.
+    pub max_arrays: u64,
+    /// Expression evaluations per run are uniform in `0..=max_evals`.
+    pub max_evals: u64,
+}
+
+impl Default for BcTrialConfig {
+    fn default() -> Self {
+        BcTrialConfig {
+            max_vars: 24,
+            max_arrays: 24,
+            max_evals: 8,
+        }
+    }
+}
+
+/// Generates one trial's input script.
+///
+/// Variables are (mostly) defined before arrays, as interactive bc
+/// sessions define names before using them; expression evaluations are
+/// sprinkled between commands.
+pub fn bc_trial(rng: &mut Pcg32, config: &BcTrialConfig) -> Vec<i64> {
+    // Interpreter configuration: scale, i_base, use_math, opterr.
+    let mut script: Vec<i64> = vec![
+        rng.below(4) as i64,
+        10 + rng.below(4) as i64,
+        rng.below(2) as i64,
+        rng.below(2) as i64,
+    ];
+
+    let n_vars = rng.below(config.max_vars + 1);
+    let n_arrays = rng.below(config.max_arrays + 1);
+    let n_evals = rng.below(config.max_evals + 1);
+
+    let mut commands: Vec<Vec<i64>> = Vec::new();
+    for _ in 0..n_vars {
+        commands.push(vec![1]);
+    }
+    for _ in 0..n_arrays {
+        commands.push(vec![2]);
+    }
+    // Keep the variables-then-arrays order, but interleave evaluations at
+    // random positions.
+    for _ in 0..n_evals {
+        let at = rng.below(commands.len() as u64 + 1) as usize;
+        commands.insert(at, vec![3, rng.below(10_000) as i64]);
+    }
+    for c in commands {
+        script.extend(c);
+    }
+    script.push(0); // quit
+    script
+}
+
+/// Generates `n` trials from a master seed.
+pub fn bc_trials(n: usize, seed: u64, config: &BcTrialConfig) -> Vec<Vec<i64>> {
+    let mut rng = Pcg32::new(seed);
+    (0..n).map(|_| bc_trial(&mut rng, config)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::bc_program;
+    use cbi_vm::{CrashKind, RunOutcome, Vm};
+
+    #[test]
+    fn crash_rate_is_roughly_one_in_four() {
+        let program = bc_program();
+        let trials = bc_trials(1000, 7, &BcTrialConfig::default());
+        let mut crashes = 0;
+        for t in trials {
+            let r = Vm::new(&program).with_input(t).run().unwrap();
+            match r.outcome {
+                RunOutcome::Crash(_) => crashes += 1,
+                RunOutcome::Success(_) => {}
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        let rate = crashes as f64 / 1000.0;
+        assert!(
+            (0.15..=0.40).contains(&rate),
+            "crash rate {rate} outside the bc band"
+        );
+    }
+
+    #[test]
+    fn crashes_are_heap_corruption() {
+        let program = bc_program();
+        // Deterministic crashing script: 16 variables (v_count -> 20), then
+        // 16 arrays (two growths: corruption then free of damaged block).
+        let mut script = vec![0, 10, 0, 0];
+        script.extend(std::iter::repeat_n(1, 16));
+        script.extend(std::iter::repeat_n(2, 16));
+        script.push(0);
+        let r = Vm::new(&program).with_input(script).run().unwrap();
+        assert_eq!(r.outcome, RunOutcome::Crash(CrashKind::HeapCorruption));
+    }
+
+    #[test]
+    fn overrun_without_second_growth_gets_lucky() {
+        let program = bc_program();
+        // 16 variables then only 8 arrays: one growth corrupts, but the
+        // damaged block is never freed — the program "gets lucky".
+        let mut script = vec![0, 10, 0, 0];
+        script.extend(std::iter::repeat_n(1, 16));
+        script.extend(std::iter::repeat_n(2, 8));
+        script.push(0);
+        let r = Vm::new(&program).with_input(script).run().unwrap();
+        assert!(r.outcome.is_success(), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn few_variables_never_crash() {
+        let program = bc_program();
+        // Arrays growth with small v_count: the buggy loop bound is benign.
+        let mut script = vec![2, 11, 1, 0];
+        script.extend(std::iter::repeat_n(1, 4));
+        script.extend(std::iter::repeat_n(2, 20));
+        script.push(0);
+        let r = Vm::new(&program).with_input(script).run().unwrap();
+        assert!(r.outcome.is_success(), "{:?}", r.outcome);
+    }
+
+    #[test]
+    fn empty_command_stream_succeeds() {
+        let program = bc_program();
+        let r = Vm::new(&program).with_input(vec![1, 10, 0, 0, 0]).run().unwrap();
+        assert!(r.outcome.is_success());
+    }
+
+    #[test]
+    fn trials_are_deterministic_per_seed() {
+        let a = bc_trials(10, 3, &BcTrialConfig::default());
+        let b = bc_trials(10, 3, &BcTrialConfig::default());
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,194 @@
+//! Campaign driver: instrument once, run many randomized trials, collect
+//! reports — the client half of the deployment loop of §1.
+
+use crate::WorkloadError;
+use cbi_instrument::{apply_sampling, instrument, Instrumented, Scheme, TransformOptions};
+use cbi_minic::Program;
+use cbi_reports::{Collector, Label, Report};
+use cbi_sampler::{CountdownBank, SamplingDensity};
+use cbi_vm::{RunOutcome, Vm};
+
+/// Configuration of one report-collection campaign.
+#[derive(Debug, Clone, Copy)]
+pub struct CampaignConfig {
+    /// Which observations to instrument.
+    pub scheme: Scheme,
+    /// Sampling transformation options.
+    pub transform: TransformOptions,
+    /// Sampling density, or `None` to run unconditional instrumentation.
+    pub density: Option<SamplingDensity>,
+    /// Pre-generated countdown bank size per run (§3.1.1 uses 1024).
+    pub bank_size: usize,
+    /// Master seed for per-run countdown banks.
+    pub seed: u64,
+    /// Per-run operation budget.
+    pub op_limit: u64,
+    /// Heap slack per allocation (overrun tolerance).
+    pub heap_slack: usize,
+}
+
+impl CampaignConfig {
+    /// A sampled campaign at the given density with sensible defaults.
+    pub fn sampled(scheme: Scheme, density: SamplingDensity) -> Self {
+        CampaignConfig {
+            scheme,
+            transform: TransformOptions::default(),
+            density: Some(density),
+            bank_size: 1024,
+            seed: 0x5eed,
+            op_limit: cbi_vm::DEFAULT_OP_LIMIT,
+            heap_slack: cbi_vm::heap::DEFAULT_SLACK,
+        }
+    }
+
+    /// An unconditional-instrumentation campaign.
+    pub fn unconditional(scheme: Scheme) -> Self {
+        CampaignConfig {
+            density: None,
+            ..CampaignConfig::sampled(scheme, SamplingDensity::always())
+        }
+    }
+}
+
+/// The outcome of a campaign.
+#[derive(Debug)]
+pub struct CampaignResult {
+    /// The instrumented program and its site table.
+    pub instrumented: Instrumented,
+    /// The collected reports.
+    pub collector: Collector,
+    /// Runs dropped because they exhausted the operation budget.
+    pub dropped: usize,
+}
+
+impl CampaignResult {
+    /// Site `(counter_base, arity)` groups, as the elimination strategies
+    /// expect them.
+    pub fn site_groups(&self) -> Vec<(usize, usize)> {
+        self.instrumented
+            .sites
+            .iter()
+            .map(|s| (s.counter_base, s.kind.arity()))
+            .collect()
+    }
+}
+
+/// Instruments `program` with `config.scheme`, transforms it (when a
+/// density is given), runs every trial, and collects one report per run.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError`] if instrumentation, transformation, or VM
+/// configuration fails.  Individual run crashes are data, not errors.
+pub fn run_campaign(
+    program: &Program,
+    trials: &[Vec<i64>],
+    config: &CampaignConfig,
+) -> Result<CampaignResult, WorkloadError> {
+    let instrumented = instrument(program, config.scheme)?;
+    let executable = match config.density {
+        Some(_) => apply_sampling(&instrumented.program, &config.transform)?.0,
+        None => instrumented.program.clone(),
+    };
+
+    let mut collector = Collector::new(instrumented.sites.total_counters());
+    let mut dropped = 0;
+    for (i, input) in trials.iter().enumerate() {
+        let mut vm = Vm::new(&executable);
+        vm.with_sites(&instrumented.sites)
+            .with_input(input.clone())
+            .with_op_limit(config.op_limit)
+            .with_heap_slack(config.heap_slack);
+        if let Some(density) = config.density {
+            let bank = CountdownBank::generate(
+                density,
+                config.bank_size,
+                config.seed.wrapping_add(i as u64),
+            );
+            vm.with_sampling(Box::new(bank));
+        }
+        let result = vm.run()?;
+        let label = match result.outcome {
+            RunOutcome::Success(_) => Label::Success,
+            RunOutcome::Crash(_) | RunOutcome::AssertionFailure(_) => Label::Failure,
+            RunOutcome::OpLimit => {
+                dropped += 1;
+                continue;
+            }
+        };
+        collector
+            .add(Report::new(i as u64, label, result.counters))
+            .expect("campaign reports share one layout");
+    }
+    Ok(CampaignResult {
+        instrumented,
+        collector,
+        dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bc::{bc_trials, BcTrialConfig};
+    use crate::benchmarks::{bc_program, ccrypt_program};
+    use crate::ccrypt::{ccrypt_trials, CcryptTrialConfig};
+
+    #[test]
+    fn ccrypt_campaign_collects_labeled_reports() {
+        let program = ccrypt_program();
+        let trials = ccrypt_trials(300, 11, &CcryptTrialConfig::default());
+        let config = CampaignConfig::sampled(Scheme::Returns, SamplingDensity::one_in(10));
+        let result = run_campaign(&program, &trials, &config).unwrap();
+        assert_eq!(result.collector.len(), 300);
+        assert!(result.collector.failure_count() > 0, "some runs crash");
+        assert!(result.collector.success_count() > 250);
+        assert_eq!(result.dropped, 0);
+        assert!(!result.site_groups().is_empty());
+    }
+
+    #[test]
+    fn unconditional_campaign_observes_every_crossing() {
+        let program = ccrypt_program();
+        let trials = ccrypt_trials(50, 5, &CcryptTrialConfig::default());
+        let sampled = run_campaign(
+            &program,
+            &trials,
+            &CampaignConfig::sampled(Scheme::Returns, SamplingDensity::one_in(1000)),
+        )
+        .unwrap();
+        let uncond =
+            run_campaign(&program, &trials, &CampaignConfig::unconditional(Scheme::Returns))
+                .unwrap();
+        let total = |c: &Collector| -> u64 {
+            c.reports().iter().map(|r| r.counters.iter().sum::<u64>()).sum()
+        };
+        assert!(total(&uncond.collector) > 50 * total(&sampled.collector));
+    }
+
+    #[test]
+    fn bc_campaign_with_scalar_pairs() {
+        let program = bc_program();
+        let trials = bc_trials(120, 3, &BcTrialConfig::default());
+        let config = CampaignConfig::sampled(Scheme::ScalarPairs, SamplingDensity::one_in(10));
+        let result = run_campaign(&program, &trials, &config).unwrap();
+        assert_eq!(result.collector.len(), 120);
+        let failures = result.collector.failure_count();
+        assert!(
+            (10..=60).contains(&failures),
+            "bc failure count {failures} out of band"
+        );
+        // Scalar pairs generate a large counter space.
+        assert!(result.instrumented.sites.total_counters() > 300);
+    }
+
+    #[test]
+    fn campaigns_are_deterministic() {
+        let program = ccrypt_program();
+        let trials = ccrypt_trials(60, 21, &CcryptTrialConfig::default());
+        let config = CampaignConfig::sampled(Scheme::Returns, SamplingDensity::one_in(100));
+        let a = run_campaign(&program, &trials, &config).unwrap();
+        let b = run_campaign(&program, &trials, &config).unwrap();
+        assert_eq!(a.collector.reports(), b.collector.reports());
+    }
+}

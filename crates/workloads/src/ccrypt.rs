@@ -1,0 +1,158 @@
+//! Randomized ccrypt trials (§3.2.3).
+//!
+//! "In lieu of a large user community, we generate many runs artificially
+//! in the spirit of the Fuzz project.  Each run uses a randomly selected
+//! set of present or absent files, randomized command line flags, and
+//! randomized responses to ccrypt prompts including the occasional EOF."
+//!
+//! A trial is an input script for the `ccrypt` MiniC analogue; the
+//! generator controls the probability that the script ends (EOF) exactly
+//! at a confirmation prompt, which is the crash trigger.
+
+use cbi_sampler::Pcg32;
+
+/// Distribution parameters for ccrypt trials.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CcryptTrialConfig {
+    /// Probability a given output file already exists.
+    pub p_exists: f64,
+    /// Probability the run uses `-f` (no prompts at all).
+    pub p_force: f64,
+    /// Probability that, given at least one prompt, the input stream is
+    /// truncated at a uniformly chosen prompt — the user hitting EOF.
+    pub p_eof: f64,
+    /// Probability a prompt is answered "yes" (1) rather than "no" (2).
+    pub p_yes: f64,
+    /// Files per run are uniform in `1..=max_files`.
+    pub max_files: u64,
+}
+
+impl Default for CcryptTrialConfig {
+    fn default() -> Self {
+        CcryptTrialConfig {
+            p_exists: 0.03,
+            p_force: 0.3,
+            p_yes: 0.7,
+            p_eof: 0.85,
+            max_files: 5,
+        }
+    }
+}
+
+/// Generates one trial's input script.
+///
+/// Token order matches the program's consumption order exactly: key seed,
+/// force flag, file count, then per file its `exists` flag, length seed,
+/// and (if it will prompt) the response — with possible truncation at a
+/// chosen prompt.
+pub fn ccrypt_trial(rng: &mut Pcg32, config: &CcryptTrialConfig) -> Vec<i64> {
+    let mut script: Vec<i64> = Vec::new();
+    script.push(rng.below(100_000) as i64); // key seed
+    let force = i64::from(rng.next_f64() < config.p_force);
+    script.push(force);
+    let nfiles = 1 + rng.below(config.max_files);
+    script.push(nfiles as i64);
+
+    // Positions (token indices) at which a prompt response is consumed.
+    let mut prompt_positions: Vec<usize> = Vec::new();
+    for _ in 0..nfiles {
+        let exists = i64::from(rng.next_f64() < config.p_exists);
+        script.push(exists);
+        script.push(rng.below(1000) as i64); // length seed
+        if exists == 1 && force == 0 {
+            prompt_positions.push(script.len());
+            let response = if rng.next_f64() < config.p_yes { 1 } else { 2 };
+            script.push(response);
+        }
+    }
+
+    if !prompt_positions.is_empty() && rng.next_f64() < config.p_eof {
+        // Truncate exactly at one of the prompts: everything from that
+        // response onward is cut, so xreadline() hits EOF there.
+        let k = rng.below(prompt_positions.len() as u64) as usize;
+        script.truncate(prompt_positions[k]);
+    }
+    script
+}
+
+/// Generates `n` trials from a master seed.
+pub fn ccrypt_trials(n: usize, seed: u64, config: &CcryptTrialConfig) -> Vec<Vec<i64>> {
+    let mut rng = Pcg32::new(seed);
+    (0..n).map(|_| ccrypt_trial(&mut rng, config)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::benchmarks::ccrypt_program;
+    use cbi_vm::{CrashKind, RunOutcome, Vm};
+
+    #[test]
+    fn scripts_have_valid_header() {
+        let trials = ccrypt_trials(50, 1, &CcryptTrialConfig::default());
+        for t in &trials {
+            assert!(t.len() >= 3, "{t:?}");
+            assert!(t[1] == 0 || t[1] == 1, "force flag");
+            assert!((1..=5).contains(&t[2]), "file count");
+        }
+    }
+
+    #[test]
+    fn uninstrumented_crash_rate_is_a_few_percent() {
+        let program = ccrypt_program();
+        let trials = ccrypt_trials(2000, 42, &CcryptTrialConfig::default());
+        let mut crashes = 0;
+        let mut successes = 0;
+        for t in trials {
+            let r = Vm::new(&program).with_input(t).run().unwrap();
+            match r.outcome {
+                RunOutcome::Crash(CrashKind::NullDeref) => crashes += 1,
+                RunOutcome::Success(_) => successes += 1,
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+        assert!(successes > 1800);
+        let rate = crashes as f64 / 2000.0;
+        assert!(
+            (0.01..=0.08).contains(&rate),
+            "crash rate {rate} ({crashes} crashes) outside the ccrypt band"
+        );
+    }
+
+    #[test]
+    fn eof_at_prompt_always_crashes() {
+        // Hand-built script: one file that exists, no force, no response.
+        let program = ccrypt_program();
+        let script = vec![7, 0, 1, 1, 50];
+        let r = Vm::new(&program).with_input(script).run().unwrap();
+        assert_eq!(r.outcome, RunOutcome::Crash(CrashKind::NullDeref));
+    }
+
+    #[test]
+    fn answered_prompt_succeeds() {
+        let program = ccrypt_program();
+        for response in [1, 2] {
+            let script = vec![7, 0, 1, 1, 50, response];
+            let r = Vm::new(&program).with_input(script).run().unwrap();
+            assert!(r.outcome.is_success(), "response {response}: {:?}", r.outcome);
+        }
+    }
+
+    #[test]
+    fn force_flag_never_prompts() {
+        let program = ccrypt_program();
+        // Force = 1, file exists, NO response provided: must still succeed.
+        let script = vec![7, 1, 1, 1, 50];
+        let r = Vm::new(&program).with_input(script).run().unwrap();
+        assert!(r.outcome.is_success());
+    }
+
+    #[test]
+    fn trials_are_deterministic_per_seed() {
+        let a = ccrypt_trials(20, 9, &CcryptTrialConfig::default());
+        let b = ccrypt_trials(20, 9, &CcryptTrialConfig::default());
+        assert_eq!(a, b);
+        let c = ccrypt_trials(20, 10, &CcryptTrialConfig::default());
+        assert_ne!(a, c);
+    }
+}

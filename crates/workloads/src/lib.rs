@@ -1,0 +1,106 @@
+//! Workloads: benchmark analogues, buggy case studies, and campaign
+//! drivers.
+//!
+//! The paper evaluates on real C programs we cannot ship; this crate
+//! supplies MiniC analogues with the same qualitative traits (see
+//! `DESIGN.md` for the substitution table):
+//!
+//! * [`benchmarks`] — thirteen Olden/SPECINT95 analogues for the overhead
+//!   experiments (Tables 1 and 2);
+//! * [`ccrypt`] — fuzz-style trial generation for the ccrypt analogue and
+//!   its deterministic EOF-at-prompt crash (§3.2);
+//! * [`bc`] — trial generation for the bc analogue and its
+//!   non-deterministic `more_arrays` overrun (§3.3);
+//! * [`campaign`] — instrument, transform, run many trials, collect
+//!   reports;
+//! * [`overhead`] — baseline / unconditional / sampled op-count ratios.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bc;
+pub mod benchmarks;
+pub mod campaign;
+pub mod ccrypt;
+pub mod overhead;
+
+pub use bc::{bc_trial, bc_trials, BcTrialConfig};
+pub use benchmarks::{
+    all_benchmarks, bc_program, benchmark, ccrypt_program, Benchmark, BC_SOURCE,
+    BENCHMARK_SOURCES, CCRYPT_SOURCE,
+};
+pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
+pub use ccrypt::{ccrypt_trial, ccrypt_trials, CcryptTrialConfig};
+pub use overhead::{
+    measure_overhead, measure_overhead_instrumented, OverheadConfig, OverheadMeasurement,
+};
+
+use std::error::Error;
+use std::fmt;
+
+/// An error from workload orchestration (instrumentation, transformation,
+/// or VM configuration).
+#[derive(Debug)]
+pub struct WorkloadError {
+    message: String,
+    source: Option<Box<dyn Error + Send + Sync>>,
+}
+
+impl WorkloadError {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
+        WorkloadError {
+            message: message.into(),
+            source: None,
+        }
+    }
+
+    /// The error message.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "workload error: {}", self.message)
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        self.source
+            .as_deref()
+            .map(|e| e as &(dyn Error + 'static))
+    }
+}
+
+impl From<cbi_instrument::InstrumentError> for WorkloadError {
+    fn from(e: cbi_instrument::InstrumentError) -> Self {
+        WorkloadError {
+            message: e.to_string(),
+            source: Some(Box::new(e)),
+        }
+    }
+}
+
+impl From<cbi_vm::VmError> for WorkloadError {
+    fn from(e: cbi_vm::VmError) -> Self {
+        WorkloadError {
+            message: e.to_string(),
+            source: Some(Box::new(e)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_wraps_sources() {
+        let e = WorkloadError::new("boom");
+        assert_eq!(e.message(), "boom");
+        assert!(e.to_string().contains("boom"));
+        assert!(std::error::Error::source(&e).is_none());
+    }
+}

@@ -1,0 +1,83 @@
+//! Quickstart: the full cooperative-bug-isolation loop on a tiny program.
+//!
+//! We write a buggy MiniC program, instrument it with the `returns`
+//! scheme, apply the fair-sampling transformation, "deploy" it over a few
+//! hundred randomized runs, and let predicate elimination point at the
+//! bug.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cbi::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A program with a deterministic bug: `lookup` returns -1 for missing
+    // keys, and `main` uses the result as an index without checking.
+    let program = parse(
+        "fn lookup(ptr table, int key) -> int {
+             int i = 0;
+             while (i < len(table)) {
+                 int entry = table[i];
+                 if (entry == key) {
+                     return i;
+                 }
+                 i = i + 1;
+             }
+             return -1;                      // missing key
+         }
+         fn main() -> int {
+             ptr table = alloc(8);
+             int i = 0;
+             while (i < 8) {
+                 table[i] = i * 3;           // keys 0,3,6,...,21
+                 i = i + 1;
+             }
+             int key = read();
+             int slot = lookup(table, key);
+             table[slot] = 99;               // BUG: slot may be -1
+             print(slot);
+             free(table);
+             return 0;
+         }",
+    )?;
+
+    // Show what the instrumented source looks like.
+    let inst = instrument(&program, Scheme::Returns)?;
+    println!("--- instrumented (unconditional) ---");
+    println!("{}", pretty(&inst.program));
+    let (sampled, stats) = apply_sampling(&inst.program, &TransformOptions::default())?;
+    println!(
+        "--- after sampling transformation: {} threshold checks, {} AST nodes ---",
+        stats
+            .functions
+            .iter()
+            .map(|f| f.threshold_checks)
+            .sum::<usize>(),
+        cbi::minic::ast::program_size(&sampled),
+    );
+
+    // "Deploy": 500 runs with random keys; most hit, some miss and crash.
+    let trials: Vec<Vec<i64>> = (0..500).map(|i| vec![(i * 7) % 25]).collect();
+    let config = CampaignConfig::sampled(Scheme::Returns, SamplingDensity::one_in(10));
+    let result = run_campaign(&program, &trials, &config)?;
+    println!(
+        "campaign: {} runs, {} crashes",
+        result.collector.len(),
+        result.collector.failure_count()
+    );
+
+    // Analyze.
+    let report = cbi::eliminate(&result);
+    println!("predicates implicated by elimination:");
+    for name in &report.combined_names {
+        println!("  {name}");
+    }
+    assert!(
+        report
+            .combined_names
+            .iter()
+            .any(|n| n.contains("lookup() < 0")),
+        "expected `lookup() < 0` to be isolated"
+    );
+    println!("=> the bug: main() uses lookup()'s result when it is negative.");
+    Ok(())
+}

@@ -1,0 +1,51 @@
+//! Statistical debugging (§3.3): the bc case study, end to end.
+//!
+//! The `more_arrays` buffer overrun does not always crash, so no predicate
+//! perfectly predicts failure; ℓ₁-regularized logistic regression finds
+//! the predicates most correlated with crashing instead.
+//!
+//! Run with: `cargo run --release --example statistical_debugging`
+
+use cbi::prelude::*;
+use cbi::workloads::{bc_program, bc_trials, BcTrialConfig};
+use cbi::RegressionConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let program = bc_program();
+    let trials = bc_trials(4390, 106, &BcTrialConfig::default());
+    let config = CampaignConfig::sampled(Scheme::ScalarPairs, SamplingDensity::one_in(100));
+    let result = run_campaign(&program, &trials, &config)?;
+    println!(
+        "bc analogue: {} scalar-pair counters, {} runs, {:.0}% crashed",
+        result.instrumented.sites.total_counters(),
+        result.collector.len(),
+        100.0 * result.collector.failure_count() as f64 / result.collector.len() as f64
+    );
+
+    let study = cbi::regress(&result, &RegressionConfig::paper_proportions(4390));
+    println!(
+        "trained on {} effective features; lambda = {} by cross-validation; \
+         test accuracy {:.2}",
+        study.effective_features, study.lambda, study.test_accuracy
+    );
+
+    println!();
+    println!("top crash-predicting predicates:");
+    for (i, (name, beta)) in study.top(5).iter().enumerate() {
+        println!("  {}. beta={beta:+.3}  {name}", i + 1);
+    }
+
+    println!();
+    if let Some(rank) = study.rank_of("indx > a_count") {
+        println!(
+            "the literal bug condition `indx > a_count` ranks #{} — like the paper's \
+             #240, redundancy and got-lucky runs push it below the correlated cluster",
+            rank + 1
+        );
+    }
+    println!(
+        "every top predicate points at `indx` on the zeroing loop of more_arrays(): \
+         the copy-paste bound bug."
+    );
+    Ok(())
+}

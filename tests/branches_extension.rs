@@ -1,0 +1,98 @@
+//! The `branches` scheme extension: branch-direction observations feed
+//! the same elimination machinery (this scheme became standard in the
+//! CBI follow-on work; here it demonstrates that the analyses are
+//! scheme-agnostic).
+
+use cbi::prelude::*;
+
+/// A program that crashes iff it takes the `mode == 3` branch.
+const PROGRAM: &str = "fn main() -> int {
+    int mode = read();
+    int payload = read();
+    ptr buf = alloc(4);
+    if (mode == 1) {
+        buf[0] = payload;
+    } else if (mode == 2) {
+        buf[1] = payload * 2;
+    } else if (mode == 3) {
+        ptr q;
+        buf[2] = q[0];       // BUG: always crashes on this branch
+    } else {
+        buf[3] = 7;
+    }
+    print(buf[0] + buf[1] + buf[3]);
+    free(buf);
+    return 0;
+}";
+
+fn campaign(density: SamplingDensity) -> CampaignResult {
+    let program = parse(PROGRAM).expect("program parses");
+    // Modes cycle 0..=4; mode 3 appears in 1/5 of runs.
+    let trials: Vec<Vec<i64>> = (0..600).map(|i| vec![i % 5, i * 13 % 50]).collect();
+    let config = CampaignConfig::sampled(Scheme::Branches, density);
+    run_campaign(&program, &trials, &config).expect("campaign")
+}
+
+#[test]
+fn branch_elimination_finds_the_crashing_branch() {
+    let result = campaign(SamplingDensity::always());
+    assert!(result.collector.failure_count() > 50);
+
+    let report = cbi::eliminate(&result);
+    assert!(
+        report
+            .combined_names
+            .iter()
+            .any(|n| n.contains("(mode == 3)") && !n.contains('!')),
+        "crashing branch not isolated: {:?}",
+        report.combined_names
+    );
+    // The healthy branches must not be implicated.
+    assert!(
+        !report
+            .combined_names
+            .iter()
+            .any(|n| n.contains("(mode == 1)") && !n.starts_with('!') && !n.contains("!(")),
+        "healthy branch implicated: {:?}",
+        report.combined_names
+    );
+}
+
+#[test]
+fn sampled_branch_observations_still_isolate_with_enough_runs() {
+    let result = campaign(SamplingDensity::one_in(3));
+    let report = cbi::eliminate(&result);
+    assert!(
+        report
+            .combined_names
+            .iter()
+            .any(|n| n.contains("(mode == 3)")),
+        "sampled isolation failed: {:?}",
+        report.combined_names
+    );
+}
+
+#[test]
+fn branch_sites_observe_both_directions() {
+    let result = campaign(SamplingDensity::always());
+    let sites = &result.instrumented.sites;
+    // Find the `mode == 1` branch site: across the campaign both the
+    // taken and not-taken counters must fire.
+    let site = sites
+        .iter()
+        .find(|s| s.text.contains("mode == 1"))
+        .expect("branch site exists");
+    let taken = site.counter_base + 2;
+    let not_taken = site.counter_base + 1;
+    let totals = |c: usize| -> u64 {
+        result
+            .collector
+            .reports()
+            .iter()
+            .map(|r| r.counters[c])
+            .sum()
+    };
+    assert!(totals(taken) > 0, "taken counter");
+    assert!(totals(not_taken) > 0, "not-taken counter");
+    assert_eq!(totals(site.counter_base), 0, "sign<0 slot stays unused");
+}

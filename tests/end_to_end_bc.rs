@@ -1,0 +1,113 @@
+//! End-to-end reproduction of the bc case study (§3.3) at test scale.
+
+use cbi::prelude::*;
+use cbi::workloads::{bc_program, bc_trials, BcTrialConfig};
+use cbi::RegressionConfig;
+
+fn campaign(runs: usize, seed: u64, density: SamplingDensity) -> CampaignResult {
+    let program = bc_program();
+    let trials = bc_trials(runs, seed, &BcTrialConfig::default());
+    let config = CampaignConfig::sampled(Scheme::ScalarPairs, density);
+    run_campaign(&program, &trials, &config).expect("campaign")
+}
+
+#[test]
+fn crash_rate_is_roughly_one_in_four() {
+    let result = campaign(800, 106, SamplingDensity::one_in(100));
+    let rate = result.collector.failure_count() as f64 / result.collector.len() as f64;
+    assert!(
+        (0.15..0.40).contains(&rate),
+        "bc crash rate {rate} out of band (paper: ~0.25)"
+    );
+}
+
+#[test]
+fn regression_points_at_the_buggy_zeroing_loop() {
+    let result = campaign(1500, 106, SamplingDensity::one_in(20));
+    let study = cbi::regress(&result, &RegressionConfig::paper_proportions(1500));
+
+    // The top-ranked predicates must implicate `indx` inside more_arrays.
+    let top = study.top(3);
+    assert!(!top.is_empty());
+    for (name, _) in top {
+        assert!(
+            name.contains("more_arrays") && name.contains("indx"),
+            "top predicate not at the buggy loop: {name} (top: {:?})",
+            study.top(5)
+        );
+    }
+    // The model actually predicts crashes.
+    assert!(
+        study.test_accuracy > 0.7,
+        "test accuracy {}",
+        study.test_accuracy
+    );
+}
+
+#[test]
+fn smoking_gun_is_present_but_not_first() {
+    // §3.3.3: `indx > a_count` corresponds to a sampled predicate but was
+    // ranked 240th, behind the redundant cluster.
+    let result = campaign(1500, 106, SamplingDensity::one_in(20));
+    let study = cbi::regress(&result, &RegressionConfig::paper_proportions(1500));
+    let rank = study
+        .rank_of("indx > a_count")
+        .expect("smoking gun must be a sampled feature");
+    assert!(rank > 0, "paper found the literal predicate NOT top-ranked");
+}
+
+#[test]
+fn overrun_runs_sometimes_get_lucky() {
+    // §3.3.3: "out of 320 runs in which sampling spotted indx > a_count at
+    // least once, 66 did not crash."  Verify both populations exist using
+    // unconditional instrumentation (which observes every crossing).
+    let program = bc_program();
+    let trials = bc_trials(600, 31, &BcTrialConfig::default());
+    let result = run_campaign(
+        &program,
+        &trials,
+        &CampaignConfig::unconditional(Scheme::ScalarPairs),
+    )
+    .expect("campaign");
+
+    // Find the `indx > a_count` counters; several sites share the text
+    // (one per assignment to indx) — the zeroing-loop increment is the one
+    // that fires during an overrun, so a run "spotted the overrun" when
+    // any of them recorded `>`.
+    let counters: Vec<usize> = result
+        .instrumented
+        .sites
+        .iter()
+        .filter(|s| s.function == "more_arrays" && s.text == "indx\u{1}a_count")
+        .map(|s| s.counter_base + 2) // the `>` slot of the lt/eq/gt triple
+        .collect();
+    assert!(!counters.is_empty(), "sites exist");
+
+    let mut overrun_crashed = 0;
+    let mut overrun_lucky = 0;
+    for r in result.collector.reports() {
+        if counters.iter().any(|&c| r.counters[c] > 0) {
+            match r.label {
+                Label::Failure => overrun_crashed += 1,
+                Label::Success => overrun_lucky += 1,
+            }
+        }
+    }
+    assert!(overrun_crashed > 0, "some overruns crash");
+    assert!(overrun_lucky > 0, "some overruns get lucky (non-determinism)");
+}
+
+#[test]
+fn no_predicate_survives_successful_counterexample_at_scale() {
+    // §3.3: for a non-deterministic bug, with enough runs no predicate
+    // survives elimination by successful counterexample.
+    let result = campaign(1500, 9, SamplingDensity::one_in(10));
+    let report = cbi::eliminate(&result);
+    let combined = report.combined.len();
+    let uf = report.independent_survivors[0];
+    assert!(
+        combined < uf / 4,
+        "successful counterexample should wipe out most of the {uf} candidates, \
+         left {combined}"
+    );
+}

@@ -1,0 +1,163 @@
+//! Cross-crate invariants of the sampling infrastructure, checked over the
+//! real benchmark programs:
+//!
+//! 1. semantic transparency — instrumentation and sampling never change
+//!    program results;
+//! 2. statistical fidelity — sampled observation counts approximate
+//!    `density × unconditional` counts;
+//! 3. cost ordering — baseline < sampled < unconditional for check-dense
+//!    programs.
+
+use cbi::prelude::*;
+use cbi::workloads::all_benchmarks;
+
+#[test]
+fn instrumentation_is_semantically_transparent_on_all_benchmarks() {
+    for b in all_benchmarks() {
+        let inst = instrument(&b.program, Scheme::Checks).expect("instrument");
+        let baseline = strip_sites(&inst.program);
+        let (sampled, _) =
+            apply_sampling(&inst.program, &TransformOptions::default()).expect("transform");
+
+        let base = Vm::new(&baseline)
+            .with_op_limit(500_000_000)
+            .run()
+            .expect("baseline run");
+        let uncond = Vm::new(&inst.program)
+            .with_sites(&inst.sites)
+            .with_op_limit(500_000_000)
+            .run()
+            .expect("unconditional run");
+        let samp = Vm::new(&sampled)
+            .with_sites(&inst.sites)
+            .with_sampling(Box::new(Geometric::new(SamplingDensity::one_in(100), 5)))
+            .with_op_limit(500_000_000)
+            .run()
+            .expect("sampled run");
+
+        assert_eq!(base.output, uncond.output, "{}: unconditional output", b.name);
+        assert_eq!(base.output, samp.output, "{}: sampled output", b.name);
+        assert!(base.outcome.is_success(), "{}", b.name);
+        assert!(uncond.outcome.is_success(), "{}", b.name);
+        assert!(samp.outcome.is_success(), "{}", b.name);
+    }
+}
+
+#[test]
+fn sampled_counts_track_density_on_a_benchmark() {
+    let b = cbi::workloads::benchmark("compress").expect("benchmark");
+    let inst = instrument(&b.program, Scheme::Checks).expect("instrument");
+    let (sampled, _) =
+        apply_sampling(&inst.program, &TransformOptions::default()).expect("transform");
+
+    let uncond = Vm::new(&inst.program)
+        .with_sites(&inst.sites)
+        .run()
+        .expect("run");
+    let crossings: u64 = uncond.counters.iter().sum();
+    assert!(crossings > 10_000, "enough crossings: {crossings}");
+
+    let density = 100u64;
+    let trials = 30;
+    let mut total = 0u64;
+    for seed in 0..trials {
+        let r = Vm::new(&sampled)
+            .with_sites(&inst.sites)
+            .with_sampling(Box::new(Geometric::new(
+                SamplingDensity::one_in(density),
+                seed,
+            )))
+            .run()
+            .expect("run");
+        total += r.counters.iter().sum::<u64>();
+    }
+    let mean = total as f64 / trials as f64;
+    let expected = crossings as f64 / density as f64;
+    assert!(
+        (mean - expected).abs() < expected * 0.2,
+        "mean sampled count {mean} should approximate {expected}"
+    );
+}
+
+#[test]
+fn per_site_rates_are_fair_across_sites() {
+    // The fairness property at program level: every site's sampled/actual
+    // ratio clusters around the density — no site is starved.
+    let b = cbi::workloads::benchmark("em3d").expect("benchmark");
+    let inst = instrument(&b.program, Scheme::Checks).expect("instrument");
+    let (sampled, _) =
+        apply_sampling(&inst.program, &TransformOptions::default()).expect("transform");
+
+    let uncond = Vm::new(&inst.program)
+        .with_sites(&inst.sites)
+        .run()
+        .expect("run");
+
+    let mut sampled_totals = vec![0u64; uncond.counters.len()];
+    let trials = 60;
+    for seed in 0..trials {
+        let r = Vm::new(&sampled)
+            .with_sites(&inst.sites)
+            .with_sampling(Box::new(Geometric::new(SamplingDensity::one_in(10), seed)))
+            .run()
+            .expect("run");
+        for (t, c) in sampled_totals.iter_mut().zip(&r.counters) {
+            *t += c;
+        }
+    }
+
+    for (i, (&actual, &got)) in uncond.counters.iter().zip(&sampled_totals).enumerate() {
+        if actual < 3_000 {
+            continue; // too rare for a tight ratio check
+        }
+        let rate = got as f64 / (actual as f64 * trials as f64);
+        assert!(
+            (0.07..0.13).contains(&rate),
+            "site counter {i}: rate {rate} strays from 0.1"
+        );
+    }
+}
+
+#[test]
+fn cost_ordering_on_check_dense_benchmarks() {
+    for name in ["em3d", "compress", "ijpeg"] {
+        let b = cbi::workloads::benchmark(name).expect("benchmark");
+        let inst = instrument(&b.program, Scheme::Checks).expect("instrument");
+        let baseline = strip_sites(&inst.program);
+        let (sampled, _) =
+            apply_sampling(&inst.program, &TransformOptions::default()).expect("transform");
+
+        let base = Vm::new(&baseline).run().expect("run").ops;
+        let uncond = Vm::new(&inst.program)
+            .with_sites(&inst.sites)
+            .run()
+            .expect("run")
+            .ops;
+        let samp = Vm::new(&sampled)
+            .with_sites(&inst.sites)
+            .with_sampling(Box::new(Geometric::new(SamplingDensity::one_in(1000), 3)))
+            .run()
+            .expect("run")
+            .ops;
+        assert!(
+            base < samp && samp < uncond,
+            "{name}: {base} < {samp} < {uncond} violated"
+        );
+    }
+}
+
+#[test]
+fn code_growth_is_bounded_and_real() {
+    use cbi::instrument::code_growth;
+    for b in all_benchmarks() {
+        let inst = instrument(&b.program, Scheme::Checks).expect("instrument");
+        let (sampled, _) =
+            apply_sampling(&inst.program, &TransformOptions::default()).expect("transform");
+        let growth = code_growth(&inst.program, &sampled);
+        assert!(
+            (0.0..=3.0).contains(&growth),
+            "{}: growth {growth} out of plausible range",
+            b.name
+        );
+    }
+}
