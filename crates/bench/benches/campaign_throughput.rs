@@ -1,0 +1,118 @@
+//! Campaign throughput: the seed's serial name-map campaign loop against
+//! the slot-resolved, sharded `run_campaign` (§2.5 contemplates millions
+//! of runs, so driver throughput is the experiment bottleneck).
+//!
+//! The baseline reconstructs the pre-optimization code path exactly: the
+//! name-map interpreter, a cloned input vector per trial, and a freshly
+//! allocated boxed countdown bank per trial.  Both paths must produce
+//! bit-identical report streams; wall-clock times and the speedup land in
+//! `BENCH_campaign.json` at the repository root.
+
+use cbi::instrument::{apply_sampling, instrument, Scheme};
+use cbi::reports::{Collector, Label, Report};
+use cbi::sampler::{CountdownBank, SamplingDensity};
+use cbi::vm::{Engine, RunOutcome, Vm};
+use cbi::workloads::{
+    ccrypt_program, ccrypt_trials, run_campaign, CampaignConfig, CcryptTrialConfig,
+};
+use std::time::{Duration, Instant};
+
+const TRIALS: usize = 2000;
+const JOBS: usize = 8;
+/// Wall-clock repetitions per path; the minimum is reported, which
+/// discards scheduler noise on shared machines.
+const REPS: usize = 5;
+
+/// The seed's `run_campaign` inner loop, verbatim in spirit: name-map
+/// engine, `input.clone()` per trial, `Box<CountdownBank>` per trial.
+fn baseline_campaign(
+    program: &cbi::minic::Program,
+    trials: &[Vec<i64>],
+    config: &CampaignConfig,
+) -> (Collector, usize) {
+    let inst = instrument(program, config.scheme).expect("instrument");
+    let (executable, _) = apply_sampling(&inst.program, &config.transform).expect("transform");
+    let mut collector = Collector::new(inst.sites.total_counters());
+    let mut dropped = 0;
+    for (i, input) in trials.iter().enumerate() {
+        let bank = CountdownBank::generate(
+            config.density.expect("sampled config"),
+            config.bank_size,
+            config.seed.wrapping_add(i as u64),
+        );
+        let result = Vm::new(&executable)
+            .with_engine(Engine::NameMap)
+            .with_sites(&inst.sites)
+            .with_input(input.clone())
+            .with_op_limit(config.op_limit)
+            .with_heap_slack(config.heap_slack)
+            .with_sampling(Box::new(bank))
+            .run()
+            .expect("vm config");
+        let label = match result.outcome {
+            RunOutcome::Success(_) => Label::Success,
+            RunOutcome::Crash(_) | RunOutcome::AssertionFailure(_) => Label::Failure,
+            RunOutcome::OpLimit => {
+                dropped += 1;
+                continue;
+            }
+        };
+        collector
+            .add(Report::new(i as u64, label, result.counters))
+            .expect("one layout");
+    }
+    (collector, dropped)
+}
+
+fn main() {
+    let program = ccrypt_program();
+    let trials = ccrypt_trials(TRIALS, 77, &CcryptTrialConfig::default());
+    let config = CampaignConfig::sampled(Scheme::Returns, SamplingDensity::one_in(100));
+
+    // Interleave the two paths so machine-load drift hits both equally,
+    // and keep the minimum of each: the cleanest wall-clock estimate a
+    // shared box allows.
+    let mut baseline = Duration::MAX;
+    let mut parallel = Duration::MAX;
+    let mut baseline_out = None;
+    let mut result = None;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let out = baseline_campaign(&program, &trials, &config);
+        baseline = baseline.min(start.elapsed());
+        baseline_out = Some(out);
+
+        let start = Instant::now();
+        let out = run_campaign(&program, &trials, &config.with_jobs(JOBS)).expect("campaign");
+        parallel = parallel.min(start.elapsed());
+        result = Some(out);
+    }
+    let (baseline_reports, baseline_dropped) = baseline_out.expect("REPS > 0");
+    let result = result.expect("REPS > 0");
+
+    assert_eq!(
+        baseline_reports.reports(),
+        result.collector.reports(),
+        "optimized campaign must reproduce the seed report stream"
+    );
+    assert_eq!(baseline_dropped, result.dropped);
+
+    let speedup = baseline.as_secs_f64() / parallel.as_secs_f64();
+    println!("campaign_throughput: {TRIALS} ccrypt trials, returns @ 1/100, jobs={JOBS}");
+    println!(
+        "  seed baseline {:>9.3} s   optimized {:>9.3} s   speedup {speedup:.2}x",
+        baseline.as_secs_f64(),
+        parallel.as_secs_f64()
+    );
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"ccrypt\",\n  \"scheme\": \"returns\",\n  \"density\": \"1/100\",\n  \"trials\": {TRIALS},\n  \"jobs\": {JOBS},\n  \"reports\": {},\n  \"dropped\": {},\n  \"baseline_seconds\": {:.6},\n  \"optimized_seconds\": {:.6},\n  \"speedup\": {speedup:.3}\n}}\n",
+        result.collector.len(),
+        result.dropped,
+        baseline.as_secs_f64(),
+        parallel.as_secs_f64(),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_campaign.json");
+    std::fs::write(out, json).expect("write BENCH_campaign.json");
+    println!("  wrote {out}");
+}

@@ -5,7 +5,7 @@ use cbi::reports::{Label, Report, SufficientStats};
 use cbi::sampler::Pcg32;
 use cbi::stats::elimination::{apply, Strategy};
 use cbi::stats::{progressive_elimination, ProgressiveConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use cbi_bench::harness::bench;
 use std::hint::black_box;
 
 fn synthetic_reports(n: usize, counters: usize) -> Vec<Report> {
@@ -25,37 +25,29 @@ fn synthetic_reports(n: usize, counters: usize) -> Vec<Report> {
         .collect()
 }
 
-fn bench_elimination(c: &mut Criterion) {
+fn main() {
     let reports = synthetic_reports(3000, 1710);
     let stats: SufficientStats = reports.iter().cloned().collect();
     let groups: Vec<(usize, usize)> = (0..570).map(|i| (i * 3, 3)).collect();
 
-    let mut group = c.benchmark_group("fig2_elimination");
-    group.bench_function("four_strategies_1710_counters", |b| {
-        b.iter(|| {
-            for s in [
-                Strategy::UniversalFalsehood,
-                Strategy::LackOfFailingCoverage,
-                Strategy::LackOfFailingExample,
-                Strategy::SuccessfulCounterexample,
-            ] {
-                black_box(apply(&stats, s, &groups));
-            }
-        });
+    bench("fig2_elimination/four_strategies_1710_counters", || {
+        for s in [
+            Strategy::UniversalFalsehood,
+            Strategy::LackOfFailingCoverage,
+            Strategy::LackOfFailingExample,
+            Strategy::SuccessfulCounterexample,
+        ] {
+            black_box(apply(&stats, s, &groups));
+        }
     });
 
-    group.sample_size(10);
-    group.bench_function("progressive_100x_repetitions", |b| {
-        let candidates: Vec<usize> = (0..141).collect();
-        let config = ProgressiveConfig {
-            step: 500,
-            repetitions: 100,
-            seed: 9,
-        };
-        b.iter(|| black_box(progressive_elimination(&reports, &candidates, &config)));
+    let candidates: Vec<usize> = (0..141).collect();
+    let config = ProgressiveConfig {
+        step: 500,
+        repetitions: 100,
+        seed: 9,
+    };
+    bench("fig2_elimination/progressive_100x_repetitions", || {
+        black_box(progressive_elimination(&reports, &candidates, &config))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_elimination);
-criterion_main!(benches);

@@ -5,7 +5,7 @@
 use cbi::reports::{Label, Report};
 use cbi::sampler::Pcg32;
 use cbi::stats::{Dataset, LogisticModel, TrainConfig};
-use criterion::{criterion_group, criterion_main, Criterion};
+use cbi_bench::harness::bench;
 use std::hint::black_box;
 
 fn synthetic_dataset(rows: usize, counters: usize) -> Dataset {
@@ -24,7 +24,11 @@ fn synthetic_dataset(rows: usize, counters: usize) -> Dataset {
                 .collect();
             Report::new(
                 i as u64,
-                if crash { Label::Failure } else { Label::Success },
+                if crash {
+                    Label::Failure
+                } else {
+                    Label::Success
+                },
                 cs,
             )
         })
@@ -34,27 +38,19 @@ fn synthetic_dataset(rows: usize, counters: usize) -> Dataset {
     d
 }
 
-fn bench_training(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4_regression");
-    group.sample_size(10);
+fn main() {
     let data = synthetic_dataset(1000, 500);
-    group.bench_function("sga_60_epochs_1000x500", |b| {
-        b.iter(|| {
-            black_box(LogisticModel::train(
-                &data,
-                &TrainConfig {
-                    lambda: 0.3,
-                    ..TrainConfig::default()
-                },
-            ))
-        });
+    bench("fig4_regression/sga_60_epochs_1000x500", || {
+        black_box(LogisticModel::train(
+            &data,
+            &TrainConfig {
+                lambda: 0.3,
+                ..TrainConfig::default()
+            },
+        ))
     });
-    group.bench_function("prediction_1000_rows", |b| {
-        let model = LogisticModel::train(&data, &TrainConfig::default());
-        b.iter(|| black_box(model.accuracy(&data)));
+    let model = LogisticModel::train(&data, &TrainConfig::default());
+    bench("fig4_regression/prediction_1000_rows", || {
+        black_box(model.accuracy(&data))
     });
-    group.finish();
 }
-
-criterion_group!(benches, bench_training);
-criterion_main!(benches);

@@ -2,42 +2,32 @@
 //! generation must be cheap enough to amortize, and vastly cheaper than
 //! tossing the coin at every site.
 
-use cbi::sampler::{
-    Bernoulli, CountdownBank, CountdownSource, Geometric, SamplingDensity,
-};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cbi::sampler::{Bernoulli, CountdownBank, CountdownSource, Geometric, SamplingDensity};
+use cbi_bench::harness::bench;
 use std::hint::black_box;
 
-fn bench_countdown_generation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("countdown_generation");
+fn main() {
     for d in [100u64, 1000, 1_000_000] {
-        group.bench_with_input(BenchmarkId::new("geometric", d), &d, |b, &d| {
-            let mut g = Geometric::new(SamplingDensity::one_in(d), 42);
-            b.iter(|| black_box(g.next_countdown()));
+        let mut g = Geometric::new(SamplingDensity::one_in(d), 42);
+        bench(&format!("countdown_generation/geometric_1in{d}"), || {
+            black_box(g.next_countdown())
         });
     }
+
     // The naive equivalent: toss the biased coin until it comes up heads.
     // At 1/1000 density this is ~1000 RNG calls per countdown.
-    group.bench_function("bernoulli_expansion_1in100", |b| {
-        let mut coin = Bernoulli::new(SamplingDensity::one_in(100), 42);
-        b.iter(|| black_box(coin.next_countdown()));
+    let mut coin = Bernoulli::new(SamplingDensity::one_in(100), 42);
+    bench("countdown_generation/bernoulli_expansion_1in100", || {
+        black_box(coin.next_countdown())
     });
-    group.finish();
-}
 
-fn bench_bank_generation(c: &mut Criterion) {
-    c.bench_function("bank_1024_at_1in1000", |b| {
-        let mut seed = 0u64;
-        b.iter(|| {
-            seed += 1;
-            black_box(CountdownBank::generate(
-                SamplingDensity::one_in(1000),
-                1024,
-                seed,
-            ))
-        });
+    let mut seed = 0u64;
+    bench("bank_1024_at_1in1000", || {
+        seed += 1;
+        black_box(CountdownBank::generate(
+            SamplingDensity::one_in(1000),
+            1024,
+            seed,
+        ))
     });
 }
-
-criterion_group!(benches, bench_countdown_generation, bench_bank_generation);
-criterion_main!(benches);

@@ -3,24 +3,16 @@
 
 use cbi::instrument::{apply_sampling, instrument, Scheme, TransformOptions};
 use cbi::workloads::all_benchmarks;
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use cbi_bench::harness::bench;
 use std::hint::black_box;
 
-fn bench_instrument_and_transform(c: &mut Criterion) {
-    let mut group = c.benchmark_group("table1_transform");
-    group.sample_size(20);
+fn main() {
     for b in all_benchmarks() {
-        group.bench_with_input(BenchmarkId::new("checks", b.name), &b, |bench, b| {
-            bench.iter(|| {
-                let inst = instrument(&b.program, Scheme::Checks).expect("instrument");
-                let out = apply_sampling(&inst.program, &TransformOptions::default())
-                    .expect("transform");
-                black_box(out)
-            });
+        bench(&format!("table1_transform/checks/{}", b.name), || {
+            let inst = instrument(&b.program, Scheme::Checks).expect("instrument");
+            let out =
+                apply_sampling(&inst.program, &TransformOptions::default()).expect("transform");
+            black_box(out)
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_instrument_and_transform);
-criterion_main!(benches);

@@ -1,53 +1,53 @@
 //! Table 2 companion bench: wall-clock cost of executing the three builds
 //! (baseline, unconditional, sampled) of a representative benchmark.
 //! The printed Table 2 uses deterministic op counts; this bench confirms
-//! the same ordering holds for real time in our interpreter.
+//! the same ordering holds for real time in our interpreter, and shows
+//! the slot-resolved engine against the name-map reference engine.
 
 use cbi::instrument::{apply_sampling, instrument, strip_sites, Scheme, TransformOptions};
+use cbi::minic::lower;
 use cbi::sampler::{CountdownBank, SamplingDensity};
-use cbi::vm::Vm;
+use cbi::vm::{Engine, Vm};
 use cbi::workloads::benchmark;
-use criterion::{criterion_group, criterion_main, Criterion};
+use cbi_bench::harness::bench;
 use std::hint::black_box;
 
-fn bench_builds(c: &mut Criterion) {
+fn main() {
     let b = benchmark("mst").expect("benchmark exists");
     let inst = instrument(&b.program, Scheme::Checks).expect("instrument");
     let baseline = strip_sites(&inst.program);
+    let baseline_slots = lower(&baseline);
+    let inst_slots = lower(&inst.program);
     let (sampled, _) =
         apply_sampling(&inst.program, &TransformOptions::default()).expect("transform");
+    let sampled_slots = lower(&sampled);
 
-    let mut group = c.benchmark_group("table2_execution_mst");
-    group.sample_size(20);
-    group.bench_function("baseline", |bench| {
-        bench.iter(|| black_box(Vm::new(&baseline).run().expect("run")));
+    bench("table2_execution_mst/baseline", || {
+        black_box(Vm::from_slots(&baseline_slots).run().expect("run"))
     });
-    group.bench_function("unconditional", |bench| {
-        bench.iter(|| {
-            black_box(
-                Vm::new(&inst.program)
-                    .with_sites(&inst.sites)
-                    .run()
-                    .expect("run"),
-            )
-        });
+    bench("table2_execution_mst/baseline_namemap", || {
+        black_box(
+            Vm::new(&baseline)
+                .with_engine(Engine::NameMap)
+                .run()
+                .expect("run"),
+        )
     });
-    group.bench_function("sampled_1in1000", |bench| {
-        let mut seed = 0;
-        bench.iter(|| {
-            seed += 1;
-            let bank = CountdownBank::generate(SamplingDensity::one_in(1000), 1024, seed);
-            black_box(
-                Vm::new(&sampled)
-                    .with_sites(&inst.sites)
-                    .with_sampling(Box::new(bank))
-                    .run()
-                    .expect("run"),
-            )
-        });
+    bench("table2_execution_mst/unconditional", || {
+        black_box(
+            Vm::from_slots(&inst_slots)
+                .with_sites(&inst.sites)
+                .run()
+                .expect("run"),
+        )
     });
-    group.finish();
+    let mut bank = CountdownBank::generate(SamplingDensity::one_in(1000), 1024, 0);
+    let mut seed = 0;
+    bench("table2_execution_mst/sampled_1in1000", || {
+        seed += 1;
+        bank.reseed(SamplingDensity::one_in(1000), seed);
+        let mut vm = Vm::from_slots(&sampled_slots);
+        vm.with_sites(&inst.sites).with_sampling_ref(&mut bank);
+        black_box(vm.run().expect("run"))
+    });
 }
-
-criterion_group!(benches, bench_builds);
-criterion_main!(benches);

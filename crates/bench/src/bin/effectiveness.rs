@@ -7,13 +7,9 @@ use cbi::stats::{detection_probability, runs_needed};
 fn main() {
     println!("== §3.1.3: sampling effectiveness arithmetic ==");
     let n90 = runs_needed(0.01, 0.001, 0.90);
-    println!(
-        "event 1/100 runs, sampling 1/1000, 90% confidence: {n90} runs (paper: 230,258)"
-    );
+    println!("event 1/100 runs, sampling 1/1000, 90% confidence: {n90} runs (paper: 230,258)");
     let n99 = runs_needed(0.001, 0.001, 0.99);
-    println!(
-        "event 1/1000 runs, sampling 1/1000, 99% confidence: {n99} runs (paper: 4,605,168)"
-    );
+    println!("event 1/1000 runs, sampling 1/1000, 99% confidence: {n99} runs (paper: 4,605,168)");
 
     // Sixty million Office XP licenses, two runs per licensee per week.
     let runs_per_minute = 60_000_000.0 * 2.0 / (7.0 * 24.0 * 60.0);

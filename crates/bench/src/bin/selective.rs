@@ -6,12 +6,12 @@
 //! (SPEC); at 1/1000 sampling, 94% of variants stay under 5% slowdown and
 //! the worst is under 12%.
 
+use cbi::instrument::Instrumented;
 use cbi::instrument::{
     apply_sampling, code_growth, instrument, single_function_variants, strip_sites, Scheme,
     TransformOptions,
 };
 use cbi::sampler::SamplingDensity;
-use cbi::instrument::Instrumented;
 use cbi::workloads::{all_benchmarks, measure_overhead_instrumented, OverheadConfig};
 
 fn main() {
@@ -28,9 +28,8 @@ fn main() {
         full_growths.push((b.name.to_string(), code_growth(&baseline, &full)));
 
         for variant in single_function_variants(&inst) {
-            let (transformed, _) =
-                apply_sampling(&variant.program, &TransformOptions::default())
-                    .expect("variant transform");
+            let (transformed, _) = apply_sampling(&variant.program, &TransformOptions::default())
+                .expect("variant transform");
             variant_growths.push(code_growth(&baseline, &transformed));
 
             // Overhead of this variant at 1/1000, sharing the site table.
@@ -71,5 +70,8 @@ fn main() {
         variant_overheads.len(),
         100.0 * under5 as f64 / variant_overheads.len() as f64
     );
-    println!("worst variant slowdown: {:.1}% (paper: < 12%)", worst * 100.0);
+    println!(
+        "worst variant slowdown: {:.1}% (paper: < 12%)",
+        worst * 100.0
+    );
 }

@@ -29,12 +29,7 @@ fn main() {
         .expect("overhead measurement");
         println!(
             "{:<10} {:>7.2} {:>7.2} {:>7.2} {:>7.2} {:>7.2}",
-            m.name,
-            m.unconditional,
-            m.sampled[0].1,
-            m.sampled[1].1,
-            m.sampled[2].1,
-            m.sampled[3].1
+            m.name, m.unconditional, m.sampled[0].1, m.sampled[1].1, m.sampled[2].1, m.sampled[3].1
         );
         rows += 1;
         if m.sampled[0].1 < m.unconditional {

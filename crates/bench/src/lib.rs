@@ -28,9 +28,73 @@ pub fn table2_densities() -> Vec<cbi::sampler::SamplingDensity> {
     ]
 }
 
+pub mod harness {
+    //! A dependency-free micro-benchmark harness: `Instant`-timed, with
+    //! warm-up and an adaptive iteration count sized to a fixed budget.
+
+    use std::time::{Duration, Instant};
+
+    /// Target measurement budget per benchmark.
+    const BUDGET: Duration = Duration::from_millis(400);
+
+    /// Times `f` and prints `name: mean per iteration (iters)`.  One
+    /// warm-up call sizes the iteration count to [`BUDGET`]; returns the
+    /// mean per-iteration time.
+    pub fn bench<T>(name: &str, mut f: impl FnMut() -> T) -> Duration {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (BUDGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u32;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            std::hint::black_box(f());
+        }
+        let mean = start.elapsed() / iters;
+        println!("{name:<44} {:>12}  ({iters} iters)", format_duration(mean));
+        mean
+    }
+
+    /// Formats a duration with an appropriate unit.
+    pub fn format_duration(d: Duration) -> String {
+        let ns = d.as_nanos();
+        if ns < 10_000 {
+            format!("{ns} ns")
+        } else if ns < 10_000_000 {
+            format!("{:.2} µs", ns as f64 / 1e3)
+        } else if ns < 10_000_000_000 {
+            format!("{:.2} ms", ns as f64 / 1e6)
+        } else {
+            format!("{:.2} s", ns as f64 / 1e9)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn harness_times_and_formats() {
+        let mean = harness::bench("noop", || 1 + 1);
+        assert!(mean <= std::time::Duration::from_millis(100));
+        assert_eq!(
+            harness::format_duration(std::time::Duration::from_nanos(12)),
+            "12 ns"
+        );
+        assert_eq!(
+            harness::format_duration(std::time::Duration::from_micros(250)),
+            "250.00 µs"
+        );
+        assert_eq!(
+            harness::format_duration(std::time::Duration::from_millis(15)),
+            "15.00 ms"
+        );
+        assert_eq!(
+            harness::format_duration(std::time::Duration::from_secs(11)),
+            "11.00 s"
+        );
+    }
 
     #[test]
     fn table2_densities_are_the_paper_columns() {

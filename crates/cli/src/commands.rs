@@ -12,7 +12,7 @@ usage:
   cbi transform  <file.mc> [--scheme S] [--global-countdown] [--no-regions]
   cbi run        <file.mc> [--scheme S] [--density D] [--seed N] [--input \"1 2 3\"]
   cbi campaign   <file.mc> <inputs.txt> [--scheme S] [--density D] [--seed N]
-                 [--out reports.jsonl]
+                 [--jobs N] [--out reports.jsonl]
   cbi analyze    <reports.jsonl> <file.mc> [--scheme S] [--mode eliminate|regress]";
 
 /// Dispatches a raw argument vector to a subcommand.
@@ -71,7 +71,11 @@ fn cmd_instrument(args: &Args) -> Result<(), String> {
     let program = load_program(args, 1)?;
     let scheme = scheme_of(args)?;
     let inst = instrument(&program, scheme).map_err(|e| e.to_string())?;
-    println!("// {} sites, {} counters", inst.sites.len(), inst.sites.total_counters());
+    println!(
+        "// {} sites, {} counters",
+        inst.sites.len(),
+        inst.sites.total_counters()
+    );
     for site in &inst.sites {
         println!("// {}  [{}]", site.predicate_name(0), site.kind);
     }
@@ -140,6 +144,7 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     let scheme = scheme_of(args)?;
     let density: u64 = args.flag_or("density", 100)?;
     let seed: u64 = args.flag_or("seed", 42)?;
+    let jobs: usize = args.flag_or("jobs", 1)?;
 
     let raw =
         fs::read_to_string(inputs_path).map_err(|e| format!("cannot read {inputs_path}: {e}"))?;
@@ -149,7 +154,8 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
         .map(parse_input)
         .collect::<Result<_, _>>()?;
 
-    let mut config = CampaignConfig::sampled(scheme, SamplingDensity::one_in(density));
+    let mut config =
+        CampaignConfig::sampled(scheme, SamplingDensity::one_in(density)).with_jobs(jobs);
     config.seed = seed;
     let result = run_campaign(&program, &trials, &config).map_err(|e| e.to_string())?;
     eprintln!(
@@ -305,6 +311,8 @@ mod tests {
             "returns",
             "--density",
             "1",
+            "--jobs",
+            "3",
             "--out",
             out.to_str().unwrap(),
         ])

@@ -11,8 +11,11 @@
 //!     Run one sampled execution; print outcome, ops, output, and the
 //!     nonzero counters.
 //!
-//! cbi campaign <file.mc> --inputs <dir-or-file.jsonl>... (see below)
+//! cbi campaign <file.mc> <inputs.txt> [--scheme S] [--density D] [--seed N]
+//!              [--jobs N] [--out reports.jsonl]
 //!     Run a campaign: one run per input line, writing reports as JSONL.
+//!     `--jobs N` shards trials over N worker threads; the report stream
+//!     is bit-identical at any job count.
 //!
 //! cbi analyze <reports.jsonl> <file.mc> [--scheme S] [--mode eliminate|regress]
 //!     Run the §3.2 elimination or §3.3 regression analysis over reports.

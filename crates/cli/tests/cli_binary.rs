@@ -31,7 +31,11 @@ fn instrument_prints_sites_and_source() {
         .args(["instrument", p.to_str().unwrap(), "--scheme", "returns"])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("__obs_sign"), "{stdout}");
     assert!(stdout.contains("parse_mode()"), "{stdout}");
@@ -64,14 +68,7 @@ fn crashing_run_is_reported_not_an_error() {
     let p = tmp("bin3.mc", PROG);
     // mode 3 -> parse_mode returns -1 -> buf[-1] segfaults.
     let out = cbi()
-        .args([
-            "run",
-            p.to_str().unwrap(),
-            "--density",
-            "1",
-            "--input",
-            "3",
-        ])
+        .args(["run", p.to_str().unwrap(), "--density", "1", "--input", "3"])
         .output()
         .expect("spawn");
     assert!(out.status.success(), "a failure is data, not a CLI failure");
@@ -101,7 +98,11 @@ fn campaign_then_analyze_pipeline() {
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("8 runs"), "{stderr}");
 
@@ -115,7 +116,11 @@ fn campaign_then_analyze_pipeline() {
         ])
         .output()
         .expect("spawn");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     // The crashing condition is parse_mode() < 0.
     assert!(stdout.contains("parse_mode() < 0"), "{stdout}");

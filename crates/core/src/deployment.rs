@@ -7,7 +7,9 @@
 //! the community performs before each predicate is first observed — an
 //! empirical check of the closed-form [`cbi_stats::confidence`] numbers.
 
-use cbi_instrument::{apply_sampling, instrument, single_function_variants, Scheme, TransformOptions};
+use cbi_instrument::{
+    apply_sampling, instrument, single_function_variants, Scheme, TransformOptions,
+};
 use cbi_reports::Collector;
 use cbi_sampler::{CountdownBank, Pcg32, SamplingDensity};
 use cbi_vm::Vm;
@@ -43,7 +45,11 @@ impl Deployment {
         if n == 0 {
             return 0.0;
         }
-        self.first_observation.iter().filter(|o| o.is_some()).count() as f64 / n as f64
+        self.first_observation
+            .iter()
+            .filter(|o| o.is_some())
+            .count() as f64
+            / n as f64
     }
 
     /// The collected reports.
@@ -129,7 +135,10 @@ pub fn simulate_variant_fleet(
     assert!(trials.len() >= config.users, "need one trial per user");
     let inst = instrument(program, config.scheme)?;
     let variants = single_function_variants(&inst);
-    assert!(!variants.is_empty(), "program has no instrumented functions");
+    assert!(
+        !variants.is_empty(),
+        "program has no instrumented functions"
+    );
 
     // Transform each variant once.
     let mut compiled = Vec::with_capacity(variants.len());
@@ -153,7 +162,9 @@ pub fn simulate_variant_fleet(
     for (u, input) in trials.iter().take(config.users).enumerate() {
         // Weighted variant choice.
         let x = rng.next_f64() * total_weight;
-        let k = cumulative.partition_point(|&c| c <= x).min(compiled.len() - 1);
+        let k = cumulative
+            .partition_point(|&c| c <= x)
+            .min(compiled.len() - 1);
         let (function, exe) = &compiled[k];
         *assignment.entry(function.clone()).or_insert(0) += 1;
 
@@ -204,7 +215,9 @@ mod tests {
             .expect("event must eventually be observed");
         // `latency_of` found the first counter mentioning rare(); check
         // the positive counter explicitly too.
-        let latency_pos = d.latency_of("rare() > 0").expect("positive counter observed");
+        let latency_pos = d
+            .latency_of("rare() > 0")
+            .expect("positive counter observed");
         assert!(latency <= latency_pos);
         assert!(
             latency_pos <= predicted * 3,
@@ -297,7 +310,11 @@ mod tests {
         assert!(fleet.assignment.len() >= 5, "{:?}", fleet.assignment);
         let max = fleet.assignment.values().max().copied().unwrap();
         let min = fleet.assignment.values().min().copied().unwrap();
-        assert!(max < min * 4 + 20, "roughly uniform: {:?}", fleet.assignment);
+        assert!(
+            max < min * 4 + 20,
+            "roughly uniform: {:?}",
+            fleet.assignment
+        );
     }
 
     #[test]

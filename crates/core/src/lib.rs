@@ -64,11 +64,11 @@ pub mod pipeline;
 pub mod traces;
 
 pub use coverage::{coverage, CoverageReport};
-pub use deployment::{simulate_deployment, simulate_variant_fleet, Deployment, FleetConfig, FleetOutcome};
-pub use traces::{crash_proximity, ProximityConfig, ProximityEntry, ProximityReport};
-pub use pipeline::{
-    eliminate, regress, EliminationReport, RegressionConfig, RegressionStudy,
+pub use deployment::{
+    simulate_deployment, simulate_variant_fleet, Deployment, FleetConfig, FleetOutcome,
 };
+pub use pipeline::{eliminate, regress, EliminationReport, RegressionConfig, RegressionStudy};
+pub use traces::{crash_proximity, ProximityConfig, ProximityEntry, ProximityReport};
 
 pub use cbi_instrument as instrument;
 pub use cbi_minic as minic;

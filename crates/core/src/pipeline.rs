@@ -87,7 +87,9 @@ impl RegressionStudy {
 
     /// 0-based rank of the first predicate whose name contains `needle`.
     pub fn rank_of(&self, needle: &str) -> Option<usize> {
-        self.ranked.iter().position(|(name, _)| name.contains(needle))
+        self.ranked
+            .iter()
+            .position(|(name, _)| name.contains(needle))
     }
 }
 

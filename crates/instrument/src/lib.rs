@@ -134,9 +134,10 @@ mod tests {
         let inst = instrument(&program, Scheme::Checks).unwrap();
         assert!(inst.sites.len() >= 2, "assert + store bounds");
         let baseline = strip_sites(&inst.program);
-        assert!(cbi_minic::ast::program_size(&baseline) < cbi_minic::ast::program_size(&inst.program));
-        let (sampled, stats) =
-            apply_sampling(&inst.program, &TransformOptions::default()).unwrap();
+        assert!(
+            cbi_minic::ast::program_size(&baseline) < cbi_minic::ast::program_size(&inst.program)
+        );
+        let (sampled, stats) = apply_sampling(&inst.program, &TransformOptions::default()).unwrap();
         assert!(stats.functions_with_sites() >= 1);
         resolve_instrumented(&sampled).unwrap();
     }

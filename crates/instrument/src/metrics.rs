@@ -25,7 +25,11 @@ pub struct StaticMetrics {
 
 impl StaticMetrics {
     /// Builds a Table 1 row from a program and its transformation stats.
-    pub fn from_stats(benchmark: impl Into<String>, program: &Program, stats: &TransformStats) -> Self {
+    pub fn from_stats(
+        benchmark: impl Into<String>,
+        program: &Program,
+        stats: &TransformStats,
+    ) -> Self {
         StaticMetrics {
             benchmark: benchmark.into(),
             total_functions: program.functions.len(),

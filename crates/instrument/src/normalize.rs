@@ -330,13 +330,16 @@ mod tests {
 
     #[test]
     fn leaves_root_calls_alone() {
-        let (_, s) = flat("fn f() -> int { return 1; } fn main() -> int { int x = f(); x = f(); f(); return x; }");
+        let (_, s) = flat(
+            "fn f() -> int { return 1; } fn main() -> int { int x = f(); x = f(); f(); return x; }",
+        );
         assert!(!s.contains("__t"), "no temps expected:\n{s}");
     }
 
     #[test]
     fn hoists_call_in_arithmetic() {
-        let (q, s) = flat("fn f() -> int { return 1; } fn main() -> int { int x = f() + 2; return x; }");
+        let (q, s) =
+            flat("fn f() -> int { return 1; } fn main() -> int { int x = f() + 2; return x; }");
         assert!(s.contains("int __t0 = f();"), "{s}");
         assert!(s.contains("int x = __t0 + 2;"), "{s}");
         // Result still resolves (instrumented namespace allowed).
@@ -394,10 +397,7 @@ mod tests {
 
     #[test]
     fn rejects_call_under_short_circuit() {
-        let p = parse(
-            "fn f() -> int { return 0; } fn main() -> int { return 1 && f(); }",
-        )
-        .unwrap();
+        let p = parse("fn f() -> int { return 0; } fn main() -> int { return 1 && f(); }").unwrap();
         let info = resolve(&p).unwrap();
         let err = flatten_calls(&p, &info).unwrap_err();
         assert!(err.to_string().contains("short-circuit"));

@@ -158,7 +158,14 @@ struct SchemeCx<'a> {
 }
 
 impl SchemeCx<'_> {
-    fn site_call(&mut self, kind: SiteKind, span: Span, text: String, builtin: Builtin, args: Vec<Expr>) -> Stmt {
+    fn site_call(
+        &mut self,
+        kind: SiteKind,
+        span: Span,
+        text: String,
+        builtin: Builtin,
+        args: Vec<Expr>,
+    ) -> Stmt {
         let id = self.sites.add(&self.function, span, kind, text);
         let mut full_args = vec![Expr::int(id.0 as i64)];
         full_args.extend(args);
@@ -202,7 +209,10 @@ impl SchemeCx<'_> {
                     }
                     out.push(s.clone());
                 }
-                Stmt::Assign { value, .. } | Stmt::Decl { init: Some(value), .. } => {
+                Stmt::Assign { value, .. }
+                | Stmt::Decl {
+                    init: Some(value), ..
+                } => {
                     self.push_load_checks(value, &mut out);
                     out.push(s.clone());
                 }
@@ -252,7 +262,13 @@ impl SchemeCx<'_> {
         }
     }
 
-    fn bounds_site(&mut self, ptr: Expr, index: Expr, span: Span, _scratch: &mut Vec<Stmt>) -> Stmt {
+    fn bounds_site(
+        &mut self,
+        ptr: Expr,
+        index: Expr,
+        span: Span,
+        _scratch: &mut Vec<Stmt>,
+    ) -> Stmt {
         let text = format!("0 <= {} < len({})", print_expr(&index), print_expr(&ptr));
         // ptr != null && index >= 0 && index < len(ptr)
         let cond = Expr::binary(
@@ -281,12 +297,22 @@ impl SchemeCx<'_> {
             match s {
                 Stmt::Decl {
                     name,
-                    init: Some(Expr::Call { name: callee, span: cspan, .. }),
+                    init:
+                        Some(Expr::Call {
+                            name: callee,
+                            span: cspan,
+                            ..
+                        }),
                     ..
                 }
                 | Stmt::Assign {
                     name,
-                    value: Expr::Call { name: callee, span: cspan, .. },
+                    value:
+                        Expr::Call {
+                            name: callee,
+                            span: cspan,
+                            ..
+                        },
                     ..
                 } if self.observable_call(callee) => {
                     let span = *cspan;
@@ -505,8 +531,12 @@ mod tests {
     fn run(src: &str, scheme: Scheme) -> (Instrumented, String) {
         let p = parse(src).unwrap();
         let inst = instrument(&p, scheme).unwrap();
-        resolve(&inst.program)
-            .unwrap_or_else(|e| panic!("instrumented program fails resolve: {e}\n{}", pretty(&inst.program)));
+        resolve(&inst.program).unwrap_or_else(|e| {
+            panic!(
+                "instrumented program fails resolve: {e}\n{}",
+                pretty(&inst.program)
+            )
+        });
         let s = pretty(&inst.program);
         (inst, s)
     }
@@ -525,10 +555,7 @@ mod tests {
 
     #[test]
     fn checks_instruments_stores_and_loads() {
-        let (inst, s) = run(
-            "fn f(ptr p, int i) { p[i] = p[i + 1]; }",
-            Scheme::Checks,
-        );
+        let (inst, s) = run("fn f(ptr p, int i) { p[i] = p[i + 1]; }", Scheme::Checks);
         // One bounds site for the load `p[i + 1]`, one for the store `p[i]`.
         assert_eq!(inst.sites.len(), 2);
         assert!(s.contains("len(p)"), "{s}");
@@ -554,7 +581,10 @@ mod tests {
         assert!(s.contains("__obs_sign(0, x);"), "{s}");
         assert!(s.contains("__obs_sign(1, x);"), "{s}");
         let site = inst.sites.site(crate::sites::SiteId(0));
-        assert_eq!(site.predicate_name(2), format!("{} f(): g() > 0", site.span));
+        assert_eq!(
+            site.predicate_name(2),
+            format!("{} f(): g() > 0", site.span)
+        );
     }
 
     #[test]
@@ -656,7 +686,10 @@ mod tests {
             Scheme::Branches,
         );
         assert_eq!(inst.sites.len(), 2);
-        assert!(s.contains("__obs_sign(0, (x > 0) != 0);") || s.contains("__obs_sign(0, x > 0 != 0);"), "{s}");
+        assert!(
+            s.contains("__obs_sign(0, (x > 0) != 0);") || s.contains("__obs_sign(0, x > 0 != 0);"),
+            "{s}"
+        );
     }
 
     #[test]

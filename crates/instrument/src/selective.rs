@@ -94,8 +94,14 @@ mod tests {
         let inst = instrument(&p, Scheme::Checks).unwrap();
         let variants = single_function_variants(&inst);
         let va = &variants[0];
-        assert_eq!(count_sites_block(&va.program.function("a").unwrap().body), 1);
-        assert_eq!(count_sites_block(&va.program.function("b").unwrap().body), 0);
+        assert_eq!(
+            count_sites_block(&va.program.function("a").unwrap().body),
+            1
+        );
+        assert_eq!(
+            count_sites_block(&va.program.function("b").unwrap().body),
+            0
+        );
     }
 
     #[test]
@@ -103,8 +109,7 @@ mod tests {
         let p = parse(SRC).unwrap();
         let inst = instrument(&p, Scheme::Checks).unwrap();
         let baseline = strip_sites(&inst.program);
-        let (full, _) =
-            apply_sampling(&inst.program, &TransformOptions::default()).unwrap();
+        let (full, _) = apply_sampling(&inst.program, &TransformOptions::default()).unwrap();
         let full_growth = code_growth(&baseline, &full);
         for tv in transform_variants(&inst, &TransformOptions::default()).unwrap() {
             let g = code_growth(&baseline, &tv.program);

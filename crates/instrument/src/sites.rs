@@ -286,8 +286,18 @@ mod tests {
     #[test]
     fn predicate_names_match_paper_style() {
         let mut t = SiteTable::new();
-        t.add("more_arrays", span(176), SiteKind::ScalarPair, "indx\u{1}a_count".into());
-        t.add("traverse", span(320), SiteKind::ReturnSign, "file_exists()".into());
+        t.add(
+            "more_arrays",
+            span(176),
+            SiteKind::ScalarPair,
+            "indx\u{1}a_count".into(),
+        );
+        t.add(
+            "traverse",
+            span(320),
+            SiteKind::ReturnSign,
+            "file_exists()".into(),
+        );
         assert_eq!(t.predicate_name(2), "176:1 more_arrays(): indx > a_count");
         assert_eq!(t.predicate_name(5), "320:1 traverse(): file_exists() > 0");
         assert_eq!(t.predicate_name(3), "320:1 traverse(): file_exists() < 0");

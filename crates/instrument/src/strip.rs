@@ -88,10 +88,8 @@ mod tests {
 
     #[test]
     fn selective_strip_keeps_chosen_function() {
-        let p = parse(
-            "fn a(int x) { __check(0, x > 0); } fn b(int x) { __check(1, x > 0); }",
-        )
-        .unwrap();
+        let p =
+            parse("fn a(int x) { __check(0, x > 0); } fn b(int x) { __check(1, x > 0); }").unwrap();
         let out = strip_sites_except(&p, |name| name == "a");
         let s = pretty(&out);
         let a_pos = s.find("fn a").unwrap();

@@ -234,10 +234,7 @@ fn count_sites_stmt(s: &Stmt) -> usize {
             then_block,
             else_block,
             ..
-        } => {
-            count_sites_block(then_block)
-                + else_block.as_ref().map_or(0, count_sites_block)
-        }
+        } => count_sites_block(then_block) + else_block.as_ref().map_or(0, count_sites_block),
         Stmt::While { body, .. } => count_sites_block(body),
         _ => 0,
     }
@@ -389,9 +386,9 @@ impl Transformer<'_> {
                     .stmts
                     .iter()
                     .any(|s| self.contains_instrumented_loop(s))
-                    || else_block.as_ref().is_some_and(|b| {
-                        b.stmts.iter().any(|s| self.contains_instrumented_loop(s))
-                    })
+                    || else_block
+                        .as_ref()
+                        .is_some_and(|b| b.stmts.iter().any(|s| self.contains_instrumented_loop(s)))
             }
             _ => false,
         }
@@ -458,11 +455,7 @@ impl Transformer<'_> {
             let fast = self.fast_copy(&stmts);
             let slow = self.slow_copy(&stmts);
             out.push(Stmt::If {
-                cond: Expr::binary(
-                    BinOp::Gt,
-                    Expr::var(self.cd_name()),
-                    Expr::int(w as i64),
-                ),
+                cond: Expr::binary(BinOp::Gt, Expr::var(self.cd_name()), Expr::int(w as i64)),
                 then_block: fast,
                 else_block: Some(slow),
                 span: Span::synthesized(),
@@ -477,11 +470,7 @@ impl Transformer<'_> {
     fn decrement(&self, k: u64) -> Stmt {
         Stmt::Assign {
             name: self.cd_name().to_string(),
-            value: Expr::binary(
-                BinOp::Sub,
-                Expr::var(self.cd_name()),
-                Expr::int(k as i64),
-            ),
+            value: Expr::binary(BinOp::Sub, Expr::var(self.cd_name()), Expr::int(k as i64)),
             span: Span::synthesized(),
         }
     }
@@ -853,7 +842,9 @@ mod tests {
         assert_eq!(f.threshold_checks, 2, "regions split at the call");
         // Export before the call, import after.
         let call = s.find("int y = heavy(x);").unwrap();
-        let export = s[..call].rfind("__gcd = __cd;").expect("export before call");
+        let export = s[..call]
+            .rfind("__gcd = __cd;")
+            .expect("export before call");
         let import = s[call..].find("__cd = __gcd;").expect("import after call");
         assert!(export < call && import > 0);
     }

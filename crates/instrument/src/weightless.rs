@@ -164,12 +164,10 @@ mod tests {
 
     #[test]
     fn heaviness_propagates_up_call_chain() {
-        let set = wl(
-            "fn leaf(int x) { __cmp(0, x, 2); } \
+        let set = wl("fn leaf(int x) { __cmp(0, x, 2); } \
              fn mid() { leaf(0); } \
              fn top() { mid(); } \
-             fn aside() { print(1); }",
-        );
+             fn aside() { print(1); }");
         assert!(!set.contains("leaf"));
         assert!(!set.contains("mid"));
         assert!(!set.contains("top"));
@@ -178,8 +176,10 @@ mod tests {
 
     #[test]
     fn recursion_handled() {
-        let set = wl("fn even(int n) -> int { if (n == 0) { return 1; } return odd(n - 1); } \
-                      fn odd(int n) -> int { if (n == 0) { return 0; } return even(n - 1); }");
+        let set = wl(
+            "fn even(int n) -> int { if (n == 0) { return 1; } return odd(n - 1); } \
+                      fn odd(int n) -> int { if (n == 0) { return 0; } return even(n - 1); }",
+        );
         assert!(set.contains("even") && set.contains("odd"));
 
         let set2 = wl(

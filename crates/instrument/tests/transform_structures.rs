@@ -7,7 +7,10 @@ use cbi_instrument::{
 };
 use cbi_minic::{parse, pretty};
 
-fn transform(src: &str, options: &TransformOptions) -> (cbi_minic::Program, cbi_instrument::TransformStats, String) {
+fn transform(
+    src: &str,
+    options: &TransformOptions,
+) -> (cbi_minic::Program, cbi_instrument::TransformStats, String) {
     let p = parse(src).unwrap();
     let (q, stats) = apply_sampling(&p, options).unwrap();
     resolve_instrumented(&q).unwrap_or_else(|e| panic!("{e}\n{}", pretty(&q)));
@@ -113,7 +116,8 @@ fn break_and_continue_survive_cloning() {
 
 #[test]
 fn devolved_mode_counts_no_thresholds_anywhere() {
-    let src = "fn f(int n) { int i = 0; while (i < n) { __check(0, 1); __check(1, 1); i = i + 1; } }";
+    let src =
+        "fn f(int n) { int i = 0; while (i < n) { __check(0, 1); __check(1, 1); i = i + 1; } }";
     let opts = TransformOptions {
         regions: false,
         ..TransformOptions::default()
@@ -161,9 +165,24 @@ fn variants_cover_each_function_and_preserve_other_code() {
         program: p.clone(),
         sites: {
             let mut t = cbi_instrument::SiteTable::new();
-            t.add("a", cbi_minic::Span::new(1, 1), cbi_instrument::SiteKind::Assert, "x > 0".into());
-            t.add("b", cbi_minic::Span::new(2, 1), cbi_instrument::SiteKind::Assert, "x > 1".into());
-            t.add("b", cbi_minic::Span::new(2, 2), cbi_instrument::SiteKind::Assert, "x > 2".into());
+            t.add(
+                "a",
+                cbi_minic::Span::new(1, 1),
+                cbi_instrument::SiteKind::Assert,
+                "x > 0".into(),
+            );
+            t.add(
+                "b",
+                cbi_minic::Span::new(2, 1),
+                cbi_instrument::SiteKind::Assert,
+                "x > 1".into(),
+            );
+            t.add(
+                "b",
+                cbi_minic::Span::new(2, 2),
+                cbi_instrument::SiteKind::Assert,
+                "x > 2".into(),
+            );
             t
         },
         scheme: Scheme::Checks,
@@ -179,7 +198,10 @@ fn variants_cover_each_function_and_preserve_other_code() {
             .sum();
         let own = count_sites_block(&v.program.function(&v.function).unwrap().body);
         assert_eq!(kept, own, "variant keeps only its own sites");
-        assert!(v.program.function("c").is_some(), "uninstrumented code kept");
+        assert!(
+            v.program.function("c").is_some(),
+            "uninstrumented code kept"
+        );
     }
 }
 
@@ -188,9 +210,7 @@ fn transformation_depth_is_robust_to_pathological_nesting() {
     // 12 nested loops, site at the innermost level.
     let mut src = String::from("fn f(int n) {\n");
     for d in 0..12 {
-        src.push_str(&format!(
-            "int i{d} = 0;\nwhile (i{d} < 2) {{\n"
-        ));
+        src.push_str(&format!("int i{d} = 0;\nwhile (i{d} < 2) {{\n"));
     }
     src.push_str("__check(0, 1);\n");
     for d in 0..12 {

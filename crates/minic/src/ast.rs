@@ -471,11 +471,7 @@ pub fn stmt_size(stmt: &Stmt) -> usize {
             then_block,
             else_block,
             ..
-        } => {
-            expr_size(cond)
-                + block_size(then_block)
-                + else_block.as_ref().map_or(0, block_size)
-        }
+        } => expr_size(cond) + block_size(then_block) + else_block.as_ref().map_or(0, block_size),
         Stmt::While { cond, body, .. } => expr_size(cond) + block_size(body),
         Stmt::Return { value, .. } => value.as_ref().map_or(0, expr_size),
         Stmt::Break { .. } | Stmt::Continue { .. } => 0,

@@ -99,10 +99,9 @@ impl Builtin {
     pub fn ret(self) -> Option<Type> {
         match self {
             Builtin::Alloc => Some(Type::Ptr),
-            Builtin::Len
-            | Builtin::Read
-            | Builtin::HasInput
-            | Builtin::NextCountdown => Some(Type::Int),
+            Builtin::Len | Builtin::Read | Builtin::HasInput | Builtin::NextCountdown => {
+                Some(Type::Int)
+            }
             Builtin::Free
             | Builtin::Print
             | Builtin::Exit

@@ -209,10 +209,7 @@ impl<'a> Lexer<'a> {
                 }
             }
             other => {
-                return Err(self.error(
-                    span,
-                    format!("unexpected character `{}`", other as char),
-                ))
+                return Err(self.error(span, format!("unexpected character `{}`", other as char)))
             }
         };
         self.push(kind, span);

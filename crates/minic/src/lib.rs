@@ -37,6 +37,7 @@ pub mod lexer;
 pub mod parser;
 pub mod pretty;
 pub mod resolve;
+pub mod slots;
 pub mod span;
 pub mod token;
 
@@ -45,6 +46,7 @@ pub use builtins::Builtin;
 pub use parser::parse;
 pub use pretty::{pretty, pretty_function, print_expr};
 pub use resolve::{resolve, resolve_relaxed, FnSig, ProgramInfo};
+pub use slots::{lower, SlotProgram};
 pub use span::Span;
 
 use std::error::Error;

@@ -163,7 +163,9 @@ impl Parser {
         let mut init = 0;
         if self.eat(&TokenKind::Assign) {
             if ty == Type::Ptr {
-                return Err(self.error("pointer globals cannot have initializers (they start null)"));
+                return Err(
+                    self.error("pointer globals cannot have initializers (they start null)")
+                );
             }
             let neg = self.eat(&TokenKind::Minus);
             match self.peek().clone() {
@@ -635,7 +637,12 @@ mod tests {
         let f = p.function("f").unwrap();
         match &f.body.stmts[0] {
             Stmt::Return {
-                value: Some(Expr::Binary { op: BinOp::Add, rhs, .. }),
+                value:
+                    Some(Expr::Binary {
+                        op: BinOp::Add,
+                        rhs,
+                        ..
+                    }),
                 ..
             } => {
                 assert!(matches!(**rhs, Expr::Binary { op: BinOp::Mul, .. }));
@@ -663,7 +670,10 @@ mod tests {
         let f = p.function("f").unwrap();
         match &f.body.stmts[0] {
             Stmt::Return {
-                value: Some(Expr::Binary { op: BinOp::Or, rhs, .. }),
+                value:
+                    Some(Expr::Binary {
+                        op: BinOp::Or, rhs, ..
+                    }),
                 ..
             } => assert!(matches!(**rhs, Expr::Binary { op: BinOp::And, .. })),
             other => panic!("unexpected {other:?}"),
@@ -677,7 +687,10 @@ mod tests {
         );
         let f = p.function("f").unwrap();
         match &f.body.stmts[0] {
-            Stmt::If { else_block: Some(b), .. } => {
+            Stmt::If {
+                else_block: Some(b),
+                ..
+            } => {
                 assert!(matches!(b.stmts[0], Stmt::If { .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -704,7 +717,10 @@ mod tests {
         let p = parse_ok("fn f(ptr p) -> int { return p[0][1]; }");
         let f = p.function("f").unwrap();
         match &f.body.stmts[0] {
-            Stmt::Return { value: Some(Expr::Load { ptr, .. }), .. } => {
+            Stmt::Return {
+                value: Some(Expr::Load { ptr, .. }),
+                ..
+            } => {
                 assert!(matches!(**ptr, Expr::Load { .. }));
             }
             other => panic!("unexpected {other:?}"),
@@ -721,7 +737,10 @@ mod tests {
         let p = parse_ok("fn f() { g(1, 2 + 3, h()); }");
         let f = p.function("f").unwrap();
         match &f.body.stmts[0] {
-            Stmt::Expr { expr: Expr::Call { name, args, .. }, .. } => {
+            Stmt::Expr {
+                expr: Expr::Call { name, args, .. },
+                ..
+            } => {
                 assert_eq!(name, "g");
                 assert_eq!(args.len(), 3);
             }
@@ -747,7 +766,10 @@ mod tests {
         let p = parse_ok("fn f() -> int { return -42; }");
         let f = p.function("f").unwrap();
         match &f.body.stmts[0] {
-            Stmt::Return { value: Some(Expr::Int { value: -42, .. }), .. } => {}
+            Stmt::Return {
+                value: Some(Expr::Int { value: -42, .. }),
+                ..
+            } => {}
             other => panic!("unexpected {other:?}"),
         }
     }

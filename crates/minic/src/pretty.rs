@@ -91,7 +91,12 @@ fn print_stmt(out: &mut String, s: &Stmt, level: usize) {
             value,
             ..
         } => {
-            let _ = writeln!(out, "{target}[{}] = {};", print_expr(index), print_expr(value));
+            let _ = writeln!(
+                out,
+                "{target}[{}] = {};",
+                print_expr(index),
+                print_expr(value)
+            );
         }
         Stmt::If {
             cond,
@@ -180,11 +185,7 @@ fn print_prec(e: &Expr, min: u8) -> String {
             let p = op_prec(*op);
             // Left-associative: the right operand needs strictly higher
             // binding power.
-            let s = format!(
-                "{} {op} {}",
-                print_prec(lhs, p),
-                print_prec(rhs, p + 1)
-            );
+            let s = format!("{} {op} {}", print_prec(lhs, p), print_prec(rhs, p + 1));
             if p < min {
                 format!("({s})")
             } else {

@@ -131,7 +131,10 @@ fn resolve_mode(program: &Program, relaxed: bool) -> Result<ProgramInfo, MiniCEr
 
     for g in &program.globals {
         if Builtin::from_name(&g.name).is_some() {
-            return Err(err(g.span, format!("`{}` is a reserved builtin name", g.name)));
+            return Err(err(
+                g.span,
+                format!("`{}` is a reserved builtin name", g.name),
+            ));
         }
         if info.global_types.insert(g.name.clone(), g.ty).is_some() {
             return Err(err(g.span, format!("duplicate global `{}`", g.name)));
@@ -140,7 +143,10 @@ fn resolve_mode(program: &Program, relaxed: bool) -> Result<ProgramInfo, MiniCEr
 
     for f in &program.functions {
         if Builtin::from_name(&f.name).is_some() {
-            return Err(err(f.span, format!("function `{}` collides with a builtin", f.name)));
+            return Err(err(
+                f.span,
+                format!("function `{}` collides with a builtin", f.name),
+            ));
         }
         let sig = FnSig {
             params: f.params.iter().map(|p| p.ty).collect(),
@@ -187,7 +193,10 @@ fn check_function(
     };
     for p in &f.params {
         if Builtin::from_name(&p.name).is_some() {
-            return Err(err(p.span, format!("`{}` is a reserved builtin name", p.name)));
+            return Err(err(
+                p.span,
+                format!("`{}` is a reserved builtin name", p.name),
+            ));
         }
         if info.global_types.contains_key(&p.name) {
             return Err(err(
@@ -200,9 +209,7 @@ fn check_function(
         }
     }
     ck.block(&f.body)?;
-    Ok(FunctionInfo {
-        var_types: ck.vars,
-    })
+    Ok(FunctionInfo { var_types: ck.vars })
 }
 
 impl Checker<'_> {
@@ -275,7 +282,10 @@ impl Checker<'_> {
             } => {
                 let tt = self.lookup(target, *span)?;
                 if !tt.accepts(Ty::Ptr) {
-                    return Err(err(*span, format!("store target `{target}` is not a pointer")));
+                    return Err(err(
+                        *span,
+                        format!("store target `{target}` is not a pointer"),
+                    ));
                 }
                 let it = self.expr(index)?;
                 if !it.accepts(Ty::Int) {
@@ -348,14 +358,13 @@ impl Checker<'_> {
                 }
                 Ok(())
             }
-            Stmt::Expr { expr, span } => {
-                match expr {
-                    Expr::Call { .. } => {
-                        self.expr(expr).map(|_| ())
-                    }
-                    _ => Err(err(*span, "expression statements must be calls".to_string())),
-                }
-            }
+            Stmt::Expr { expr, span } => match expr {
+                Expr::Call { .. } => self.expr(expr).map(|_| ()),
+                _ => Err(err(
+                    *span,
+                    "expression statements must be calls".to_string(),
+                )),
+            },
         }
     }
 
@@ -466,7 +475,10 @@ impl Checker<'_> {
                     // groups pointer-returning calls too: null counts as
                     // zero, non-null as positive).
                     if !arg_tys[0].accepts(Ty::Int) {
-                        return Err(err(span, "`__obs_sign` site id must be an integer".to_string()));
+                        return Err(err(
+                            span,
+                            "`__obs_sign` site id must be an integer".to_string(),
+                        ));
                     }
                 }
                 Builtin::ObsCmp => {

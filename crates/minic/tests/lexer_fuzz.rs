@@ -1,32 +1,109 @@
 //! Fuzz-style robustness tests for the MiniC front end: no input may
 //! panic the lexer or parser, and token display forms re-lex to
-//! themselves.
+//! themselves.  Driven by the repository's seeded PRNG, so every case is
+//! reproducible from the loop index.
 
 use cbi_minic::lexer::lex;
 use cbi_minic::parser::parse;
 use cbi_minic::token::TokenKind;
-use proptest::prelude::*;
+use cbi_sampler::Pcg32;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(512))]
-
-    /// Arbitrary strings never panic the lexer (they may, of course, be
-    /// rejected with an error).
-    #[test]
-    fn lexer_total_on_arbitrary_input(s in ".{0,200}") {
+/// Arbitrary strings never panic the lexer (they may, of course, be
+/// rejected with an error).
+#[test]
+fn lexer_total_on_arbitrary_input() {
+    let mut rng = Pcg32::new(0x1e5e);
+    for _ in 0..512 {
+        let len = rng.below(201) as usize;
+        let mut bytes = vec![0u8; len];
+        rng.fill_bytes(&mut bytes);
+        let s = String::from_utf8_lossy(&bytes);
         let _ = lex(&s);
     }
+}
 
-    /// Arbitrary ASCII-ish soup never panics the parser either.
-    #[test]
-    fn parser_total_on_arbitrary_input(s in "[ -~\n\t]{0,300}") {
+/// Arbitrary ASCII-ish soup never panics the parser either.
+#[test]
+fn parser_total_on_arbitrary_input() {
+    let mut rng = Pcg32::new(0x9a45);
+    for _ in 0..512 {
+        let len = rng.below(301) as usize;
+        let s: String = (0..len)
+            .map(|_| match rng.below(20) {
+                0 => '\n',
+                1 => '\t',
+                _ => (b' ' + rng.below(95) as u8) as char,
+            })
+            .collect();
         let _ = parse(&s);
     }
+}
 
-    /// Any sequence of valid tokens, printed with their display forms and
-    /// spaces between, lexes back to exactly the same kinds.
-    #[test]
-    fn token_display_round_trips(kinds in prop::collection::vec(arb_token(), 0..40)) {
+fn random_token(rng: &mut Pcg32) -> TokenKind {
+    match rng.below(36) {
+        0 => TokenKind::Int(rng.below(1_000_000) as i64),
+        1 => {
+            let len = 1 + rng.below(9) as usize;
+            let mut s = String::new();
+            s.push((b'a' + rng.below(26) as u8) as char);
+            for _ in 1..len {
+                s.push(match rng.below(3) {
+                    0 => (b'0' + rng.below(10) as u8) as char,
+                    1 => '_',
+                    _ => (b'a' + rng.below(26) as u8) as char,
+                });
+            }
+            // Avoid generating keywords as identifiers.
+            match TokenKind::keyword(&s) {
+                Some(k) => k,
+                None => TokenKind::Ident(s),
+            }
+        }
+        2 => TokenKind::KwInt,
+        3 => TokenKind::KwPtr,
+        4 => TokenKind::KwFn,
+        5 => TokenKind::KwIf,
+        6 => TokenKind::KwElse,
+        7 => TokenKind::KwWhile,
+        8 => TokenKind::KwReturn,
+        9 => TokenKind::KwBreak,
+        10 => TokenKind::KwContinue,
+        11 => TokenKind::KwNull,
+        12 => TokenKind::KwCheck,
+        13 => TokenKind::LParen,
+        14 => TokenKind::RParen,
+        15 => TokenKind::LBrace,
+        16 => TokenKind::RBrace,
+        17 => TokenKind::LBracket,
+        18 => TokenKind::RBracket,
+        19 => TokenKind::Comma,
+        20 => TokenKind::Semi,
+        21 => TokenKind::Arrow,
+        22 => TokenKind::Assign,
+        23 => TokenKind::Plus,
+        24 => TokenKind::Star,
+        25 => TokenKind::Slash,
+        26 => TokenKind::Percent,
+        27 => TokenKind::EqEq,
+        28 => TokenKind::NotEq,
+        29 => TokenKind::Lt,
+        30 => TokenKind::Le,
+        31 => TokenKind::Gt,
+        32 => TokenKind::Ge,
+        33 => TokenKind::AndAnd,
+        34 => TokenKind::OrOr,
+        _ => TokenKind::Bang,
+    }
+}
+
+/// Any sequence of valid tokens, printed with their display forms and
+/// spaces between, lexes back to exactly the same kinds.
+#[test]
+fn token_display_round_trips() {
+    let mut rng = Pcg32::new(0x70c3);
+    for case in 0..512 {
+        let n = rng.below(40) as usize;
+        let kinds: Vec<TokenKind> = (0..n).map(|_| random_token(&mut rng)).collect();
         let text: Vec<String> = kinds.iter().map(|k| k.to_string()).collect();
         let source = text.join(" ");
         let relexed = lex(&source).expect("valid tokens must lex");
@@ -35,55 +112,8 @@ proptest! {
             .map(|t| t.kind)
             .filter(|k| !matches!(k, TokenKind::Eof))
             .collect();
-        prop_assert_eq!(got, kinds);
+        assert_eq!(got, kinds, "case {case}: {source}");
     }
-}
-
-fn arb_token() -> impl Strategy<Value = TokenKind> {
-    prop_oneof![
-        (0i64..1_000_000).prop_map(TokenKind::Int),
-        "[a-z][a-z0-9_]{0,8}".prop_map(|s| {
-            // Avoid generating keywords as identifiers.
-            match TokenKind::keyword(&s) {
-                Some(k) => k,
-                None => TokenKind::Ident(s),
-            }
-        }),
-        Just(TokenKind::KwInt),
-        Just(TokenKind::KwPtr),
-        Just(TokenKind::KwFn),
-        Just(TokenKind::KwIf),
-        Just(TokenKind::KwElse),
-        Just(TokenKind::KwWhile),
-        Just(TokenKind::KwReturn),
-        Just(TokenKind::KwBreak),
-        Just(TokenKind::KwContinue),
-        Just(TokenKind::KwNull),
-        Just(TokenKind::KwCheck),
-        Just(TokenKind::LParen),
-        Just(TokenKind::RParen),
-        Just(TokenKind::LBrace),
-        Just(TokenKind::RBrace),
-        Just(TokenKind::LBracket),
-        Just(TokenKind::RBracket),
-        Just(TokenKind::Comma),
-        Just(TokenKind::Semi),
-        Just(TokenKind::Arrow),
-        Just(TokenKind::Assign),
-        Just(TokenKind::Plus),
-        Just(TokenKind::Star),
-        Just(TokenKind::Slash),
-        Just(TokenKind::Percent),
-        Just(TokenKind::EqEq),
-        Just(TokenKind::NotEq),
-        Just(TokenKind::Lt),
-        Just(TokenKind::Le),
-        Just(TokenKind::Gt),
-        Just(TokenKind::Ge),
-        Just(TokenKind::AndAnd),
-        Just(TokenKind::OrOr),
-        Just(TokenKind::Bang),
-    ]
 }
 
 #[test]
@@ -130,6 +160,20 @@ fn adjacent_operator_lexing_is_maximal_munch() {
             TokenKind::Arrow,
             TokenKind::Minus,
             TokenKind::Gt,
+            TokenKind::Eof
+        ]
+    );
+}
+
+#[test]
+fn bang_token_round_trips_alone() {
+    let toks = lex("! x").unwrap();
+    let kinds: Vec<TokenKind> = toks.into_iter().map(|t| t.kind).collect();
+    assert_eq!(
+        kinds,
+        vec![
+            TokenKind::Bang,
+            TokenKind::Ident("x".into()),
             TokenKind::Eof
         ]
     );

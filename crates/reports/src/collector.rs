@@ -4,7 +4,7 @@
 //! reports; analyses query them by outcome class.  All reports in one
 //! collector must share a counter layout (the same instrumented binary).
 
-use crate::report::{Label, Report};
+use crate::report::{Label, Report, ReportParseError};
 use std::error::Error;
 use std::fmt;
 use std::io::{BufRead, Write};
@@ -22,7 +22,14 @@ pub enum CollectError {
     /// An I/O error while reading or writing the report stream.
     Io(std::io::Error),
     /// A malformed report line.
-    Parse(serde_json::Error),
+    Parse(ReportParseError),
+    /// An ordered merge would break the run-id ordering invariant.
+    OutOfOrder {
+        /// Last run id already in the collector.
+        prev: u64,
+        /// Offending run id from the incoming reports.
+        next: u64,
+    },
 }
 
 impl fmt::Display for CollectError {
@@ -34,6 +41,10 @@ impl fmt::Display for CollectError {
             ),
             CollectError::Io(e) => write!(f, "report stream i/o error: {e}"),
             CollectError::Parse(e) => write!(f, "malformed report: {e}"),
+            CollectError::OutOfOrder { prev, next } => write!(
+                f,
+                "ordered merge out of order: run {next} arrived after run {prev}"
+            ),
         }
     }
 }
@@ -43,7 +54,7 @@ impl Error for CollectError {
         match self {
             CollectError::Io(e) => Some(e),
             CollectError::Parse(e) => Some(e),
-            CollectError::LayoutMismatch { .. } => None,
+            CollectError::LayoutMismatch { .. } | CollectError::OutOfOrder { .. } => None,
         }
     }
 }
@@ -54,8 +65,8 @@ impl From<std::io::Error> for CollectError {
     }
 }
 
-impl From<serde_json::Error> for CollectError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<ReportParseError> for CollectError {
+    fn from(e: ReportParseError) -> Self {
         CollectError::Parse(e)
     }
 }
@@ -136,6 +147,55 @@ impl Collector {
         self.reports.iter().filter(move |r| r.label == label)
     }
 
+    /// Appends reports while enforcing that run ids stay strictly
+    /// increasing, so a collector assembled from ordered shards is
+    /// bit-identical to one filled serially.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError::LayoutMismatch`] on a counter-length
+    /// mismatch or [`CollectError::OutOfOrder`] if a run id does not
+    /// strictly exceed its predecessor.  Reports before the offending one
+    /// remain ingested.
+    pub fn extend_ordered<I: IntoIterator<Item = Report>>(
+        &mut self,
+        reports: I,
+    ) -> Result<(), CollectError> {
+        for report in reports {
+            if let Some(last) = self.reports.last() {
+                if report.run_id <= last.run_id {
+                    return Err(CollectError::OutOfOrder {
+                        prev: last.run_id,
+                        next: report.run_id,
+                    });
+                }
+            }
+            self.add(report)?;
+        }
+        Ok(())
+    }
+
+    /// Merges another collector's reports onto the end of this one,
+    /// preserving run-id order.  The shard-merge primitive of the parallel
+    /// campaign engine: workers fill private collectors, then the driver
+    /// merges them back in shard order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CollectError::LayoutMismatch`] if the collectors disagree
+    /// on counter layout, or [`CollectError::OutOfOrder`] if the incoming
+    /// run ids do not continue this collector's sequence.
+    pub fn merge(&mut self, other: Collector) -> Result<(), CollectError> {
+        if other.counters != self.counters {
+            return Err(CollectError::LayoutMismatch {
+                expected: self.counters,
+                got: other.counters,
+            });
+        }
+        self.reports.reserve(other.reports.len());
+        self.extend_ordered(other.reports)
+    }
+
     /// Writes all reports as JSON lines.
     ///
     /// # Errors
@@ -187,9 +247,12 @@ mod tests {
 
     fn sample() -> Collector {
         let mut c = Collector::new(3);
-        c.add(Report::new(0, Label::Success, vec![1, 0, 2])).unwrap();
-        c.add(Report::new(1, Label::Failure, vec![0, 5, 0])).unwrap();
-        c.add(Report::new(2, Label::Success, vec![0, 0, 0])).unwrap();
+        c.add(Report::new(0, Label::Success, vec![1, 0, 2]))
+            .unwrap();
+        c.add(Report::new(1, Label::Failure, vec![0, 5, 0]))
+            .unwrap();
+        c.add(Report::new(2, Label::Success, vec![0, 0, 0]))
+            .unwrap();
         c
     }
 
@@ -210,7 +273,10 @@ mod tests {
         let err = c.add(Report::new(0, Label::Success, vec![1])).unwrap_err();
         assert!(matches!(
             err,
-            CollectError::LayoutMismatch { expected: 3, got: 1 }
+            CollectError::LayoutMismatch {
+                expected: 3,
+                got: 1
+            }
         ));
         assert!(err.to_string().contains("expected 3"));
     }
@@ -248,5 +314,58 @@ mod tests {
     fn extend_panics_on_mismatch() {
         let mut c = Collector::new(2);
         c.extend(vec![Report::new(0, Label::Success, vec![1])]);
+    }
+
+    #[test]
+    fn merge_preserves_serial_order_and_counts() {
+        let mut serial = Collector::new(2);
+        let reports: Vec<Report> = (0..6)
+            .map(|i| {
+                let label = if i % 2 == 0 {
+                    Label::Success
+                } else {
+                    Label::Failure
+                };
+                Report::new(i, label, vec![i, i + 1])
+            })
+            .collect();
+        for r in &reports {
+            serial.add(r.clone()).unwrap();
+        }
+
+        let mut shard_a = Collector::new(2);
+        let mut shard_b = Collector::new(2);
+        shard_a.extend_ordered(reports[..3].to_vec()).unwrap();
+        shard_b.extend_ordered(reports[3..].to_vec()).unwrap();
+
+        let mut merged = Collector::new(2);
+        merged.merge(shard_a).unwrap();
+        merged.merge(shard_b).unwrap();
+
+        assert_eq!(merged.reports(), serial.reports());
+        assert_eq!(merged.success_count(), serial.success_count());
+        assert_eq!(merged.failure_count(), serial.failure_count());
+    }
+
+    #[test]
+    fn merge_rejects_out_of_order_and_mismatched_shards() {
+        let mut c = Collector::new(1);
+        c.add(Report::new(5, Label::Success, vec![0])).unwrap();
+
+        let mut stale = Collector::new(1);
+        stale.add(Report::new(3, Label::Success, vec![0])).unwrap();
+        let err = c.merge(stale).unwrap_err();
+        assert!(matches!(err, CollectError::OutOfOrder { prev: 5, next: 3 }));
+        assert!(err.to_string().contains("out of order"));
+
+        let wrong_layout = Collector::new(2);
+        assert!(matches!(
+            c.merge(wrong_layout).unwrap_err(),
+            CollectError::LayoutMismatch {
+                expected: 1,
+                got: 2
+            }
+        ));
+        assert_eq!(c.len(), 1, "failed merges must not corrupt the collector");
     }
 }

@@ -29,5 +29,5 @@ pub mod report;
 pub mod suffstats;
 
 pub use collector::{CollectError, Collector};
-pub use report::{Label, Report};
+pub use report::{Label, Report, ReportParseError};
 pub use suffstats::SufficientStats;

@@ -11,10 +11,9 @@
 //! trace.
 
 use crate::report::{Label, Report};
-use serde::{Deserialize, Serialize};
 
 /// Per-counter, per-class observation statistics.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct SufficientStats {
     /// Runs in which counter `i` was nonzero, among successful runs.
     nonzero_in_success: Vec<u64>,

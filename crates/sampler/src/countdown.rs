@@ -77,6 +77,19 @@ impl CountdownBank {
         CountdownBank::from_values(values)
     }
 
+    /// Regenerates this bank in place from a fresh seed, reusing the
+    /// existing allocation.  Equivalent to
+    /// `*self = CountdownBank::generate(density, self.len(), seed)` but
+    /// without reallocating; campaign workers use this to recycle one bank
+    /// buffer across thousands of trials.
+    pub fn reseed(&mut self, density: SamplingDensity, seed: u64) {
+        let mut g = Geometric::new(density, seed);
+        for v in &mut self.values {
+            *v = g.draw();
+        }
+        self.cursor = 0;
+    }
+
     /// Number of countdowns in the bank.
     pub fn len(&self) -> usize {
         self.values.len()
@@ -229,9 +242,26 @@ mod tests {
     #[test]
     fn generated_bank_mean_near_density_inverse() {
         let bank = CountdownBank::generate(SamplingDensity::one_in(50), 4096, 13);
-        let mean: f64 =
-            bank.values().iter().map(|&v| v as f64).sum::<f64>() / bank.len() as f64;
+        let mean: f64 = bank.values().iter().map(|&v| v as f64).sum::<f64>() / bank.len() as f64;
         assert!((mean - 50.0).abs() < 5.0, "bank mean {mean}");
+    }
+
+    #[test]
+    fn reseed_matches_fresh_generate() {
+        let mut bank = CountdownBank::generate(SamplingDensity::one_in(10), 64, 1);
+        bank.next_countdown(); // advance the cursor so reseed must rewind it
+        bank.reseed(SamplingDensity::one_in(10), 2);
+        let fresh = CountdownBank::generate(SamplingDensity::one_in(10), 64, 2);
+        assert_eq!(bank.values(), fresh.values());
+        let a: Vec<u64> = {
+            let mut b = bank.clone();
+            (0..5).map(|_| b.next_countdown()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut f = fresh.clone();
+            (0..5).map(|_| f.next_countdown()).collect()
+        };
+        assert_eq!(a, b, "reseed must rewind the cursor");
     }
 
     #[test]

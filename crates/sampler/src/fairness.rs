@@ -152,7 +152,11 @@ mod tests {
         let counts = rotate_sites(&mut p, 2, 100_000);
         // Every 50th crossing is even-numbered, so all samples land on the
         // second site and the first is starved.
-        assert_eq!(counts.counts()[0], 0, "first site never sampled: {counts:?}");
+        assert_eq!(
+            counts.counts()[0],
+            0,
+            "first site never sampled: {counts:?}"
+        );
         assert!(counts.counts()[1] > 0);
         assert!(counts.max_min_ratio().is_infinite());
         assert!(counts.chi_square() > chi_square_critical_001(1));

@@ -5,11 +5,6 @@
 //! 64/32 generator (O'Neill 2014).  It is fast, statistically solid for this
 //! purpose, and — unlike `rand`'s `StdRng` — its output sequence is fixed by
 //! this crate rather than by a dependency version.
-//!
-//! The type also implements [`rand::RngCore`] so it can drive any `rand`
-//! distribution when convenient.
-
-use rand::RngCore;
 
 const MULTIPLIER: u64 = 6364136223846793005;
 
@@ -46,10 +41,7 @@ impl Pcg32 {
     }
 
     fn step(&mut self) {
-        self.state = self
-            .state
-            .wrapping_mul(MULTIPLIER)
-            .wrapping_add(self.inc);
+        self.state = self.state.wrapping_mul(MULTIPLIER).wrapping_add(self.inc);
     }
 
     /// Returns the next 32 random bits.
@@ -105,27 +97,13 @@ impl Pcg32 {
         let stream = self.next_u64();
         Pcg32::with_stream(seed, stream)
     }
-}
 
-impl RngCore for Pcg32 {
-    fn next_u32(&mut self) -> u32 {
-        Pcg32::next_u32(self)
-    }
-
-    fn next_u64(&mut self) -> u64 {
-        Pcg32::next_u64(self)
-    }
-
-    fn fill_bytes(&mut self, dest: &mut [u8]) {
+    /// Fills a byte buffer with random data, 4 bytes per generator step.
+    pub fn fill_bytes(&mut self, dest: &mut [u8]) {
         for chunk in dest.chunks_mut(4) {
             let bytes = self.next_u32().to_le_bytes();
             chunk.copy_from_slice(&bytes[..chunk.len()]);
         }
-    }
-
-    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
-        self.fill_bytes(dest);
-        Ok(())
     }
 }
 

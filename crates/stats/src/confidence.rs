@@ -19,10 +19,7 @@
 pub fn runs_needed(event_rate: f64, density: f64, confidence: f64) -> u64 {
     assert!(event_rate > 0.0 && event_rate <= 1.0, "event rate in (0,1]");
     assert!(density > 0.0 && density <= 1.0, "density in (0,1]");
-    assert!(
-        confidence > 0.0 && confidence < 1.0,
-        "confidence in (0,1)"
-    );
+    assert!(confidence > 0.0 && confidence < 1.0, "confidence in (0,1)");
     let p = event_rate * density;
     if p >= 1.0 {
         return 1;

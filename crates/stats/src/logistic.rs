@@ -214,7 +214,11 @@ mod tests {
                     .collect();
                 Report::new(
                     i as u64,
-                    if crash { Label::Failure } else { Label::Success },
+                    if crash {
+                        Label::Failure
+                    } else {
+                        Label::Success
+                    },
                     counters,
                 )
             })

@@ -96,12 +96,7 @@ impl OnlineTrainer {
         let err = y - sigmoid(z);
         self.bias += self.learning_rate * err;
         self.u += self.learning_rate * self.lambda;
-        for ((w, &x), q) in self
-            .weights
-            .iter_mut()
-            .zip(&row)
-            .zip(self.q.iter_mut())
-        {
+        for ((w, &x), q) in self.weights.iter_mut().zip(&row).zip(self.q.iter_mut()) {
             if x != 0.0 {
                 *w += self.learning_rate * err * x;
             }
@@ -163,7 +158,12 @@ mod tests {
             }
         }
         let model = t.model();
-        assert_eq!(model.ranked_features()[0], 1, "weights: {:?}", model.weights);
+        assert_eq!(
+            model.ranked_features()[0],
+            1,
+            "weights: {:?}",
+            model.weights
+        );
         assert!(model.weights[1] > 0.0);
         assert_eq!(t.seen(), 6000);
     }

@@ -2,33 +2,31 @@
 //! brute-force oracle that works directly on raw reports.
 
 use cbi_reports::{Label, Report, SufficientStats};
+use cbi_sampler::Pcg32;
 use cbi_stats::elimination::{apply, combine, survivors, Strategy as Elim};
-use proptest::prelude::*;
 
 /// Random report sets: `sites` triples (3 counters each), sparse counts.
-fn arb_reports() -> impl Strategy<Value = (Vec<Report>, Vec<(usize, usize)>)> {
-    (1usize..6, 1usize..40).prop_flat_map(|(sites, runs)| {
-        let counters = sites * 3;
-        let report = (
-            any::<bool>(),
-            prop::collection::vec(0u64..3, counters),
-        );
-        prop::collection::vec(report, runs).prop_map(move |rows| {
-            let reports = rows
-                .into_iter()
-                .enumerate()
-                .map(|(i, (failed, counters))| {
-                    Report::new(
-                        i as u64,
-                        if failed { Label::Failure } else { Label::Success },
-                        counters,
-                    )
-                })
-                .collect();
-            let groups = (0..sites).map(|s| (s * 3, 3)).collect();
-            (reports, groups)
+fn random_reports(rng: &mut Pcg32) -> (Vec<Report>, Vec<(usize, usize)>) {
+    let sites = 1 + rng.below(5) as usize;
+    let runs = 1 + rng.below(39) as usize;
+    let counters = sites * 3;
+    let reports = (0..runs)
+        .map(|i| {
+            let failed = rng.below(2) == 1;
+            let row: Vec<u64> = (0..counters).map(|_| rng.below(3)).collect();
+            Report::new(
+                i as u64,
+                if failed {
+                    Label::Failure
+                } else {
+                    Label::Success
+                },
+                row,
+            )
         })
-    })
+        .collect();
+    let groups = (0..sites).map(|s| (s * 3, 3)).collect();
+    (reports, groups)
 }
 
 fn oracle(reports: &[Report], groups: &[(usize, usize)], strategy: Elim) -> Vec<usize> {
@@ -61,11 +59,11 @@ fn oracle(reports: &[Report], groups: &[(usize, usize)], strategy: Elim) -> Vec<
     (0..n).filter(|&c| keep(c)).collect()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn strategies_match_brute_force((reports, groups) in arb_reports()) {
+#[test]
+fn strategies_match_brute_force() {
+    let mut rng = Pcg32::new(0xe1a3);
+    for _ in 0..256 {
+        let (reports, groups) = random_reports(&mut rng);
         let stats: SufficientStats = reports.iter().cloned().collect();
         for strategy in [
             Elim::UniversalFalsehood,
@@ -75,12 +73,16 @@ proptest! {
         ] {
             let fast = survivors(&apply(&stats, strategy, &groups));
             let slow = oracle(&reports, &groups, strategy);
-            prop_assert_eq!(&fast, &slow, "strategy {}", strategy);
+            assert_eq!(&fast, &slow, "strategy {strategy}");
         }
     }
+}
 
-    #[test]
-    fn combination_is_set_intersection((reports, groups) in arb_reports()) {
+#[test]
+fn combination_is_set_intersection() {
+    let mut rng = Pcg32::new(0xc0b1);
+    for _ in 0..256 {
+        let (reports, groups) = random_reports(&mut rng);
         let stats: SufficientStats = reports.iter().cloned().collect();
         let uf = apply(&stats, Elim::UniversalFalsehood, &groups);
         let sc = apply(&stats, Elim::SuccessfulCounterexample, &groups);
@@ -88,28 +90,32 @@ proptest! {
         let uf_set = survivors(&uf);
         let sc_set = survivors(&sc);
         for c in &both {
-            prop_assert!(uf_set.contains(c) && sc_set.contains(c));
+            assert!(uf_set.contains(c) && sc_set.contains(c));
         }
         for c in &uf_set {
             if sc_set.contains(c) {
-                prop_assert!(both.contains(c));
+                assert!(both.contains(c));
             }
         }
     }
+}
 
-    /// §3.2.2 subset relations hold on arbitrary data: anything discarded
-    /// by universal falsehood or lack-of-failing-coverage is also
-    /// discarded by lack-of-failing-example.
-    #[test]
-    fn subset_relations_universal((reports, groups) in arb_reports()) {
+/// §3.2.2 subset relations hold on arbitrary data: anything discarded
+/// by universal falsehood or lack-of-failing-coverage is also discarded
+/// by lack-of-failing-example.
+#[test]
+fn subset_relations_universal() {
+    let mut rng = Pcg32::new(0x5e7a);
+    for _ in 0..256 {
+        let (reports, groups) = random_reports(&mut rng);
         let stats: SufficientStats = reports.iter().cloned().collect();
         let uf = apply(&stats, Elim::UniversalFalsehood, &groups);
         let cov = apply(&stats, Elim::LackOfFailingCoverage, &groups);
         let ex = apply(&stats, Elim::LackOfFailingExample, &groups);
         for c in 0..uf.len() {
             if ex[c] {
-                prop_assert!(uf[c], "counter {c}: ex ⊆ uf");
-                prop_assert!(cov[c], "counter {c}: ex ⊆ cov");
+                assert!(uf[c], "counter {c}: ex ⊆ uf");
+                assert!(cov[c], "counter {c}: ex ⊆ cov");
             }
         }
     }

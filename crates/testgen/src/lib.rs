@@ -1,12 +1,15 @@
-//! Proptest strategies that generate random, *well-formed, crash-free,
-//! terminating* MiniC programs, for differential testing:
+//! Seeded random generators of *well-formed, crash-free, terminating*
+//! MiniC programs, for differential testing:
 //!
 //! * `parse(pretty(p))` must be structurally identical to `p`;
 //! * the VM must produce identical output for a program and its
 //!   pretty-printed/re-parsed form;
 //! * instrumented and sampling-transformed builds must produce the same
-//!   output as the baseline.
+//!   output as the baseline;
+//! * name-map and slot-resolved interpretation must agree exactly.
 //!
+//! Generation is driven by the repository's own [`Pcg32`] PRNG, so every
+//! test case is reproducible from a seed with no external dependencies.
 //! Generated programs use a fixed set of int variables (`v0..v3`), a
 //! fixed pointer variable `buf` over an 8-cell block with all indices
 //! reduced modulo 8, division only by nonzero constants, and loops in the
@@ -17,81 +20,111 @@
 
 use cbi_minic::ast::*;
 use cbi_minic::Span;
-use proptest::prelude::*;
+use cbi_sampler::Pcg32;
 
 const INT_VARS: [&str; 4] = ["v0", "v1", "v2", "v3"];
 const BUF_LEN: i64 = 8;
+
+/// Maximum recursion depth for arithmetic expressions.
+const EXPR_DEPTH: usize = 3;
+/// Maximum recursion depth for boolean conditions.
+const COND_DEPTH: usize = 2;
+/// Maximum recursion depth for compound statements.
+const STMT_DEPTH: usize = 2;
 
 fn sp() -> Span {
     Span::new(1, 1)
 }
 
-/// A strategy for arithmetic expressions over the fixed int variables.
+fn pick(rng: &mut Pcg32, n: usize) -> usize {
+    rng.below(n as u64) as usize
+}
+
+/// Integer uniform in `lo..hi` (half-open, like the proptest ranges the
+/// generator grew out of).
+fn int_in(rng: &mut Pcg32, lo: i64, hi: i64) -> i64 {
+    lo + rng.below((hi - lo) as u64) as i64
+}
+
+/// Generates an arithmetic expression over the fixed int variables.
 ///
 /// Division and modulus only ever use nonzero constant divisors, so
 /// generated expressions cannot trap.
-pub fn arb_int_expr() -> impl Strategy<Value = Expr> {
-    let leaf = prop_oneof![
-        (-50i64..50).prop_map(|v| Expr::Int { value: v, span: sp() }),
-        (0usize..INT_VARS.len()).prop_map(|i| Expr::Var {
-            name: INT_VARS[i].to_string(),
+pub fn gen_int_expr(rng: &mut Pcg32) -> Expr {
+    gen_int_expr_at(rng, EXPR_DEPTH)
+}
+
+fn gen_leaf(rng: &mut Pcg32) -> Expr {
+    if rng.below(2) == 0 {
+        Expr::Int {
+            value: int_in(rng, -50, 50),
             span: sp(),
-        }),
-    ];
-    leaf.prop_recursive(3, 24, 3, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone(), arb_arith_op()).prop_map(|(l, r, op)| {
-                Expr::Binary {
-                    op,
-                    lhs: Box::new(l),
-                    rhs: Box::new(r),
-                    span: sp(),
-                }
-            }),
-            (inner.clone(), 1i64..9).prop_map(|(l, d)| Expr::Binary {
-                op: BinOp::Div,
-                lhs: Box::new(l),
-                rhs: Box::new(Expr::Int { value: d, span: sp() }),
-                span: sp(),
-            }),
-            (inner.clone(), 1i64..9).prop_map(|(l, d)| Expr::Binary {
-                op: BinOp::Mod,
-                lhs: Box::new(l),
-                rhs: Box::new(Expr::Int { value: d, span: sp() }),
-                span: sp(),
-            }),
-            inner.clone().prop_map(|e| Expr::Unary {
-                op: UnOp::Neg,
-                expr: Box::new(e),
-                span: sp(),
-            }),
-            // A bounded heap read: buf[(e % 8 + 8) % 8].
-            inner.prop_map(|e| Expr::Load {
-                ptr: Box::new(Expr::var("buf")),
-                index: Box::new(bounded_index(e)),
-                span: sp(),
-            }),
-        ]
-    })
+        }
+    } else {
+        Expr::Var {
+            name: INT_VARS[pick(rng, INT_VARS.len())].to_string(),
+            span: sp(),
+        }
+    }
 }
 
-fn arb_arith_op() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-    ]
+fn gen_int_expr_at(rng: &mut Pcg32, depth: usize) -> Expr {
+    // Bias toward leaves as in the proptest recursive strategy: half of
+    // all draws stop early even when depth remains.
+    if depth == 0 || rng.below(2) == 0 {
+        return gen_leaf(rng);
+    }
+    match rng.below(5) {
+        0 => {
+            let op = [BinOp::Add, BinOp::Sub, BinOp::Mul][pick(rng, 3)];
+            Expr::Binary {
+                op,
+                lhs: Box::new(gen_int_expr_at(rng, depth - 1)),
+                rhs: Box::new(gen_int_expr_at(rng, depth - 1)),
+                span: sp(),
+            }
+        }
+        1 => Expr::Binary {
+            op: BinOp::Div,
+            lhs: Box::new(gen_int_expr_at(rng, depth - 1)),
+            rhs: Box::new(Expr::Int {
+                value: int_in(rng, 1, 9),
+                span: sp(),
+            }),
+            span: sp(),
+        },
+        2 => Expr::Binary {
+            op: BinOp::Mod,
+            lhs: Box::new(gen_int_expr_at(rng, depth - 1)),
+            rhs: Box::new(Expr::Int {
+                value: int_in(rng, 1, 9),
+                span: sp(),
+            }),
+            span: sp(),
+        },
+        3 => Expr::Unary {
+            op: UnOp::Neg,
+            expr: Box::new(gen_int_expr_at(rng, depth - 1)),
+            span: sp(),
+        },
+        // A bounded heap read: buf[(e % 8 + 8) % 8].
+        _ => Expr::Load {
+            ptr: Box::new(Expr::var("buf")),
+            index: Box::new(bounded_index(gen_int_expr_at(rng, depth - 1))),
+            span: sp(),
+        },
+    }
 }
 
-fn arb_cmp_op() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Eq),
-        Just(BinOp::Ne),
-        Just(BinOp::Lt),
-        Just(BinOp::Le),
-        Just(BinOp::Gt),
-        Just(BinOp::Ge),
-    ]
+fn gen_cmp_op(rng: &mut Pcg32) -> BinOp {
+    [
+        BinOp::Eq,
+        BinOp::Ne,
+        BinOp::Lt,
+        BinOp::Le,
+        BinOp::Gt,
+        BinOp::Ge,
+    ][pick(rng, 6)]
 }
 
 /// `(e % 8 + 8) % 8` — always a valid index into the 8-cell buffer.
@@ -101,82 +134,101 @@ fn bounded_index(e: Expr) -> Expr {
     Expr::binary(BinOp::Mod, plus, Expr::int(BUF_LEN))
 }
 
-/// A strategy for boolean conditions (comparisons and their combinations).
-pub fn arb_cond() -> impl Strategy<Value = Expr> {
-    let cmp = (arb_int_expr(), arb_int_expr(), arb_cmp_op()).prop_map(|(l, r, op)| {
-        Expr::Binary {
-            op,
-            lhs: Box::new(l),
-            rhs: Box::new(r),
-            span: sp(),
-        }
-    });
-    cmp.prop_recursive(2, 8, 2, |inner| {
-        prop_oneof![
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Binary {
-                op: BinOp::And,
-                lhs: Box::new(l),
-                rhs: Box::new(r),
-                span: sp(),
-            }),
-            (inner.clone(), inner.clone()).prop_map(|(l, r)| Expr::Binary {
-                op: BinOp::Or,
-                lhs: Box::new(l),
-                rhs: Box::new(r),
-                span: sp(),
-            }),
-            inner.prop_map(|e| Expr::Unary {
-                op: UnOp::Not,
-                expr: Box::new(e),
-                span: sp(),
-            }),
-        ]
-    })
+/// Generates a boolean condition (comparisons and their combinations).
+pub fn gen_cond(rng: &mut Pcg32) -> Expr {
+    gen_cond_at(rng, COND_DEPTH)
 }
 
-/// A strategy for statements (assignments, stores, checks, prints, ifs,
-/// bounded loops).
-pub fn arb_stmt() -> impl Strategy<Value = Stmt> {
-    let simple = prop_oneof![
-        ((0usize..INT_VARS.len()), arb_int_expr()).prop_map(|(i, e)| Stmt::Assign {
-            name: INT_VARS[i].to_string(),
-            value: e,
+fn gen_cond_at(rng: &mut Pcg32, depth: usize) -> Expr {
+    if depth == 0 || rng.below(2) == 0 {
+        return Expr::Binary {
+            op: gen_cmp_op(rng),
+            lhs: Box::new(gen_int_expr(rng)),
+            rhs: Box::new(gen_int_expr(rng)),
             span: sp(),
-        }),
-        (arb_int_expr(), arb_int_expr()).prop_map(|(idx, val)| Stmt::Store {
+        };
+    }
+    match rng.below(3) {
+        0 => Expr::Binary {
+            op: BinOp::And,
+            lhs: Box::new(gen_cond_at(rng, depth - 1)),
+            rhs: Box::new(gen_cond_at(rng, depth - 1)),
+            span: sp(),
+        },
+        1 => Expr::Binary {
+            op: BinOp::Or,
+            lhs: Box::new(gen_cond_at(rng, depth - 1)),
+            rhs: Box::new(gen_cond_at(rng, depth - 1)),
+            span: sp(),
+        },
+        _ => Expr::Unary {
+            op: UnOp::Not,
+            expr: Box::new(gen_cond_at(rng, depth - 1)),
+            span: sp(),
+        },
+    }
+}
+
+/// Generates a statement (assignment, store, check, print, if, bounded
+/// loop).
+pub fn gen_stmt(rng: &mut Pcg32) -> Stmt {
+    gen_stmt_at(rng, STMT_DEPTH)
+}
+
+fn gen_simple_stmt(rng: &mut Pcg32) -> Stmt {
+    match rng.below(4) {
+        0 => Stmt::Assign {
+            name: INT_VARS[pick(rng, INT_VARS.len())].to_string(),
+            value: gen_int_expr(rng),
+            span: sp(),
+        },
+        1 => Stmt::Store {
             target: "buf".to_string(),
-            index: bounded_index(idx),
-            value: val,
+            index: bounded_index(gen_int_expr(rng)),
+            value: gen_int_expr(rng),
             span: sp(),
-        }),
-        arb_int_expr().prop_map(|e| Stmt::Expr {
-            expr: Expr::call("print", vec![e]),
+        },
+        2 => Stmt::Expr {
+            expr: Expr::call("print", vec![gen_int_expr(rng)]),
             span: sp(),
-        }),
+        },
         // check(cond || 1) — a user assertion that can never fail, so
         // instrumented builds stay crash-free.
-        arb_cond().prop_map(|c| Stmt::Check {
-            cond: Expr::binary(BinOp::Or, c, Expr::int(1)),
+        _ => Stmt::Check {
+            cond: Expr::binary(BinOp::Or, gen_cond(rng), Expr::int(1)),
             span: sp(),
-        }),
-    ];
-    simple.prop_recursive(2, 16, 4, |inner| {
-        let block = prop::collection::vec(inner.clone(), 1..4).prop_map(Block::new);
-        prop_oneof![
-            (arb_cond(), block.clone(), prop::option::of(block.clone())).prop_map(
-                |(c, t, e)| Stmt::If {
-                    cond: c,
-                    then_block: t,
-                    else_block: e,
-                    span: sp(),
-                }
-            ),
-            // Bounded loop over a dedicated counter variable name chosen
-            // outside the assignable int vars, so the body cannot clobber
-            // the counter and loops always terminate.
-            (1i64..6, block).prop_map(|(k, body)| bounded_loop(k, body)),
-        ]
-    })
+        },
+    }
+}
+
+fn gen_block(rng: &mut Pcg32, depth: usize) -> Block {
+    let n = 1 + pick(rng, 3);
+    Block::new((0..n).map(|_| gen_stmt_at(rng, depth)).collect())
+}
+
+fn gen_stmt_at(rng: &mut Pcg32, depth: usize) -> Stmt {
+    if depth == 0 || rng.below(2) == 0 {
+        return gen_simple_stmt(rng);
+    }
+    if rng.below(2) == 0 {
+        let cond = gen_cond(rng);
+        let then_block = gen_block(rng, depth - 1);
+        let else_block = if rng.below(2) == 0 {
+            Some(gen_block(rng, depth - 1))
+        } else {
+            None
+        };
+        Stmt::If {
+            cond,
+            then_block,
+            else_block,
+            span: sp(),
+        }
+    } else {
+        let k = int_in(rng, 1, 6);
+        let body = gen_block(rng, depth - 1);
+        bounded_loop(k, body)
+    }
 }
 
 /// Counter for bounded loops.  Generated loop bodies never assign to it
@@ -184,7 +236,7 @@ pub fn arb_stmt() -> impl Strategy<Value = Stmt> {
 static LOOP_COUNTERS: [&str; 3] = ["lc0", "lc1", "lc2"];
 
 fn bounded_loop(k: i64, body: Block) -> Stmt {
-    // Nested loops reuse distinct counters by depth; proptest recursion
+    // Nested loops reuse distinct counters by depth; generation recursion
     // depth is <= 2, so three counters suffice.  Reassignment of the same
     // counter at the same depth is harmless: the loop resets it to zero.
     let depth = loop_depth(&body).min(LOOP_COUNTERS.len() - 1);
@@ -229,81 +281,83 @@ fn loop_depth(b: &Block) -> usize {
         .unwrap_or(0)
 }
 
-/// A strategy for whole programs: `main` declares the fixed variables, an
+/// Generates a whole program: `main` declares the fixed variables, an
 /// 8-cell buffer, runs 2–8 generated statements, prints a digest of all
 /// state, and exits 0.
-pub fn arb_program() -> impl Strategy<Value = Program> {
-    prop::collection::vec(arb_stmt(), 2..8).prop_map(|stmts| {
-        let mut body = Vec::new();
-        for c in LOOP_COUNTERS {
-            body.push(Stmt::Decl {
-                ty: Type::Int,
-                name: c.to_string(),
-                init: None,
-                span: sp(),
-            });
-        }
-        for (i, v) in INT_VARS.iter().enumerate() {
-            body.push(Stmt::Decl {
-                ty: Type::Int,
-                name: (*v).to_string(),
-                init: Some(Expr::int(i as i64 + 1)),
-                span: sp(),
-            });
-        }
+pub fn gen_program(rng: &mut Pcg32) -> Program {
+    let n = 2 + pick(rng, 6);
+    let stmts: Vec<Stmt> = (0..n).map(|_| gen_stmt(rng)).collect();
+    let mut body = Vec::new();
+    for c in LOOP_COUNTERS {
         body.push(Stmt::Decl {
-            ty: Type::Ptr,
-            name: "buf".to_string(),
-            init: Some(Expr::call("alloc", vec![Expr::int(BUF_LEN)])),
+            ty: Type::Int,
+            name: c.to_string(),
+            init: None,
             span: sp(),
         });
-        body.extend(stmts);
-        // Digest: print all variables and the buffer contents.
-        for v in INT_VARS {
-            body.push(Stmt::Expr {
-                expr: Expr::call("print", vec![Expr::var(v)]),
-                span: sp(),
-            });
-        }
-        let mut digest_loop = bounded_loop(
-            BUF_LEN,
-            Block::new(vec![Stmt::Expr {
-                expr: Expr::call(
-                    "print",
-                    vec![Expr::Load {
-                        ptr: Box::new(Expr::var("buf")),
-                        index: Box::new(Expr::var(LOOP_COUNTERS[0])),
-                        span: sp(),
-                    }],
-                ),
-                span: sp(),
-            }]),
-        );
-        // The digest loop iterates exactly BUF_LEN times over valid
-        // indices by construction.
-        if let Stmt::If { then_block, .. } = &mut digest_loop {
-            let _ = then_block;
-        }
-        body.push(digest_loop);
+    }
+    for (i, v) in INT_VARS.iter().enumerate() {
+        body.push(Stmt::Decl {
+            ty: Type::Int,
+            name: (*v).to_string(),
+            init: Some(Expr::int(i as i64 + 1)),
+            span: sp(),
+        });
+    }
+    body.push(Stmt::Decl {
+        ty: Type::Ptr,
+        name: "buf".to_string(),
+        init: Some(Expr::call("alloc", vec![Expr::int(BUF_LEN)])),
+        span: sp(),
+    });
+    body.extend(stmts);
+    // Digest: print all variables and the buffer contents.
+    for v in INT_VARS {
         body.push(Stmt::Expr {
-            expr: Expr::call("free", vec![Expr::var("buf")]),
+            expr: Expr::call("print", vec![Expr::var(v)]),
             span: sp(),
         });
-        body.push(Stmt::Return {
-            value: Some(Expr::int(0)),
+    }
+    // The digest loop iterates exactly BUF_LEN times over valid indices
+    // by construction.
+    let digest_loop = bounded_loop(
+        BUF_LEN,
+        Block::new(vec![Stmt::Expr {
+            expr: Expr::call(
+                "print",
+                vec![Expr::Load {
+                    ptr: Box::new(Expr::var("buf")),
+                    index: Box::new(Expr::var(LOOP_COUNTERS[0])),
+                    span: sp(),
+                }],
+            ),
             span: sp(),
-        });
-        Program {
-            globals: vec![],
-            functions: vec![Function {
-                name: "main".to_string(),
-                params: vec![],
-                ret: Some(Type::Int),
-                body: Block::new(body),
-                span: sp(),
-            }],
-        }
-    })
+        }]),
+    );
+    body.push(digest_loop);
+    body.push(Stmt::Expr {
+        expr: Expr::call("free", vec![Expr::var("buf")]),
+        span: sp(),
+    });
+    body.push(Stmt::Return {
+        value: Some(Expr::int(0)),
+        span: sp(),
+    });
+    Program {
+        globals: vec![],
+        functions: vec![Function {
+            name: "main".to_string(),
+            params: vec![],
+            ret: Some(Type::Int),
+            body: Block::new(body),
+            span: sp(),
+        }],
+    }
+}
+
+/// Convenience: the program generated by a fresh PRNG at `seed`.
+pub fn program_for_seed(seed: u64) -> Program {
+    gen_program(&mut Pcg32::new(seed))
 }
 
 #[cfg(test)]
@@ -311,23 +365,41 @@ mod tests {
     use super::*;
     use cbi_minic::{parse, pretty, resolve};
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(64))]
-
-        #[test]
-        fn generated_programs_resolve(p in arb_program()) {
-            resolve(&p).expect("generated program must resolve");
+    #[test]
+    fn generated_programs_resolve() {
+        for seed in 0..64 {
+            let p = program_for_seed(seed);
+            resolve(&p).unwrap_or_else(|e| panic!("seed {seed}: must resolve: {e}"));
         }
+    }
 
-        #[test]
-        fn generated_programs_round_trip(p in arb_program()) {
+    #[test]
+    fn generated_programs_round_trip() {
+        for seed in 0..64 {
+            let p = program_for_seed(seed);
             // One parse normalizes generator-built ASTs (the parser folds
             // `-literal` into negative literals); from then on
             // pretty∘parse must be a fixed point.
             let p1 = parse(&pretty(&p)).expect("pretty output must parse");
             let s1 = pretty(&p1);
             let p2 = parse(&s1).expect("normalized output must parse");
-            prop_assert_eq!(s1, pretty(&p2));
+            assert_eq!(s1, pretty(&p2), "seed {seed}");
         }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        assert_eq!(pretty(&program_for_seed(7)), pretty(&program_for_seed(7)));
+    }
+
+    #[test]
+    fn seeds_produce_distinct_programs() {
+        let distinct: std::collections::HashSet<String> =
+            (0..16).map(|s| pretty(&program_for_seed(s))).collect();
+        assert!(
+            distinct.len() > 8,
+            "only {} distinct programs",
+            distinct.len()
+        );
     }
 }

@@ -64,7 +64,15 @@ mod tests {
     #[test]
     fn costs_are_positive() {
         let c = CostModel::new();
-        for v in [c.stmt, c.expr, c.call, c.mem, c.observe, c.refill, c.bookkeeping] {
+        for v in [
+            c.stmt,
+            c.expr,
+            c.call,
+            c.mem,
+            c.observe,
+            c.refill,
+            c.bookkeeping,
+        ] {
             assert!(v > 0);
         }
     }

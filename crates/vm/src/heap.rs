@@ -75,9 +75,9 @@ impl Heap {
     /// Returns [`CrashKind::TypeError`] for negative lengths.
     pub fn alloc(&mut self, len: i64) -> Result<Value, CrashKind> {
         if len < 0 {
-            return Err(CrashKind::TypeError(format!(
-                "alloc with negative length {len}"
-            )));
+            return Err(CrashKind::TypeError(
+                format!("alloc with negative length {len}").into(),
+            ));
         }
         let len = len as usize;
         let block = HeapBlock {

@@ -11,16 +11,25 @@
 //!   vector, `__next_cd()` refills from a [`CountdownSource`], and the
 //!   `__gcd` global is seeded at startup;
 //! * op-cost accounting per [`CostModel`] for the overhead experiments.
+//!
+//! Two engines share this front end: the slot-resolved hot path
+//! ([`crate::slot_interp`], the default) executing pre-lowered
+//! [`SlotProgram`]s with `Vec`-indexed frames, and the original name-map
+//! tree walker in this module, kept as the reference implementation for
+//! differential testing and benchmarking.
 
 use crate::cost::CostModel;
 use crate::heap::{Heap, DEFAULT_SLACK};
 use crate::outcome::{CrashKind, RunOutcome};
+use crate::slot_interp::SlotExec;
 use crate::value::{PtrVal, Value};
 use cbi_instrument::SiteTable;
 use cbi_minic::ast::*;
 use cbi_minic::builtins::GLOBAL_COUNTDOWN;
+use cbi_minic::slots::{self, SlotProgram};
 use cbi_minic::Builtin;
 use cbi_sampler::CountdownSource;
+use std::borrow::Cow;
 use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::error::Error;
@@ -80,6 +89,49 @@ pub struct RunResult {
     pub trace: Vec<(usize, bool)>,
 }
 
+/// Which interpreter engine a [`Vm`] executes with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Slot-resolved execution (the default): names are lowered to dense
+    /// indices once, frames are `Vec`-backed — no string hashing on the
+    /// execution path.
+    #[default]
+    Slots,
+    /// The original name-map tree walker (`HashMap` frames).  Kept as the
+    /// reference engine for differential tests and overhead baselines.
+    NameMap,
+}
+
+/// The program representation a [`Vm`] was constructed from.
+#[derive(Clone, Copy)]
+enum ProgramSrc<'a> {
+    Ast(&'a Program),
+    Slots(&'a SlotProgram),
+}
+
+/// The countdown source, owned or borrowed.  Borrowing lets a campaign
+/// worker reseed and reuse one bank across thousands of trials instead of
+/// boxing a fresh allocation per run.
+enum Sampling<'a> {
+    None,
+    Owned(Box<dyn CountdownSource>),
+    Borrowed(&'a mut (dyn CountdownSource + 'static)),
+}
+
+impl Sampling<'_> {
+    fn get(&mut self) -> Option<&mut (dyn CountdownSource + 'static)> {
+        match self {
+            Sampling::None => None,
+            Sampling::Owned(b) => Some(&mut **b),
+            Sampling::Borrowed(r) => Some(&mut **r),
+        }
+    }
+
+    fn is_configured(&self) -> bool {
+        !matches!(self, Sampling::None)
+    }
+}
+
 /// A configured MiniC virtual machine (non-consuming builder).
 ///
 /// # Example
@@ -95,11 +147,29 @@ pub struct RunResult {
 /// assert_eq!(result.output, vec![42]);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
+///
+/// On a hot path, lower once and share the borrowed pieces across runs:
+///
+/// ```
+/// use cbi_vm::Vm;
+///
+/// let program = cbi_minic::parse(
+///     "fn main() -> int { return read(); }",
+/// )?;
+/// let slots = cbi_minic::lower(&program);
+/// let input = vec![7];
+/// for _ in 0..3 {
+///     let r = Vm::from_slots(&slots).with_input(&input[..]).run()?;
+///     assert_eq!(r.outcome, cbi_vm::RunOutcome::Success(7));
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
 pub struct Vm<'a> {
-    program: &'a Program,
+    program: ProgramSrc<'a>,
     sites: Option<&'a SiteTable>,
-    sampling: Option<Box<dyn CountdownSource>>,
-    input: Vec<i64>,
+    sampling: Sampling<'a>,
+    input: Cow<'a, [i64]>,
+    engine: Engine,
     op_limit: u64,
     max_depth: usize,
     costs: CostModel,
@@ -109,10 +179,15 @@ pub struct Vm<'a> {
 
 impl fmt::Debug for Vm<'_> {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let functions = match self.program {
+            ProgramSrc::Ast(p) => p.functions.len(),
+            ProgramSrc::Slots(p) => p.functions.len(),
+        };
         f.debug_struct("Vm")
-            .field("functions", &self.program.functions.len())
+            .field("functions", &functions)
+            .field("engine", &self.engine)
             .field("has_sites", &self.sites.is_some())
-            .field("has_sampling", &self.sampling.is_some())
+            .field("has_sampling", &self.sampling.is_configured())
             .field("input_len", &self.input.len())
             .field("op_limit", &self.op_limit)
             .finish()
@@ -122,11 +197,24 @@ impl fmt::Debug for Vm<'_> {
 impl<'a> Vm<'a> {
     /// Creates a VM for a program with default settings.
     pub fn new(program: &'a Program) -> Self {
+        Vm::with_src(ProgramSrc::Ast(program))
+    }
+
+    /// Creates a VM for a pre-lowered program (see [`cbi_minic::lower`]).
+    ///
+    /// Lowering once and constructing per-run VMs from the shared
+    /// [`SlotProgram`] amortizes name resolution across a whole campaign.
+    pub fn from_slots(program: &'a SlotProgram) -> Self {
+        Vm::with_src(ProgramSrc::Slots(program))
+    }
+
+    fn with_src(program: ProgramSrc<'a>) -> Self {
         Vm {
             program,
             sites: None,
-            sampling: None,
-            input: Vec::new(),
+            sampling: Sampling::None,
+            input: Cow::Borrowed(&[]),
+            engine: Engine::default(),
             op_limit: DEFAULT_OP_LIMIT,
             max_depth: DEFAULT_MAX_DEPTH,
             costs: CostModel::default(),
@@ -145,13 +233,33 @@ impl<'a> Vm<'a> {
     /// Attaches the countdown source used by `__next_cd()` and the initial
     /// `__gcd` seed; required for sampled programs.
     pub fn with_sampling(&mut self, source: Box<dyn CountdownSource>) -> &mut Self {
-        self.sampling = Some(source);
+        self.sampling = Sampling::Owned(source);
+        self
+    }
+
+    /// Like [`Vm::with_sampling`], but borrows the source, so a caller can
+    /// reseed and reuse one countdown bank across many runs without
+    /// re-boxing it each time.
+    pub fn with_sampling_ref(
+        &mut self,
+        source: &'a mut (dyn CountdownSource + 'static),
+    ) -> &mut Self {
+        self.sampling = Sampling::Borrowed(source);
+        self
+    }
+
+    /// Selects the interpreter engine (default [`Engine::Slots`]).
+    pub fn with_engine(&mut self, engine: Engine) -> &mut Self {
+        self.engine = engine;
         self
     }
 
     /// Sets the scripted input consumed by `read()`.
-    pub fn with_input(&mut self, input: Vec<i64>) -> &mut Self {
-        self.input = input;
+    ///
+    /// Accepts an owned `Vec<i64>` or a borrowed `&[i64]`; borrowing lets
+    /// hot loops share one input buffer across trials without cloning.
+    pub fn with_input(&mut self, input: impl Into<Cow<'a, [i64]>>) -> &mut Self {
+        self.input = input.into();
         self
     }
 
@@ -195,14 +303,6 @@ impl<'a> Vm<'a> {
     /// takes parameters.  Runtime failures are *not* errors: they are
     /// reported in [`RunResult::outcome`].
     pub fn run(&mut self) -> Result<RunResult, VmError> {
-        let main = self
-            .program
-            .function("main")
-            .ok_or_else(|| VmError::new("program has no `main` function"))?;
-        if !main.params.is_empty() {
-            return Err(VmError::new("`main` must take no parameters"));
-        }
-
         let mut counter_layout = Vec::new();
         let total_counters = match self.sites {
             Some(t) => {
@@ -212,13 +312,123 @@ impl<'a> Vm<'a> {
             None => 0,
         };
 
+        match (self.engine, self.program) {
+            (Engine::NameMap, ProgramSrc::Ast(program)) => {
+                self.run_namemap(program, counter_layout, total_counters)
+            }
+            (Engine::NameMap, ProgramSrc::Slots(_)) => Err(VmError::new(
+                "name-map engine requires an AST program (construct with Vm::new)",
+            )),
+            (Engine::Slots, ProgramSrc::Slots(program)) => {
+                self.run_slots(program, counter_layout, total_counters)
+            }
+            (Engine::Slots, ProgramSrc::Ast(program)) => {
+                // One-shot convenience path: lower, then run.  Hot loops
+                // lower once and use `Vm::from_slots` instead.
+                let lowered = slots::lower(program);
+                self.run_slots(&lowered, counter_layout, total_counters)
+            }
+        }
+    }
+
+    fn run_slots(
+        &mut self,
+        program: &SlotProgram,
+        counter_layout: Vec<(usize, usize)>,
+        total_counters: usize,
+    ) -> Result<RunResult, VmError> {
+        let main = program
+            .main
+            .map(|i| &program.functions[i as usize])
+            .ok_or_else(|| VmError::new("program has no `main` function"))?;
+        if main.n_params != 0 {
+            return Err(VmError::new("`main` must take no parameters"));
+        }
+
+        let globals: Vec<Value> = program
+            .globals
+            .iter()
+            .map(|g| match g.ty {
+                Type::Int => Value::Int(g.init),
+                Type::Ptr => Value::Null,
+            })
+            .collect();
+
+        let mut exec = SlotExec {
+            prog: program,
+            free_depth: 0,
+            globals,
+            heap: Heap::with_slack(self.heap_slack),
+            input: self.input.as_ref(),
+            input_pos: 0,
+            output: Vec::new(),
+            counters: vec![0; total_counters],
+            counter_layout,
+            sampling: self.sampling.get(),
+            ops: 0,
+            op_limit: self.op_limit,
+            costs: self.costs,
+            depth: 0,
+            max_depth: self.max_depth,
+            trace_limit: self.trace_limit,
+            trace: std::collections::VecDeque::new(),
+            stack: Vec::with_capacity(64),
+        };
+
+        // Seed the global countdown before the first instruction (§2.1):
+        // the instrumented program starts with a fresh next-sample distance.
+        if let Some(g) = program.gcd_global {
+            let seed = match exec.sampling.as_deref_mut() {
+                Some(src) => saturating_i64(src.next_countdown()),
+                None => {
+                    return Err(VmError::new(
+                        "sampled program requires a countdown source (with_sampling)",
+                    ))
+                }
+            };
+            exec.globals[g as usize] = Value::Int(seed);
+        }
+
+        let outcome = match exec.call_function(main, &[]) {
+            Ok(v) => RunOutcome::Success(match v {
+                Some(Value::Int(code)) => code,
+                _ => 0,
+            }),
+            Err(Trap::Crash(kind)) => RunOutcome::Crash(kind),
+            Err(Trap::Assertion(site)) => RunOutcome::AssertionFailure(site),
+            Err(Trap::Exit(code)) => RunOutcome::Success(code),
+            Err(Trap::OpLimit) => RunOutcome::OpLimit,
+        };
+
+        Ok(RunResult {
+            outcome,
+            ops: exec.ops,
+            counters: exec.counters,
+            output: exec.output,
+            trace: exec.trace.into_iter().collect(),
+        })
+    }
+
+    fn run_namemap(
+        &mut self,
+        program: &Program,
+        counter_layout: Vec<(usize, usize)>,
+        total_counters: usize,
+    ) -> Result<RunResult, VmError> {
+        let main = program
+            .function("main")
+            .ok_or_else(|| VmError::new("program has no `main` function"))?;
+        if !main.params.is_empty() {
+            return Err(VmError::new("`main` must take no parameters"));
+        }
+
         let mut funcs: HashMap<&str, &Function> = HashMap::new();
-        for f in &self.program.functions {
+        for f in &program.functions {
             funcs.insert(&f.name, f);
         }
 
         let mut globals: HashMap<String, Value> = HashMap::new();
-        for g in &self.program.globals {
+        for g in &program.globals {
             let v = match g.ty {
                 Type::Int => Value::Int(g.init),
                 Type::Ptr => Value::Null,
@@ -231,12 +441,12 @@ impl<'a> Vm<'a> {
             free_depth: 0,
             globals,
             heap: Heap::with_slack(self.heap_slack),
-            input: &self.input,
+            input: self.input.as_ref(),
             input_pos: 0,
             output: Vec::new(),
             counters: vec![0; total_counters],
             counter_layout,
-            sampling: self.sampling.as_deref_mut(),
+            sampling: self.sampling.get(),
             ops: 0,
             op_limit: self.op_limit,
             costs: self.costs,
@@ -282,18 +492,18 @@ impl<'a> Vm<'a> {
     }
 }
 
-fn saturating_i64(v: u64) -> i64 {
+pub(crate) fn saturating_i64(v: u64) -> i64 {
     i64::try_from(v).unwrap_or(i64::MAX)
 }
 
-enum Trap {
+pub(crate) enum Trap {
     Crash(CrashKind),
     Assertion(u32),
     Exit(i64),
     OpLimit,
 }
 
-enum Flow {
+pub(crate) enum Flow {
     Normal,
     Break,
     Continue,
@@ -367,14 +577,10 @@ impl Exec<'_> {
     }
 
     fn type_error(&self, msg: impl Into<String>) -> Trap {
-        Trap::Crash(CrashKind::TypeError(msg.into()))
+        Trap::Crash(CrashKind::TypeError(msg.into().into_boxed_str()))
     }
 
-    fn call_function(
-        &mut self,
-        f: &Function,
-        args: Vec<Value>,
-    ) -> Result<Option<Value>, Trap> {
+    fn call_function(&mut self, f: &Function, args: Vec<Value>) -> Result<Option<Value>, Trap> {
         if self.depth >= self.max_depth {
             return Err(Trap::Crash(CrashKind::StackOverflow));
         }
@@ -437,9 +643,8 @@ impl Exec<'_> {
                     let taken = match self.eval_uncharged(cond, frame)? {
                         Value::Int(v) => v != 0,
                         other => {
-                            return Err(self.type_error(format!(
-                                "synthesized condition evaluated to {other}"
-                            )))
+                            return Err(self
+                                .type_error(format!("synthesized condition evaluated to {other}")))
                         }
                     };
                     if taken {
@@ -477,9 +682,8 @@ impl Exec<'_> {
                     Value::Ptr(p) => p,
                     Value::Null => return Err(Trap::Crash(CrashKind::NullDeref)),
                     other => {
-                        return Err(self.type_error(format!(
-                            "store through non-pointer `{target}` = {other}"
-                        )))
+                        return Err(self
+                            .type_error(format!("store through non-pointer `{target}` = {other}")))
                     }
                 };
                 let idx = self.eval_int(index, frame)?;
@@ -575,9 +779,7 @@ impl Exec<'_> {
                     Value::Ptr(p) => p,
                     Value::Null => return Err(Trap::Crash(CrashKind::NullDeref)),
                     other => {
-                        return Err(
-                            self.type_error(format!("indexing non-pointer value {other}"))
-                        )
+                        return Err(self.type_error(format!("indexing non-pointer value {other}")))
                     }
                 };
                 let idx = self.eval_int(index, frame)?;
@@ -667,12 +869,7 @@ impl Exec<'_> {
         }
     }
 
-    fn eval_call(
-        &mut self,
-        name: &str,
-        args: &[Expr],
-        frame: &mut Frame,
-    ) -> Result<Value, Trap> {
+    fn eval_call(&mut self, name: &str, args: &[Expr], frame: &mut Frame) -> Result<Value, Trap> {
         if let Some(b) = Builtin::from_name(name) {
             return self.eval_builtin(b, args, frame);
         }
@@ -849,7 +1046,8 @@ mod tests {
 
     #[test]
     fn short_circuit_avoids_crash() {
-        let r = run("fn main() -> int { ptr p; if (p != null && p[0] == 1) { print(1); } return 0; }");
+        let r =
+            run("fn main() -> int { ptr p; if (p != null && p[0] == 1) { print(1); } return 0; }");
         assert_eq!(r.outcome, RunOutcome::Success(0));
     }
 
@@ -904,9 +1102,8 @@ mod tests {
 
     #[test]
     fn overrun_then_free_crashes_later() {
-        let r = run(
-            "fn main() -> int { ptr a = alloc(4); a[5] = 1; print(99); free(a); return 0; }",
-        );
+        let r =
+            run("fn main() -> int { ptr a = alloc(4); a[5] = 1; print(99); free(a); return 0; }");
         // The overrun itself is silent (99 printed), the free crashes.
         assert_eq!(r.output, vec![99]);
         assert_eq!(r.outcome, RunOutcome::Crash(CrashKind::HeapCorruption));
@@ -920,7 +1117,10 @@ mod tests {
 
     #[test]
     fn stack_overflow_detected() {
-        let p = parse("fn loop_(int n) -> int { return loop_(n + 1); } fn main() -> int { return loop_(0); }").unwrap();
+        let p = parse(
+            "fn loop_(int n) -> int { return loop_(n + 1); } fn main() -> int { return loop_(0); }",
+        )
+        .unwrap();
         let r = Vm::new(&p).with_max_depth(50).run().unwrap();
         assert_eq!(r.outcome, RunOutcome::Crash(CrashKind::StackOverflow));
     }
@@ -976,7 +1176,8 @@ mod tests {
     #[test]
     fn ops_scale_with_work() {
         let small = run("fn main() -> int { int i = 0; while (i < 10) { i = i + 1; } return 0; }");
-        let large = run("fn main() -> int { int i = 0; while (i < 1000) { i = i + 1; } return 0; }");
+        let large =
+            run("fn main() -> int { int i = 0; while (i < 1000) { i = i + 1; } return 0; }");
         assert!(large.ops > small.ops * 50);
     }
 

@@ -38,10 +38,11 @@ pub mod cost;
 pub mod heap;
 pub mod interp;
 pub mod outcome;
+mod slot_interp;
 pub mod value;
 
 pub use cost::CostModel;
 pub use heap::Heap;
-pub use interp::{RunResult, Vm, VmError, DEFAULT_MAX_DEPTH, DEFAULT_OP_LIMIT};
+pub use interp::{Engine, RunResult, Vm, VmError, DEFAULT_MAX_DEPTH, DEFAULT_OP_LIMIT};
 pub use outcome::{CrashKind, RunOutcome};
 pub use value::{PtrVal, Value};

@@ -64,8 +64,9 @@ pub enum CrashKind {
     /// Integer division or modulus by zero.
     DivideByZero,
     /// A dynamically ill-typed operation (e.g. using heap garbage as a
-    /// pointer).
-    TypeError(String),
+    /// pointer).  The message is boxed to keep the crash variant — and
+    /// with it every `Result` on the interpreter hot path — small.
+    TypeError(Box<str>),
     /// Call recursion exceeded the stack limit.
     StackOverflow,
 }

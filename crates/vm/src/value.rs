@@ -113,16 +113,16 @@ mod tests {
 
     #[test]
     fn comparisons() {
-        assert_eq!(
-            Value::Int(1).compare(Value::Int(2)),
-            Some(Ordering::Less)
-        );
-        assert_eq!(
-            Value::Null.compare(Value::Null),
-            Some(Ordering::Equal)
-        );
-        let p = Value::Ptr(PtrVal { block: 1, offset: 0 });
-        let q = Value::Ptr(PtrVal { block: 1, offset: 4 });
+        assert_eq!(Value::Int(1).compare(Value::Int(2)), Some(Ordering::Less));
+        assert_eq!(Value::Null.compare(Value::Null), Some(Ordering::Equal));
+        let p = Value::Ptr(PtrVal {
+            block: 1,
+            offset: 0,
+        });
+        let q = Value::Ptr(PtrVal {
+            block: 1,
+            offset: 4,
+        });
         assert_eq!(p.compare(q), Some(Ordering::Less));
         assert_eq!(Value::Null.compare(p), Some(Ordering::Less));
         assert_eq!(p.compare(Value::Null), Some(Ordering::Greater));
@@ -135,7 +135,14 @@ mod tests {
         assert_eq!(Value::Int(0).sign_class(), 1);
         assert_eq!(Value::Int(7).sign_class(), 2);
         assert_eq!(Value::Null.sign_class(), 1);
-        assert_eq!(Value::Ptr(PtrVal { block: 0, offset: 0 }).sign_class(), 2);
+        assert_eq!(
+            Value::Ptr(PtrVal {
+                block: 0,
+                offset: 0
+            })
+            .sign_class(),
+            2
+        );
     }
 
     #[test]
@@ -149,7 +156,11 @@ mod tests {
         assert_eq!(Value::Int(3).to_string(), "3");
         assert_eq!(Value::Null.to_string(), "null");
         assert_eq!(
-            Value::Ptr(PtrVal { block: 2, offset: 5 }).to_string(),
+            Value::Ptr(PtrVal {
+                block: 2,
+                offset: 5
+            })
+            .to_string(),
             "ptr(2+5)"
         );
     }

@@ -1,8 +1,8 @@
 //! Differential testing of the corruptible heap against a simple
 //! reference model, plus crash-semantics edge cases.
 
+use cbi_sampler::Pcg32;
 use cbi_vm::{CrashKind, Heap, PtrVal, Value};
-use proptest::prelude::*;
 use std::collections::HashMap;
 
 /// Operations the fuzzer may perform.
@@ -16,14 +16,23 @@ enum Op {
     Len(u8),
 }
 
-fn arb_op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        (0u8..32).prop_map(Op::Alloc),
-        (any::<u8>(), -4i16..40, any::<i16>()).prop_map(|(b, i, v)| Op::Store(b, i, v)),
-        (any::<u8>(), -4i16..40).prop_map(|(b, i)| Op::Load(b, i)),
-        any::<u8>().prop_map(Op::Free),
-        any::<u8>().prop_map(Op::Len),
-    ]
+fn random_index(rng: &mut Pcg32) -> i16 {
+    // Biased toward the interesting band around the block bounds.
+    -4 + rng.below(44) as i16
+}
+
+fn random_op(rng: &mut Pcg32) -> Op {
+    match rng.below(5) {
+        0 => Op::Alloc(rng.below(32) as u8),
+        1 => Op::Store(
+            rng.below(256) as u8,
+            random_index(rng),
+            rng.next_u32() as i16,
+        ),
+        2 => Op::Load(rng.below(256) as u8, random_index(rng)),
+        3 => Op::Free(rng.below(256) as u8),
+        _ => Op::Len(rng.below(256) as u8),
+    }
 }
 
 /// Reference model: per block, its logical length, cell contents, freed
@@ -44,103 +53,110 @@ struct ModelBlock {
 
 const SLACK: usize = 8;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    /// The heap agrees with the reference model on every observable
-    /// result: values loaded, lengths, and the exact crash kind of every
-    /// failing operation.
-    #[test]
-    fn heap_matches_reference_model(ops in prop::collection::vec(arb_op(), 1..60)) {
-        let mut heap = Heap::with_slack(SLACK);
-        let mut model = Model::default();
-        let mut handles: Vec<PtrVal> = Vec::new();
-
-        for op in ops {
-            match op {
-                Op::Alloc(n) => {
-                    let v = heap.alloc(n as i64).expect("non-negative alloc");
-                    let Value::Ptr(p) = v else { panic!("alloc returns ptr") };
-                    handles.push(p);
-                    model.blocks.push(ModelBlock {
-                        len: n as usize,
-                        slack: SLACK,
-                        cells: HashMap::new(),
-                        freed: false,
-                        corrupted: false,
-                    });
-                }
-                Op::Store(b, i, v) if !handles.is_empty() => {
-                    let b = b as usize % handles.len();
-                    let p = handles[b];
-                    let m = &mut model.blocks[b];
-                    let got = heap.store(p, i as i64, Value::Int(v as i64));
-                    let expect = if m.freed {
-                        Err(CrashKind::UseAfterFree)
-                    } else if i < 0 || i as usize >= m.len + m.slack {
-                        Err(CrashKind::SegFault)
-                    } else {
-                        Ok(())
-                    };
-                    prop_assert_eq!(&got, &expect, "store");
-                    if got.is_ok() {
-                        m.cells.insert(i as i64, v as i64);
-                        if i as usize >= m.len {
-                            m.corrupted = true;
-                        }
-                    }
-                }
-                Op::Load(b, i) if !handles.is_empty() => {
-                    let b = b as usize % handles.len();
-                    let p = handles[b];
-                    let m = &model.blocks[b];
-                    let got = heap.load(p, i as i64);
-                    if m.freed {
-                        prop_assert_eq!(got, Err(CrashKind::UseAfterFree));
-                    } else if i < 0 || i as usize >= m.len + m.slack {
-                        prop_assert_eq!(got, Err(CrashKind::SegFault));
-                    } else {
-                        let expect = m.cells.get(&(i as i64)).copied().unwrap_or(0);
-                        prop_assert_eq!(got, Ok(Value::Int(expect)));
-                    }
-                }
-                Op::Free(b) if !handles.is_empty() => {
-                    let b = b as usize % handles.len();
-                    let p = handles[b];
-                    let m = &mut model.blocks[b];
-                    let got = heap.free(p);
-                    let expect = if m.freed {
-                        Err(CrashKind::DoubleFree)
-                    } else if m.corrupted {
-                        Err(CrashKind::HeapCorruption)
-                    } else {
-                        Ok(())
-                    };
-                    prop_assert_eq!(&got, &expect, "free");
-                    if got.is_ok() {
-                        m.freed = true;
-                    }
-                }
-                Op::Len(b) if !handles.is_empty() => {
-                    let b = b as usize % handles.len();
-                    let m = &model.blocks[b];
-                    let got = heap.len(handles[b]);
-                    if m.freed {
-                        prop_assert_eq!(got, Err(CrashKind::UseAfterFree));
-                    } else {
-                        prop_assert_eq!(got, Ok(m.len as i64));
-                    }
-                }
-                _ => {} // op on empty heap: skip
-            }
-        }
-
-        // Aggregate invariant: live-block accounting agrees.
-        let live_model = model.blocks.iter().filter(|b| !b.freed).count();
-        prop_assert_eq!(heap.live_blocks(), live_model);
-        let corrupted_model = model.blocks.iter().any(|b| b.corrupted);
-        prop_assert_eq!(heap.any_corruption(), corrupted_model);
+/// The heap agrees with the reference model on every observable result:
+/// values loaded, lengths, and the exact crash kind of every failing
+/// operation.  256 seeded random op sequences.
+#[test]
+fn heap_matches_reference_model() {
+    let mut rng = Pcg32::new(0x4ea9);
+    for case in 0..256 {
+        let n_ops = 1 + rng.below(59) as usize;
+        let ops: Vec<Op> = (0..n_ops).map(|_| random_op(&mut rng)).collect();
+        check_against_model(case, ops);
     }
+}
+
+fn check_against_model(case: u32, ops: Vec<Op>) {
+    let mut heap = Heap::with_slack(SLACK);
+    let mut model = Model::default();
+    let mut handles: Vec<PtrVal> = Vec::new();
+
+    for op in ops {
+        match op {
+            Op::Alloc(n) => {
+                let v = heap.alloc(n as i64).expect("non-negative alloc");
+                let Value::Ptr(p) = v else {
+                    panic!("alloc returns ptr")
+                };
+                handles.push(p);
+                model.blocks.push(ModelBlock {
+                    len: n as usize,
+                    slack: SLACK,
+                    cells: HashMap::new(),
+                    freed: false,
+                    corrupted: false,
+                });
+            }
+            Op::Store(b, i, v) if !handles.is_empty() => {
+                let b = b as usize % handles.len();
+                let p = handles[b];
+                let m = &mut model.blocks[b];
+                let got = heap.store(p, i as i64, Value::Int(v as i64));
+                let expect = if m.freed {
+                    Err(CrashKind::UseAfterFree)
+                } else if i < 0 || i as usize >= m.len + m.slack {
+                    Err(CrashKind::SegFault)
+                } else {
+                    Ok(())
+                };
+                assert_eq!(got, expect, "store, case {case}");
+                if got.is_ok() {
+                    m.cells.insert(i as i64, v as i64);
+                    if i as usize >= m.len {
+                        m.corrupted = true;
+                    }
+                }
+            }
+            Op::Load(b, i) if !handles.is_empty() => {
+                let b = b as usize % handles.len();
+                let p = handles[b];
+                let m = &model.blocks[b];
+                let got = heap.load(p, i as i64);
+                if m.freed {
+                    assert_eq!(got, Err(CrashKind::UseAfterFree), "case {case}");
+                } else if i < 0 || i as usize >= m.len + m.slack {
+                    assert_eq!(got, Err(CrashKind::SegFault), "case {case}");
+                } else {
+                    let expect = m.cells.get(&(i as i64)).copied().unwrap_or(0);
+                    assert_eq!(got, Ok(Value::Int(expect)), "case {case}");
+                }
+            }
+            Op::Free(b) if !handles.is_empty() => {
+                let b = b as usize % handles.len();
+                let p = handles[b];
+                let m = &mut model.blocks[b];
+                let got = heap.free(p);
+                let expect = if m.freed {
+                    Err(CrashKind::DoubleFree)
+                } else if m.corrupted {
+                    Err(CrashKind::HeapCorruption)
+                } else {
+                    Ok(())
+                };
+                assert_eq!(got, expect, "free, case {case}");
+                if got.is_ok() {
+                    m.freed = true;
+                }
+            }
+            Op::Len(b) if !handles.is_empty() => {
+                let b = b as usize % handles.len();
+                let m = &model.blocks[b];
+                let got = heap.len(handles[b]);
+                if m.freed {
+                    assert_eq!(got, Err(CrashKind::UseAfterFree), "case {case}");
+                } else {
+                    assert_eq!(got, Ok(m.len as i64), "case {case}");
+                }
+            }
+            _ => {} // op on empty heap: skip
+        }
+    }
+
+    // Aggregate invariant: live-block accounting agrees.
+    let live_model = model.blocks.iter().filter(|b| !b.freed).count();
+    assert_eq!(heap.live_blocks(), live_model, "case {case}");
+    let corrupted_model = model.blocks.iter().any(|b| b.corrupted);
+    assert_eq!(heap.any_corruption(), corrupted_model, "case {case}");
 }
 
 #[test]

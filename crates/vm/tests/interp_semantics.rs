@@ -23,8 +23,7 @@ fn globals_initialize_and_persist_across_calls() {
 
 #[test]
 fn pointer_comparisons_follow_block_then_offset_order() {
-    let r = run(
-        "fn main() -> int {\n\
+    let r = run("fn main() -> int {\n\
              ptr a = alloc(4);\n\
              ptr b = alloc(4);\n\
              print(a < b);\n\
@@ -34,28 +33,23 @@ fn pointer_comparisons_follow_block_then_offset_order() {
              print(null < a);\n\
              print(null == null);\n\
              return 0;\n\
-         }",
-    );
+         }");
     assert_eq!(r.output, vec![1, 1, 1, 0, 1, 1]);
 }
 
 #[test]
 fn exit_unwinds_nested_calls() {
-    let r = run(
-        "fn inner() { exit(9); }\n\
+    let r = run("fn inner() { exit(9); }\n\
          fn outer() { inner(); print(1); }\n\
-         fn main() -> int { outer(); print(2); return 0; }",
-    );
+         fn main() -> int { outer(); print(2); return 0; }");
     assert_eq!(r.outcome, RunOutcome::Success(9));
     assert!(r.output.is_empty());
 }
 
 #[test]
 fn crash_in_callee_propagates() {
-    let r = run(
-        "fn boom(ptr p) -> int { return p[0]; }\n\
-         fn main() -> int { ptr q; return boom(q); }",
-    );
+    let r = run("fn boom(ptr p) -> int { return p[0]; }\n\
+         fn main() -> int { ptr q; return boom(q); }");
     assert_eq!(r.outcome, RunOutcome::Crash(CrashKind::NullDeref));
 }
 
@@ -68,32 +62,31 @@ fn recursion_to_exact_depth_limit() {
     let ok = Vm::new(&p).with_max_depth(64).run().unwrap();
     assert!(ok.outcome.is_success());
     let too_shallow = Vm::new(&p).with_max_depth(10).run().unwrap();
-    assert_eq!(too_shallow.outcome, RunOutcome::Crash(CrashKind::StackOverflow));
+    assert_eq!(
+        too_shallow.outcome,
+        RunOutcome::Crash(CrashKind::StackOverflow)
+    );
 }
 
 #[test]
 fn modulo_and_division_semantics_match_rust() {
-    let r = run(
-        "fn main() -> int {\n\
+    let r = run("fn main() -> int {\n\
              print(7 / 2); print(-7 / 2); print(7 % 3); print(-7 % 3); print(7 % -3);\n\
              return 0;\n\
-         }",
-    );
+         }");
     assert_eq!(r.output, vec![3, -3, 1, -1, 1]);
 }
 
 #[test]
 fn wrapping_arithmetic_does_not_panic() {
-    let r = run(
-        "fn main() -> int {\n\
+    let r = run("fn main() -> int {\n\
              int big = 9223372036854775807;\n\
              print(big + 1 < 0);\n\
              print(big * 2 != 0);\n\
              int small = -9223372036854775807;\n\
              print(small - 2 > 0);\n\
              return 0;\n\
-         }",
-    );
+         }");
     assert!(r.outcome.is_success());
     assert_eq!(r.output[0], 1, "wrap to negative");
 }
@@ -158,9 +151,7 @@ fn assertion_failure_reports_site_and_counts_violation() {
 
 #[test]
 fn logical_operators_yield_canonical_booleans() {
-    let r = run(
-        "fn main() -> int { print(5 && 3); print(0 || 7); print(!!9); return 0; }",
-    );
+    let r = run("fn main() -> int { print(5 && 3); print(0 || 7); print(!!9); return 0; }");
     assert_eq!(r.output, vec![1, 1, 1]);
 }
 
@@ -168,9 +159,7 @@ fn logical_operators_yield_canonical_booleans() {
 fn load_of_heap_garbage_used_as_pointer_is_a_type_error() {
     // Reading slack garbage and dereferencing it models wild-pointer
     // crashes after corruption.
-    let r = run(
-        "fn main() -> int { ptr a = alloc(2); ptr q = a[0]; return q[0]; }",
-    );
+    let r = run("fn main() -> int { ptr a = alloc(2); ptr q = a[0]; return q[0]; }");
     match r.outcome {
         RunOutcome::Crash(CrashKind::TypeError(_)) => {}
         other => panic!("expected type error, got {other:?}"),

@@ -62,7 +62,10 @@ fn all_three_builds_agree_on_output() {
     let baseline = strip_sites(&inst.program);
     let rb = Vm::new(&baseline).run().unwrap();
 
-    let ru = Vm::new(&inst.program).with_sites(&inst.sites).run().unwrap();
+    let ru = Vm::new(&inst.program)
+        .with_sites(&inst.sites)
+        .run()
+        .unwrap();
 
     let (sampled, _) = apply_sampling(&inst.program, &TransformOptions::default()).unwrap();
     let rs = Vm::new(&sampled)
@@ -113,7 +116,10 @@ fn sparser_sampling_is_cheaper() {
     for density in [1u64, 100, 10_000] {
         let ops = Vm::new(&sampled)
             .with_sites(&inst.sites)
-            .with_sampling(Box::new(Geometric::new(SamplingDensity::one_in(density), 11)))
+            .with_sampling(Box::new(Geometric::new(
+                SamplingDensity::one_in(density),
+                11,
+            )))
             .run()
             .unwrap()
             .ops;
@@ -130,7 +136,10 @@ fn sampled_counts_approximate_density_fraction() {
     let inst = instrument(&program, Scheme::Checks).unwrap();
     let (sampled, _) = apply_sampling(&inst.program, &TransformOptions::default()).unwrap();
 
-    let uncond = Vm::new(&inst.program).with_sites(&inst.sites).run().unwrap();
+    let uncond = Vm::new(&inst.program)
+        .with_sites(&inst.sites)
+        .run()
+        .unwrap();
     let crossings: u64 = uncond.counters.iter().sum();
 
     let mut total = 0u64;

@@ -143,7 +143,10 @@ mod tests {
     #[test]
     fn empty_command_stream_succeeds() {
         let program = bc_program();
-        let r = Vm::new(&program).with_input(vec![1, 10, 0, 0, 0]).run().unwrap();
+        let r = Vm::new(&program)
+            .with_input(vec![1, 10, 0, 0, 0])
+            .run()
+            .unwrap();
         assert!(r.outcome.is_success());
     }
 

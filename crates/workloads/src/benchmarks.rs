@@ -88,8 +88,7 @@ pub fn bc_program() -> Program {
 fn load(name: &str, src: &str) -> Program {
     let program =
         parse(src).unwrap_or_else(|e| panic!("bundled program `{name}` fails to parse: {e}"));
-    resolve(&program)
-        .unwrap_or_else(|e| panic!("bundled program `{name}` fails to resolve: {e}"));
+    resolve(&program).unwrap_or_else(|e| panic!("bundled program `{name}` fails to resolve: {e}"));
     program
 }
 
@@ -106,8 +105,19 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "bh", "bisort", "em3d", "health", "mst", "perimeter", "power", "treeadd",
-                "tsp", "compress", "go", "ijpeg", "li"
+                "bh",
+                "bisort",
+                "em3d",
+                "health",
+                "mst",
+                "perimeter",
+                "power",
+                "treeadd",
+                "tsp",
+                "compress",
+                "go",
+                "ijpeg",
+                "li"
             ]
         );
     }

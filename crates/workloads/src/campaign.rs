@@ -1,12 +1,26 @@
 //! Campaign driver: instrument once, run many randomized trials, collect
 //! reports — the client half of the deployment loop of §1.
+//!
+//! The driver is built for throughput (§2.5 contemplates millions of
+//! runs): the program is lowered to slot form once and shared by every
+//! trial, trial inputs are borrowed rather than cloned, each worker
+//! reseeds one countdown bank instead of allocating a fresh one per run,
+//! and trials shard across `jobs` scoped threads.  Because trial `i` is
+//! fully determined by `(program, trials[i], seed + i)`, workers fill
+//! private [`Collector`]s over contiguous trial ranges and the driver
+//! merges them in run-id order — the result is bit-identical to serial
+//! execution at any job count.
 
 use crate::WorkloadError;
-use cbi_instrument::{apply_sampling, instrument, Instrumented, Scheme, TransformOptions};
+use cbi_instrument::{
+    apply_sampling, instrument, Instrumented, Scheme, SiteTable, TransformOptions,
+};
+use cbi_minic::slots::SlotProgram;
 use cbi_minic::Program;
 use cbi_reports::{Collector, Label, Report};
 use cbi_sampler::{CountdownBank, SamplingDensity};
 use cbi_vm::{RunOutcome, Vm};
+use std::borrow::Cow;
 
 /// Configuration of one report-collection campaign.
 #[derive(Debug, Clone, Copy)]
@@ -25,6 +39,9 @@ pub struct CampaignConfig {
     pub op_limit: u64,
     /// Heap slack per allocation (overrun tolerance).
     pub heap_slack: usize,
+    /// Worker threads to shard trials over (`0` and `1` both mean
+    /// serial).  Any value produces bit-identical results.
+    pub jobs: usize,
 }
 
 impl CampaignConfig {
@@ -38,7 +55,13 @@ impl CampaignConfig {
             seed: 0x5eed,
             op_limit: cbi_vm::DEFAULT_OP_LIMIT,
             heap_slack: cbi_vm::heap::DEFAULT_SLACK,
+            jobs: 1,
         }
+    }
+
+    /// The same campaign sharded over `jobs` worker threads.
+    pub fn with_jobs(self, jobs: usize) -> Self {
+        CampaignConfig { jobs, ..self }
     }
 
     /// An unconditional-instrumentation campaign.
@@ -76,6 +99,10 @@ impl CampaignResult {
 /// Instruments `program` with `config.scheme`, transforms it (when a
 /// density is given), runs every trial, and collects one report per run.
 ///
+/// Trials shard over `config.jobs` scoped worker threads; results are
+/// bit-identical to serial execution at any job count (see the module
+/// docs).
+///
 /// # Errors
 ///
 /// Returns [`WorkloadError`] if instrumentation, transformation, or VM
@@ -86,26 +113,94 @@ pub fn run_campaign(
     config: &CampaignConfig,
 ) -> Result<CampaignResult, WorkloadError> {
     let instrumented = instrument(program, config.scheme)?;
-    let executable = match config.density {
-        Some(_) => apply_sampling(&instrumented.program, &config.transform)?.0,
-        None => instrumented.program.clone(),
+    let executable: Cow<'_, Program> = match config.density {
+        Some(_) => Cow::Owned(apply_sampling(&instrumented.program, &config.transform)?.0),
+        None => Cow::Borrowed(&instrumented.program),
     };
+    // Lower once; every trial indexes the shared slot program.
+    let slots = cbi_minic::lower(&executable);
+    let total_counters = instrumented.sites.total_counters();
 
-    let mut collector = Collector::new(instrumented.sites.total_counters());
+    let jobs = config.jobs.clamp(1, trials.len().max(1));
+    let mut collector = Collector::new(total_counters);
     let mut dropped = 0;
-    for (i, input) in trials.iter().enumerate() {
-        let mut vm = Vm::new(&executable);
-        vm.with_sites(&instrumented.sites)
-            .with_input(input.clone())
+
+    if jobs <= 1 {
+        let shard = run_shard(
+            &slots,
+            &instrumented.sites,
+            trials,
+            0,
+            total_counters,
+            config,
+        )?;
+        collector = shard.0;
+        dropped = shard.1;
+    } else {
+        let chunk = trials.len().div_ceil(jobs);
+        let shards: Vec<Result<(Collector, usize), WorkloadError>> = std::thread::scope(|s| {
+            let handles: Vec<_> = trials
+                .chunks(chunk)
+                .enumerate()
+                .map(|(w, shard)| {
+                    let slots = &slots;
+                    let sites = &instrumented.sites;
+                    s.spawn(move || {
+                        run_shard(slots, sites, shard, w * chunk, total_counters, config)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("campaign worker panicked"))
+                .collect()
+        });
+        // Shards cover contiguous, increasing trial ranges, so an ordered
+        // merge reproduces the serial report sequence exactly.
+        for shard in shards {
+            let (c, d) = shard?;
+            collector.merge(c).expect("shards merge in run-id order");
+            dropped += d;
+        }
+    }
+
+    Ok(CampaignResult {
+        instrumented,
+        collector,
+        dropped,
+    })
+}
+
+/// Runs trials `base..base + shard.len()` into a private collector.
+fn run_shard(
+    slots: &SlotProgram,
+    sites: &SiteTable,
+    shard: &[Vec<i64>],
+    base: usize,
+    total_counters: usize,
+    config: &CampaignConfig,
+) -> Result<(Collector, usize), WorkloadError> {
+    let mut collector = Collector::new(total_counters);
+    let mut dropped = 0;
+    // One bank per worker, reseeded per trial: `reseed(d, seed + i)` draws
+    // the same countdowns `generate(d, n, seed + i)` would, without the
+    // per-trial allocation.
+    let mut bank = config.density.map(|d| {
+        CountdownBank::generate(d, config.bank_size, config.seed.wrapping_add(base as u64))
+    });
+    for (offset, input) in shard.iter().enumerate() {
+        let i = base + offset;
+        let mut vm = Vm::from_slots(slots);
+        vm.with_sites(sites)
+            .with_input(&input[..])
             .with_op_limit(config.op_limit)
             .with_heap_slack(config.heap_slack);
-        if let Some(density) = config.density {
-            let bank = CountdownBank::generate(
-                density,
-                config.bank_size,
-                config.seed.wrapping_add(i as u64),
-            );
-            vm.with_sampling(Box::new(bank));
+        if let Some(bank) = bank.as_mut() {
+            if offset > 0 {
+                let density = config.density.expect("bank implies density");
+                bank.reseed(density, config.seed.wrapping_add(i as u64));
+            }
+            vm.with_sampling_ref(bank);
         }
         let result = vm.run()?;
         let label = match result.outcome {
@@ -120,11 +215,7 @@ pub fn run_campaign(
             .add(Report::new(i as u64, label, result.counters))
             .expect("campaign reports share one layout");
     }
-    Ok(CampaignResult {
-        instrumented,
-        collector,
-        dropped,
-    })
+    Ok((collector, dropped))
 }
 
 #[cfg(test)]
@@ -157,11 +248,17 @@ mod tests {
             &CampaignConfig::sampled(Scheme::Returns, SamplingDensity::one_in(1000)),
         )
         .unwrap();
-        let uncond =
-            run_campaign(&program, &trials, &CampaignConfig::unconditional(Scheme::Returns))
-                .unwrap();
+        let uncond = run_campaign(
+            &program,
+            &trials,
+            &CampaignConfig::unconditional(Scheme::Returns),
+        )
+        .unwrap();
         let total = |c: &Collector| -> u64 {
-            c.reports().iter().map(|r| r.counters.iter().sum::<u64>()).sum()
+            c.reports()
+                .iter()
+                .map(|r| r.counters.iter().sum::<u64>())
+                .sum()
         };
         assert!(total(&uncond.collector) > 50 * total(&sampled.collector));
     }
@@ -190,5 +287,58 @@ mod tests {
         let a = run_campaign(&program, &trials, &config).unwrap();
         let b = run_campaign(&program, &trials, &config).unwrap();
         assert_eq!(a.collector.reports(), b.collector.reports());
+    }
+
+    #[test]
+    fn parallel_matches_serial() {
+        let program = ccrypt_program();
+        let trials = ccrypt_trials(200, 33, &CcryptTrialConfig::default());
+        let config = CampaignConfig::sampled(Scheme::Returns, SamplingDensity::one_in(10));
+        let serial = run_campaign(&program, &trials, &config.with_jobs(1)).unwrap();
+        let parallel = run_campaign(&program, &trials, &config.with_jobs(8)).unwrap();
+        assert_eq!(serial.collector.reports(), parallel.collector.reports());
+        assert_eq!(serial.dropped, parallel.dropped);
+        assert_eq!(
+            serial.collector.success_count(),
+            parallel.collector.success_count()
+        );
+        assert_eq!(
+            serial.collector.failure_count(),
+            parallel.collector.failure_count()
+        );
+    }
+
+    #[test]
+    fn parallel_preserves_oplimit_drop_accounting() {
+        // A tiny op budget drops many trials; the dropped count and the
+        // surviving run-id sequence must be identical at any job count.
+        let program = ccrypt_program();
+        let trials = ccrypt_trials(96, 7, &CcryptTrialConfig::default());
+        let mut config = CampaignConfig::sampled(Scheme::Returns, SamplingDensity::one_in(10));
+        config.op_limit = 2_000;
+        let serial = run_campaign(&program, &trials, &config).unwrap();
+        assert!(serial.dropped > 0, "op limit must actually drop runs");
+        assert!(serial.collector.len() < trials.len());
+        for jobs in [2, 3, 8, 96, 200] {
+            let parallel = run_campaign(&program, &trials, &config.with_jobs(jobs)).unwrap();
+            assert_eq!(
+                serial.collector.reports(),
+                parallel.collector.reports(),
+                "jobs {jobs}"
+            );
+            assert_eq!(serial.dropped, parallel.dropped, "jobs {jobs}");
+        }
+    }
+
+    #[test]
+    fn unconditional_campaign_borrows_instrumented_program() {
+        // jobs > 1 with density None exercises the borrowed-executable
+        // path under sharding.
+        let program = ccrypt_program();
+        let trials = ccrypt_trials(40, 3, &CcryptTrialConfig::default());
+        let config = CampaignConfig::unconditional(Scheme::Returns);
+        let serial = run_campaign(&program, &trials, &config).unwrap();
+        let parallel = run_campaign(&program, &trials, &config.with_jobs(4)).unwrap();
+        assert_eq!(serial.collector.reports(), parallel.collector.reports());
     }
 }

@@ -134,7 +134,11 @@ mod tests {
         for response in [1, 2] {
             let script = vec![7, 0, 1, 1, 50, response];
             let r = Vm::new(&program).with_input(script).run().unwrap();
-            assert!(r.outcome.is_success(), "response {response}: {:?}", r.outcome);
+            assert!(
+                r.outcome.is_success(),
+                "response {response}: {:?}",
+                r.outcome
+            );
         }
     }
 

@@ -26,8 +26,8 @@ pub mod overhead;
 
 pub use bc::{bc_trial, bc_trials, BcTrialConfig};
 pub use benchmarks::{
-    all_benchmarks, bc_program, benchmark, ccrypt_program, Benchmark, BC_SOURCE,
-    BENCHMARK_SOURCES, CCRYPT_SOURCE,
+    all_benchmarks, bc_program, benchmark, ccrypt_program, Benchmark, BC_SOURCE, BENCHMARK_SOURCES,
+    CCRYPT_SOURCE,
 };
 pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
 pub use ccrypt::{ccrypt_trial, ccrypt_trials, CcryptTrialConfig};
@@ -68,9 +68,7 @@ impl fmt::Display for WorkloadError {
 
 impl Error for WorkloadError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
-        self.source
-            .as_deref()
-            .map(|e| e as &(dyn Error + 'static))
+        self.source.as_deref().map(|e| e as &(dyn Error + 'static))
     }
 }
 

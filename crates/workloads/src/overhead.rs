@@ -9,8 +9,9 @@
 
 use crate::WorkloadError;
 use cbi_instrument::{
-    apply_sampling, instrument, strip_sites, Instrumented, Scheme, TransformOptions,
+    apply_sampling, instrument, strip_sites, Instrumented, Scheme, SiteTable, TransformOptions,
 };
+use cbi_minic::slots::SlotProgram;
 use cbi_minic::Program;
 use cbi_sampler::{CountdownBank, SamplingDensity};
 use cbi_vm::Vm;
@@ -43,6 +44,10 @@ pub struct OverheadConfig {
     pub seed: u64,
     /// Per-run operation budget.
     pub op_limit: u64,
+    /// Worker threads to shard the sampled-run grid over (`0` and `1`
+    /// both mean serial).  Any value produces identical measurements:
+    /// every `(density, run)` cell draws its bank from its own seed.
+    pub jobs: usize,
 }
 
 impl Default for OverheadConfig {
@@ -54,7 +59,17 @@ impl Default for OverheadConfig {
             bank_size: 1024,
             seed: 97,
             op_limit: 2_000_000_000,
+            jobs: 1,
         }
+    }
+}
+
+impl OverheadConfig {
+    /// Sets the worker-thread count for sampled runs.
+    #[must_use]
+    pub fn with_jobs(mut self, jobs: usize) -> Self {
+        self.jobs = jobs;
+        self
     }
 }
 
@@ -91,43 +106,65 @@ pub fn measure_overhead_instrumented(
     densities: &[SamplingDensity],
     config: &OverheadConfig,
 ) -> Result<OverheadMeasurement, WorkloadError> {
-    let run_ops = |program: &Program, bank: Option<CountdownBank>| -> Result<u64, WorkloadError> {
-        let mut vm = Vm::new(program);
-        vm.with_sites(&inst.sites)
-            .with_input(input.to_vec())
-            .with_op_limit(config.op_limit);
-        if let Some(bank) = bank {
-            vm.with_sampling(Box::new(bank));
-        }
-        let result = vm.run()?;
-        if !result.outcome.is_success() {
-            return Err(WorkloadError::new(format!(
-                "overhead run of `{name}` did not complete: {}",
-                result.outcome
-            )));
-        }
-        Ok(result.ops)
-    };
-
     let baseline = strip_sites(&inst.program);
-    let baseline_ops = run_ops(&baseline, None)?;
-    let unconditional_ops = run_ops(&inst.program, None)?;
+    let baseline_slots = cbi_minic::lower(&baseline);
+    let baseline_ops = run_ops(&baseline_slots, &inst.sites, input, name, None, config)?;
+    let inst_slots = cbi_minic::lower(&inst.program);
+    let unconditional_ops = run_ops(&inst_slots, &inst.sites, input, name, None, config)?;
 
     let (sampled_program, _) = apply_sampling(&inst.program, &config.transform)?;
-    let mut sampled = Vec::with_capacity(densities.len());
-    for (di, &density) in densities.iter().enumerate() {
-        let mut total = 0u64;
-        for run in 0..config.runs_per_density {
-            let bank_seed = config
-                .seed
-                .wrapping_add(di as u64 * 1000)
-                .wrapping_add(run);
-            let bank = CountdownBank::generate(density, config.bank_size, bank_seed);
-            total += run_ops(&sampled_program, Some(bank))?;
+    let sampled_slots = cbi_minic::lower(&sampled_program);
+
+    // One grid cell per (density, run); each cell's bank comes from its
+    // own seed, so cells are independent and shardable.
+    let cells: Vec<(usize, SamplingDensity, u64)> = densities
+        .iter()
+        .enumerate()
+        .flat_map(|(di, &density)| {
+            (0..config.runs_per_density).map(move |run| {
+                let bank_seed = config.seed.wrapping_add(di as u64 * 1000).wrapping_add(run);
+                (di, density, bank_seed)
+            })
+        })
+        .collect();
+
+    let jobs = config.jobs.clamp(1, cells.len().max(1));
+    let mut totals = vec![0u64; densities.len()];
+    if jobs <= 1 {
+        for &(di, ops) in &run_cells(&sampled_slots, &inst.sites, input, name, &cells, config)? {
+            totals[di] += ops;
         }
-        let mean = total as f64 / config.runs_per_density as f64;
-        sampled.push((density, mean / baseline_ops as f64));
+    } else {
+        let chunk = cells.len().div_ceil(jobs);
+        let slots = &sampled_slots;
+        let sites = &inst.sites;
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = cells
+                .chunks(chunk)
+                .map(|shard| {
+                    scope.spawn(move || run_cells(slots, sites, input, name, shard, config))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("overhead worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for shard in results {
+            for (di, ops) in shard? {
+                totals[di] += ops;
+            }
+        }
     }
+
+    let sampled = densities
+        .iter()
+        .zip(&totals)
+        .map(|(&density, &total)| {
+            let mean = total as f64 / config.runs_per_density as f64;
+            (density, mean / baseline_ops as f64)
+        })
+        .collect();
 
     Ok(OverheadMeasurement {
         name: name.to_string(),
@@ -135,6 +172,62 @@ pub fn measure_overhead_instrumented(
         unconditional: unconditional_ops as f64 / baseline_ops as f64,
         sampled,
     })
+}
+
+/// Runs one shard of the sampled grid, reusing a single countdown bank
+/// across cells via [`CountdownBank::reseed`] (bit-identical to a fresh
+/// bank per cell).  Returns `(density index, ops)` per cell.
+fn run_cells(
+    slots: &SlotProgram,
+    sites: &SiteTable,
+    input: &[i64],
+    name: &str,
+    cells: &[(usize, SamplingDensity, u64)],
+    config: &OverheadConfig,
+) -> Result<Vec<(usize, u64)>, WorkloadError> {
+    let mut out = Vec::with_capacity(cells.len());
+    let mut bank: Option<CountdownBank> = None;
+    for &(di, density, bank_seed) in cells {
+        if let Some(bank) = bank.as_mut() {
+            bank.reseed(density, bank_seed);
+        } else {
+            bank = Some(CountdownBank::generate(
+                density,
+                config.bank_size,
+                bank_seed,
+            ));
+        }
+        let ops = run_ops(slots, sites, input, name, bank.as_mut(), config)?;
+        out.push((di, ops));
+    }
+    Ok(out)
+}
+
+/// Executes one run on the slot engine with a borrowed input script and
+/// an optional borrowed countdown bank; returns the op count.
+fn run_ops(
+    slots: &SlotProgram,
+    sites: &SiteTable,
+    input: &[i64],
+    name: &str,
+    bank: Option<&mut CountdownBank>,
+    config: &OverheadConfig,
+) -> Result<u64, WorkloadError> {
+    let mut vm = Vm::from_slots(slots);
+    vm.with_sites(sites)
+        .with_input(input)
+        .with_op_limit(config.op_limit);
+    if let Some(bank) = bank {
+        vm.with_sampling_ref(bank);
+    }
+    let result = vm.run()?;
+    if !result.outcome.is_success() {
+        return Err(WorkloadError::new(format!(
+            "overhead run of `{name}` did not complete: {}",
+            result.outcome
+        )));
+    }
+    Ok(result.ops)
 }
 
 #[cfg(test)]
@@ -153,8 +246,14 @@ mod tests {
     #[test]
     fn overhead_ordering_holds_for_treeadd() {
         let b = benchmark("treeadd").unwrap();
-        let m = measure_overhead(b.name, &b.program, &[], &densities(), &OverheadConfig::default())
-            .unwrap();
+        let m = measure_overhead(
+            b.name,
+            &b.program,
+            &[],
+            &densities(),
+            &OverheadConfig::default(),
+        )
+        .unwrap();
         assert!(m.unconditional > 1.0, "always-on must cost: {m:?}");
         for &(_, ratio) in &m.sampled {
             assert!(ratio > 1.0, "sampling floor is above baseline: {m:?}");
@@ -174,8 +273,14 @@ mod tests {
         // ijpeg is check-dense: unconditional overhead is large, sparse
         // sampling recovers most of it (paper: 2.46 -> 1.03).
         let b = benchmark("ijpeg").unwrap();
-        let m = measure_overhead(b.name, &b.program, &[], &densities(), &OverheadConfig::default())
-            .unwrap();
+        let m = measure_overhead(
+            b.name,
+            &b.program,
+            &[],
+            &densities(),
+            &OverheadConfig::default(),
+        )
+        .unwrap();
         assert!(m.unconditional > 1.5, "{m:?}");
         let sparse = m.sampled.last().unwrap().1;
         assert!(
@@ -191,5 +296,29 @@ mod tests {
         let a = measure_overhead(b.name, &b.program, &[], &densities(), &cfg).unwrap();
         let c = measure_overhead(b.name, &b.program, &[], &densities(), &cfg).unwrap();
         assert_eq!(a, c);
+    }
+
+    #[test]
+    fn jobs_do_not_change_measurements() {
+        let b = benchmark("power").unwrap();
+        let serial = measure_overhead(
+            b.name,
+            &b.program,
+            &[],
+            &densities(),
+            &OverheadConfig::default(),
+        )
+        .unwrap();
+        for jobs in [2, 4, 99] {
+            let sharded = measure_overhead(
+                b.name,
+                &b.program,
+                &[],
+                &densities(),
+                &OverheadConfig::default().with_jobs(jobs),
+            )
+            .unwrap();
+            assert_eq!(serial, sharded, "jobs {jobs}");
+        }
     }
 }

@@ -47,8 +47,7 @@ fn bc_scalar_pair_space_is_large_and_triple_shaped() {
         assert!(
             inst.sites
                 .iter()
-                .any(|s| s.function == "more_arrays"
-                    && s.text == format!("indx\u{1}{partner}")),
+                .any(|s| s.function == "more_arrays" && s.text == format!("indx\u{1}{partner}")),
             "missing indx vs {partner}"
         );
     }

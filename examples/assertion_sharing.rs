@@ -14,11 +14,14 @@ use cbi::workloads::{benchmark, measure_overhead, OverheadConfig};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. One user's cost: overhead of the check-dense `ijpeg` analogue.
     let b = benchmark("ijpeg").expect("bundled benchmark");
-    let densities = vec![
-        SamplingDensity::one_in(100),
-        SamplingDensity::one_in(1000),
-    ];
-    let m = measure_overhead(b.name, &b.program, &[], &densities, &OverheadConfig::default())?;
+    let densities = vec![SamplingDensity::one_in(100), SamplingDensity::one_in(1000)];
+    let m = measure_overhead(
+        b.name,
+        &b.program,
+        &[],
+        &densities,
+        &OverheadConfig::default(),
+    )?;
     println!("ijpeg analogue, CCured-style checks:");
     println!("  unconditional checks: {:.2}x baseline", m.unconditional);
     for (d, r) in &m.sampled {

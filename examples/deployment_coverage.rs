@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     // 2. How quickly does the community surface interesting events?
-    for needle in ["xreadline() == 0", "file_exists() > 0", "key_schedule() > 0"] {
+    for needle in [
+        "xreadline() == 0",
+        "file_exists() > 0",
+        "key_schedule() > 0",
+    ] {
         match deployment.latency_of(needle) {
             Some(runs) => println!("`{needle}` first observed after {runs} runs"),
             None => println!("`{needle}` never observed by this community"),

@@ -94,7 +94,10 @@ fn overrun_runs_sometimes_get_lucky() {
         }
     }
     assert!(overrun_crashed > 0, "some overruns crash");
-    assert!(overrun_lucky > 0, "some overruns get lucky (non-determinism)");
+    assert!(
+        overrun_lucky > 0,
+        "some overruns get lucky (non-determinism)"
+    );
 }
 
 #[test]

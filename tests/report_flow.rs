@@ -83,14 +83,8 @@ fn report_size_is_independent_of_run_length() {
 #[test]
 fn collector_counts_match_labels() {
     let result = small_campaign();
-    let successes = result
-        .collector
-        .with_label(Label::Success)
-        .count();
-    let failures = result
-        .collector
-        .with_label(Label::Failure)
-        .count();
+    let successes = result.collector.with_label(Label::Success).count();
+    let failures = result.collector.with_label(Label::Failure).count();
     assert_eq!(successes, result.collector.success_count());
     assert_eq!(failures, result.collector.failure_count());
     assert_eq!(successes + failures, result.collector.len());

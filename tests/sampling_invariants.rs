@@ -35,7 +35,11 @@ fn instrumentation_is_semantically_transparent_on_all_benchmarks() {
             .run()
             .expect("sampled run");
 
-        assert_eq!(base.output, uncond.output, "{}: unconditional output", b.name);
+        assert_eq!(
+            base.output, uncond.output,
+            "{}: unconditional output",
+            b.name
+        );
         assert_eq!(base.output, samp.output, "{}: sampled output", b.name);
         assert!(base.outcome.is_success(), "{}", b.name);
         assert!(uncond.outcome.is_success(), "{}", b.name);
