@@ -105,8 +105,51 @@ fn main() {
         parallel.as_secs_f64()
     );
 
+    // Telemetry overhead: the same campaign with the sink off vs on, at
+    // each job level.  The off timing is the tax every ordinary run pays
+    // (one relaxed atomic load per record site); the issue budget is <2%.
+    let mut telemetry_rows = String::new();
+    for jobs in [1usize, JOBS] {
+        let jobs_config = config.with_jobs(jobs);
+        let mut off = Duration::MAX;
+        let mut on = Duration::MAX;
+        for _ in 0..REPS {
+            let start = Instant::now();
+            let out_off = run_campaign(&program, &trials, &jobs_config).expect("campaign");
+            off = off.min(start.elapsed());
+
+            cbi::telemetry::reset();
+            cbi::telemetry::enable();
+            let start = Instant::now();
+            let out_on = run_campaign(&program, &trials, &jobs_config).expect("campaign");
+            on = on.min(start.elapsed());
+            cbi::telemetry::disable();
+            cbi::telemetry::collect(); // drain the buffers between reps
+
+            assert_eq!(
+                out_off.collector.reports(),
+                out_on.collector.reports(),
+                "telemetry recording must not change the report stream"
+            );
+        }
+        let overhead = (on.as_secs_f64() / off.as_secs_f64() - 1.0) * 100.0;
+        println!(
+            "  telemetry jobs={jobs}: off {:>9.3} s   on {:>9.3} s   overhead {overhead:+.1}%",
+            off.as_secs_f64(),
+            on.as_secs_f64()
+        );
+        if !telemetry_rows.is_empty() {
+            telemetry_rows.push_str(",\n");
+        }
+        telemetry_rows.push_str(&format!(
+            "    {{\"jobs\": {jobs}, \"off_seconds\": {:.6}, \"on_seconds\": {:.6}, \"overhead_pct\": {overhead:.2}}}",
+            off.as_secs_f64(),
+            on.as_secs_f64(),
+        ));
+    }
+
     let json = format!(
-        "{{\n  \"benchmark\": \"ccrypt\",\n  \"scheme\": \"returns\",\n  \"density\": \"1/100\",\n  \"trials\": {TRIALS},\n  \"jobs\": {JOBS},\n  \"reports\": {},\n  \"dropped\": {},\n  \"baseline_seconds\": {:.6},\n  \"optimized_seconds\": {:.6},\n  \"speedup\": {speedup:.3}\n}}\n",
+        "{{\n  \"benchmark\": \"ccrypt\",\n  \"scheme\": \"returns\",\n  \"density\": \"1/100\",\n  \"trials\": {TRIALS},\n  \"jobs\": {JOBS},\n  \"reports\": {},\n  \"dropped\": {},\n  \"baseline_seconds\": {:.6},\n  \"optimized_seconds\": {:.6},\n  \"speedup\": {speedup:.3},\n  \"telemetry\": [\n{telemetry_rows}\n  ]\n}}\n",
         result.collector.len(),
         result.dropped,
         baseline.as_secs_f64(),

@@ -1,7 +1,8 @@
 //! Tiny hand-rolled argument parser (no external dependencies).
 //!
-//! Supports `--flag value` and `--flag=value` forms plus positional
-//! arguments, which is all the CLI needs.
+//! Supports `--flag value` and `--flag=value` forms, valueless boolean
+//! switches (declared up front), and positional arguments, which is all
+//! the CLI needs.
 
 use std::collections::HashMap;
 
@@ -13,18 +14,38 @@ pub struct Args {
 }
 
 impl Args {
-    /// Parses raw arguments (without the program name).
+    /// Parses raw arguments (without the program name).  Every `--flag`
+    /// takes a value; see [`Args::parse_with_switches`] for boolean
+    /// switches.
     ///
     /// # Errors
     ///
     /// Returns a message if a `--flag` is missing its value.
+    #[cfg_attr(not(test), allow(dead_code))]
     pub fn parse(raw: impl IntoIterator<Item = String>) -> Result<Args, String> {
+        Args::parse_with_switches(raw, &[])
+    }
+
+    /// Parses raw arguments, treating the named flags as valueless
+    /// boolean switches (present or absent; probe with
+    /// [`Args::flag`]`.is_some()`).  A switch may still be written
+    /// `--name=value` explicitly.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message if a non-switch `--flag` is missing its value.
+    pub fn parse_with_switches(
+        raw: impl IntoIterator<Item = String>,
+        switches: &[&str],
+    ) -> Result<Args, String> {
         let mut args = Args::default();
         let mut it = raw.into_iter().peekable();
         while let Some(a) = it.next() {
             if let Some(name) = a.strip_prefix("--") {
                 if let Some((k, v)) = name.split_once('=') {
                     args.flags.insert(k.to_string(), v.to_string());
+                } else if switches.contains(&name) {
+                    args.flags.insert(name.to_string(), "true".to_string());
                 } else {
                     let v = it
                         .next()
@@ -101,5 +122,21 @@ mod tests {
     #[test]
     fn missing_flag_value_is_an_error() {
         assert!(Args::parse(vec!["--density".to_string()]).is_err());
+    }
+
+    #[test]
+    fn switches_take_no_value() {
+        let raw: Vec<String> = ["run", "p.mc", "--metrics", "--density", "5"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let a = Args::parse_with_switches(raw, &["metrics"]).unwrap();
+        assert_eq!(a.flag("metrics"), Some("true"));
+        assert_eq!(a.flag("density"), Some("5"));
+        assert_eq!(a.positional(1), Some("p.mc"));
+        // A trailing switch needs no value either.
+        let raw: Vec<String> = ["--metrics".to_string()].to_vec();
+        let a = Args::parse_with_switches(raw, &["metrics"]).unwrap();
+        assert_eq!(a.flag("metrics"), Some("true"));
     }
 }

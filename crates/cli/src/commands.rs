@@ -11,9 +11,24 @@ usage:
   cbi instrument <file.mc> [--scheme checks|returns|scalar-pairs|branches]
   cbi transform  <file.mc> [--scheme S] [--global-countdown] [--no-regions]
   cbi run        <file.mc> [--scheme S] [--density D] [--seed N] [--input \"1 2 3\"]
+                 [--global-countdown] [--no-regions] [--metrics]
+                 [--metrics-out metrics.jsonl] [--trace-out trace.json]
   cbi campaign   <file.mc> <inputs.txt> [--scheme S] [--density D] [--seed N]
-                 [--jobs N] [--out reports.jsonl]
-  cbi analyze    <reports.jsonl> <file.mc> [--scheme S] [--mode eliminate|regress]";
+                 [--jobs N] [--out reports.jsonl] [--metrics]
+                 [--metrics-out metrics.jsonl] [--trace-out trace.json]
+  cbi profile    <file.mc> <inputs.txt> [--scheme S] [--density D] [--seed N]
+                 [--jobs N] [--analyze eliminate|regress|none]
+                 [--metrics-out metrics.jsonl] [--trace-out trace.json]
+  cbi analyze    <reports.jsonl> <file.mc> [--scheme S] [--mode eliminate|regress]
+
+  --jobs N shards campaign trials over N worker threads (reports are
+  bit-identical at any job count).  --metrics prints a telemetry summary,
+  --metrics-out / --trace-out dump JSONL metrics and a chrome://tracing
+  span file; `cbi profile` runs a campaign with telemetry on and prints
+  the phase/worker breakdown.";
+
+/// Valueless boolean switches accepted by the subcommands.
+const SWITCHES: &[&str] = &["global-countdown", "no-regions", "metrics"];
 
 /// Dispatches a raw argument vector to a subcommand.
 ///
@@ -21,12 +36,13 @@ usage:
 ///
 /// Returns a user-facing message for any parse, I/O, or pipeline failure.
 pub fn dispatch(raw: Vec<String>) -> Result<(), String> {
-    let args = Args::parse(raw)?;
+    let args = Args::parse_with_switches(raw, SWITCHES)?;
     match args.positional(0) {
         Some("instrument") => cmd_instrument(&args),
         Some("transform") => cmd_transform(&args),
         Some("run") => cmd_run(&args),
         Some("campaign") => cmd_campaign(&args),
+        Some("profile") => cmd_profile(&args),
         Some("analyze") => cmd_analyze(&args),
         Some(other) => Err(format!("unknown subcommand `{other}`")),
         None => Err("missing subcommand".to_string()),
@@ -106,23 +122,102 @@ fn parse_input(raw: &str) -> Result<Vec<i64>, String> {
         .collect()
 }
 
-fn cmd_run(args: &Args) -> Result<(), String> {
-    let program = load_program(args, 1)?;
-    let scheme = scheme_of(args)?;
-    let density: u64 = args.flag_or("density", 100)?;
-    let seed: u64 = args.flag_or("seed", 42)?;
-    let input = parse_input(args.flag("input").unwrap_or(""))?;
+/// Parses and validates `--jobs` (default 1).
+fn jobs_of(args: &Args) -> Result<usize, String> {
+    let jobs: usize = args.flag_or("jobs", 1)?;
+    if jobs == 0 {
+        return Err(
+            "--jobs must be a positive integer (got 0); use --jobs 1 for serial execution"
+                .to_string(),
+        );
+    }
+    Ok(jobs)
+}
 
-    let inst = instrument(&program, scheme).map_err(|e| e.to_string())?;
-    let (sampled, _) =
-        apply_sampling(&inst.program, &transform_options(args)).map_err(|e| e.to_string())?;
-    let bank = CountdownBank::generate(SamplingDensity::one_in(density), 1024, seed);
-    let result = Vm::new(&sampled)
-        .with_sites(&inst.sites)
-        .with_sampling(Box::new(bank))
-        .with_input(input)
-        .run()
+/// Telemetry-related flags shared by `run`, `campaign`, and `profile`.
+struct TelemetryOpts<'a> {
+    summary: bool,
+    metrics_out: Option<&'a str>,
+    trace_out: Option<&'a str>,
+}
+
+impl<'a> TelemetryOpts<'a> {
+    fn from_args(args: &'a Args) -> Self {
+        TelemetryOpts {
+            summary: args.flag("metrics").is_some(),
+            metrics_out: args.flag("metrics-out"),
+            trace_out: args.flag("trace-out"),
+        }
+    }
+
+    fn wanted(&self) -> bool {
+        self.summary || self.metrics_out.is_some() || self.trace_out.is_some()
+    }
+
+    /// Enables the telemetry sink if any output was requested.  Returns
+    /// whether recording is on so callers can skip the collect step.
+    fn begin(&self) -> bool {
+        if self.wanted() {
+            cbi::telemetry::reset();
+            cbi::telemetry::enable();
+        }
+        self.wanted()
+    }
+
+    /// Collects buffered telemetry and writes every requested output:
+    /// summary to stderr (report streams own stdout), JSONL metrics and
+    /// chrome trace to their files.
+    fn finish(&self) -> Result<cbi::telemetry::Metrics, String> {
+        cbi::telemetry::disable();
+        let metrics = cbi::telemetry::collect();
+        if self.summary {
+            eprint!("{}", cbi::telemetry::export::summary(&metrics));
+        }
+        if let Some(path) = self.metrics_out {
+            let mut buf = Vec::new();
+            cbi::telemetry::export::write_jsonl(&metrics, &mut buf).map_err(|e| e.to_string())?;
+            fs::write(path, buf).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("metrics written to {path}");
+        }
+        if let Some(path) = self.trace_out {
+            let mut buf = Vec::new();
+            cbi::telemetry::export::write_chrome_trace(&metrics, &mut buf)
+                .map_err(|e| e.to_string())?;
+            fs::write(path, buf).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("chrome trace written to {path} (open in chrome://tracing)");
+        }
+        Ok(metrics)
+    }
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    let telemetry = TelemetryOpts::from_args(args);
+    let recording = telemetry.begin();
+
+    let (result, inst) = {
+        let program = cbi::telemetry::time("phase.parse", || load_program(args, 1))?;
+        let scheme = scheme_of(args)?;
+        let density: u64 = args.flag_or("density", 100)?;
+        let seed: u64 = args.flag_or("seed", 42)?;
+        let input = parse_input(args.flag("input").unwrap_or(""))?;
+
+        let inst = cbi::telemetry::time("phase.instrument", || instrument(&program, scheme))
+            .map_err(|e| e.to_string())?;
+        let (sampled, _) = cbi::telemetry::time("phase.transform", || {
+            apply_sampling(&inst.program, &transform_options(args))
+        })
         .map_err(|e| e.to_string())?;
+        let bank = CountdownBank::generate(SamplingDensity::one_in(density), 1024, seed);
+        let result = cbi::telemetry::time("phase.execute", || {
+            Vm::new(&sampled)
+                .with_sites(&inst.sites)
+                .with_sampling(Box::new(bank))
+                .with_input(input)
+                .run()
+        })
+        .map_err(|e| e.to_string())?;
+        (result, inst)
+    };
 
     println!("outcome: {}", result.outcome);
     println!("ops: {}", result.ops);
@@ -133,18 +228,23 @@ fn cmd_run(args: &Args) -> Result<(), String> {
             println!("  {:>6}x  {}", c, inst.sites.predicate_name(i));
         }
     }
+    if recording {
+        telemetry.finish()?;
+    }
     Ok(())
 }
 
-fn cmd_campaign(args: &Args) -> Result<(), String> {
-    let program = load_program(args, 1)?;
+/// Parses the shared campaign inputs (program, inputs file, config) and
+/// runs the campaign with phase spans around parse and execution.
+fn run_campaign_from_args(args: &Args) -> Result<cbi::workloads::CampaignResult, String> {
+    let program = cbi::telemetry::time("phase.parse", || load_program(args, 1))?;
     let inputs_path = args
         .positional(2)
         .ok_or_else(|| "missing inputs file".to_string())?;
     let scheme = scheme_of(args)?;
     let density: u64 = args.flag_or("density", 100)?;
     let seed: u64 = args.flag_or("seed", 42)?;
-    let jobs: usize = args.flag_or("jobs", 1)?;
+    let jobs = jobs_of(args)?;
 
     let raw =
         fs::read_to_string(inputs_path).map_err(|e| format!("cannot read {inputs_path}: {e}"))?;
@@ -157,7 +257,17 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     let mut config =
         CampaignConfig::sampled(scheme, SamplingDensity::one_in(density)).with_jobs(jobs);
     config.seed = seed;
-    let result = run_campaign(&program, &trials, &config).map_err(|e| e.to_string())?;
+    cbi::telemetry::time("phase.campaign", || {
+        run_campaign(&program, &trials, &config)
+    })
+    .map_err(|e| e.to_string())
+}
+
+fn cmd_campaign(args: &Args) -> Result<(), String> {
+    let telemetry = TelemetryOpts::from_args(args);
+    let recording = telemetry.begin();
+
+    let result = run_campaign_from_args(args)?;
     eprintln!(
         "{} runs: {} success, {} failure, {} dropped",
         result.collector.len(),
@@ -183,7 +293,127 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
                 .map_err(|e| e.to_string())?;
         }
     }
+    if recording {
+        telemetry.finish()?;
+    }
     Ok(())
+}
+
+fn cmd_profile(args: &Args) -> Result<(), String> {
+    let file = args
+        .positional(1)
+        .ok_or_else(|| "missing program file argument".to_string())?
+        .to_string();
+    let analyze = args.flag("analyze").unwrap_or("eliminate");
+    if !matches!(analyze, "eliminate" | "regress" | "none") {
+        return Err(format!(
+            "unknown --analyze mode `{analyze}` (expected eliminate, regress, or none)"
+        ));
+    }
+    let telemetry = TelemetryOpts::from_args(args);
+
+    // `profile` is the always-on variant: telemetry records regardless of
+    // the output flags.
+    cbi::telemetry::reset();
+    cbi::telemetry::enable();
+    let result = run_campaign_from_args(args)?;
+    match analyze {
+        "eliminate" => {
+            let _ = cbi::eliminate(&result);
+        }
+        "regress" => {
+            let n = result.collector.len();
+            let _ = cbi::regress(&result, &RegressionConfig::paper_proportions(n));
+        }
+        _ => {}
+    }
+    let metrics = telemetry.finish()?;
+
+    print_profile(&file, &result, &metrics, jobs_of(args)?);
+    Ok(())
+}
+
+/// Renders the `cbi profile` breakdown: per-phase wall-clock, per-worker
+/// shard statistics, and VM/sampling totals.
+fn print_profile(
+    file: &str,
+    result: &cbi::workloads::CampaignResult,
+    m: &cbi::telemetry::Metrics,
+    jobs: usize,
+) {
+    use cbi::telemetry::export::{fmt_ns, worker_name};
+
+    println!(
+        "profile: {file} — {} runs ({} success, {} failure, {} dropped), jobs={jobs}",
+        result.collector.len() + result.dropped,
+        result.collector.success_count(),
+        result.collector.failure_count(),
+        result.dropped,
+    );
+
+    println!();
+    println!("phases:");
+    let phases = m.span_summary();
+    let width = phases.iter().map(|(n, _, _)| n.len()).max().unwrap_or(0);
+    for (name, count, total_ns) in &phases {
+        println!("  {name:<width$}  {:>12}  x{count}", fmt_ns(*total_ns));
+    }
+
+    println!();
+    println!("workers:");
+    println!(
+        "  {:<12}  {:>8}  {:>8}  {:>12}  {:>12}",
+        "worker", "trials", "dropped", "queue-wait", "shard wall"
+    );
+    for worker in m.per_worker.keys() {
+        let trials = m.worker_counter(*worker, "campaign.trials");
+        if trials == 0 {
+            continue;
+        }
+        let shard_ns: u64 = m
+            .spans
+            .iter()
+            .filter(|s| s.worker == *worker && s.name == "campaign.shard")
+            .map(|s| s.dur_ns)
+            .sum();
+        println!(
+            "  {:<12}  {:>8}  {:>8}  {:>12}  {:>12}",
+            worker_name(*worker),
+            trials,
+            m.worker_counter(*worker, "campaign.dropped"),
+            fmt_ns(m.worker_counter(*worker, "campaign.queue_wait_ns")),
+            fmt_ns(shard_ns),
+        );
+    }
+
+    println!();
+    println!("vm totals:");
+    println!(
+        "  runs {}   steps {}   ops {}",
+        m.counter("vm.runs"),
+        m.counter("vm.steps"),
+        m.counter("vm.ops"),
+    );
+    println!(
+        "  region entries: {} fast-path, {} slow-path",
+        m.counter("vm.region.fast_entries"),
+        m.counter("vm.region.slow_entries"),
+    );
+    println!(
+        "  sampling: {} samples taken, {} countdown refills, {} bank reseeds",
+        m.counter("vm.samples_taken"),
+        m.counter("sampler.refills"),
+        m.counter("sampler.bank_reseeds"),
+    );
+    if let Some(h) = m.histogram("vm.ops_per_run") {
+        println!(
+            "  ops per run: mean {:.0}, p50~{}, p99~{}, max {}",
+            h.mean(),
+            h.quantile(0.5),
+            h.quantile(0.99),
+            h.max,
+        );
+    }
 }
 
 fn cmd_analyze(args: &Args) -> Result<(), String> {
@@ -275,11 +505,50 @@ mod tests {
             "transform",
             p.to_str().unwrap(),
             "--global-countdown",
-            "1",
             "--no-regions",
-            "1",
         ])
         .unwrap();
+    }
+
+    #[test]
+    fn jobs_validation() {
+        let p = tmp("prog-jobs.mc", PROG);
+        let inputs = tmp("inputs-jobs.txt", "5\n4\n");
+        let base = [
+            "campaign",
+            p.to_str().unwrap(),
+            inputs.to_str().unwrap(),
+            "--out",
+            "/dev/null",
+        ];
+        let with_jobs = |v: &str| {
+            let mut a: Vec<&str> = base.to_vec();
+            a.extend(["--jobs", v]);
+            dispatch_strs(&a)
+        };
+        let err = with_jobs("0").unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+        assert!(err.contains("positive"), "{err}");
+        let err = with_jobs("abc").unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+        let err = with_jobs("-2").unwrap_err();
+        assert!(err.contains("--jobs"), "{err}");
+        with_jobs("2").unwrap();
+    }
+
+    #[test]
+    fn profile_rejects_unknown_analyze_mode() {
+        let p = tmp("prog-prof.mc", PROG);
+        let inputs = tmp("inputs-prof.txt", "5\n");
+        let err = dispatch_strs(&[
+            "profile",
+            p.to_str().unwrap(),
+            inputs.to_str().unwrap(),
+            "--analyze",
+            "bogus",
+        ])
+        .unwrap_err();
+        assert!(err.contains("--analyze"), "{err}");
     }
 
     #[test]

@@ -132,4 +132,117 @@ fn bad_usage_exits_nonzero_with_usage() {
     assert!(!out.status.success());
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("usage:"), "{stderr}");
+    // The usage text documents every subcommand, including profile.
+    assert!(stderr.contains("cbi profile"), "{stderr}");
+    assert!(stderr.contains("--jobs"), "{stderr}");
+    assert!(stderr.contains("--trace-out"), "{stderr}");
+}
+
+#[test]
+fn jobs_zero_and_non_numeric_are_rejected() {
+    let p = tmp("bin5.mc", PROG);
+    let inputs = tmp("bin5-inputs.txt", "0\n1\n2\n3\n");
+    for bad in ["0", "many"] {
+        let out = cbi()
+            .args([
+                "campaign",
+                p.to_str().unwrap(),
+                inputs.to_str().unwrap(),
+                "--jobs",
+                bad,
+            ])
+            .output()
+            .expect("spawn");
+        assert!(!out.status.success(), "--jobs {bad} should be rejected");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(
+            stderr.contains("--jobs") || stderr.contains("jobs"),
+            "{stderr}"
+        );
+    }
+}
+
+#[test]
+fn profile_prints_phase_worker_and_vm_breakdown() {
+    let p = tmp("bin6.mc", PROG);
+    let inputs = tmp("bin6-inputs.txt", "0\n1\n2\n3\n0\n1\n3\n2\n");
+    let out = cbi()
+        .args([
+            "profile",
+            p.to_str().unwrap(),
+            inputs.to_str().unwrap(),
+            "--scheme",
+            "returns",
+            "--density",
+            "1",
+            "--jobs",
+            "2",
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("profile:"), "{stdout}");
+    assert!(stdout.contains("jobs=2"), "{stdout}");
+    assert!(stdout.contains("phases:"), "{stdout}");
+    assert!(stdout.contains("phase.campaign"), "{stdout}");
+    assert!(stdout.contains("workers:"), "{stdout}");
+    assert!(stdout.contains("worker-1"), "{stdout}");
+    assert!(stdout.contains("vm totals:"), "{stdout}");
+    assert!(stdout.contains("steps"), "{stdout}");
+    assert!(stdout.contains("fast-path"), "{stdout}");
+    assert!(stdout.contains("samples taken"), "{stdout}");
+}
+
+#[test]
+fn campaign_metrics_and_trace_outputs() {
+    let p = tmp("bin7.mc", PROG);
+    let inputs = tmp("bin7-inputs.txt", "0\n1\n2\n3\n");
+    let metrics = std::env::temp_dir().join("cbi-bin-test-metrics7.jsonl");
+    let trace = std::env::temp_dir().join("cbi-bin-test-trace7.json");
+    let out = cbi()
+        .args([
+            "campaign",
+            p.to_str().unwrap(),
+            inputs.to_str().unwrap(),
+            "--density",
+            "1",
+            "--jobs",
+            "2",
+            "--out",
+            "/dev/null",
+            "--metrics",
+            "--metrics-out",
+            metrics.to_str().unwrap(),
+            "--trace-out",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("spawn");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // --metrics prints the summary table on stderr.
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("campaign.trials"), "{stderr}");
+
+    // JSONL dump: every non-empty line is a JSON object with a type tag.
+    let jsonl = fs::read_to_string(&metrics).expect("metrics file");
+    assert!(!jsonl.trim().is_empty());
+    for line in jsonl.lines() {
+        assert!(line.starts_with("{\"type\":"), "{line}");
+    }
+    assert!(jsonl.contains("\"vm.steps\""), "{jsonl}");
+
+    // Chrome trace: a traceEvents array with span (X) events.
+    let chrome = fs::read_to_string(&trace).expect("trace file");
+    assert!(chrome.contains("\"traceEvents\""), "{chrome}");
+    assert!(chrome.contains("\"ph\":\"X\""), "{chrome}");
+    assert!(chrome.contains("campaign.shard"), "{chrome}");
 }

@@ -75,6 +75,7 @@ pub use cbi_minic as minic;
 pub use cbi_reports as reports;
 pub use cbi_sampler as sampler;
 pub use cbi_stats as stats;
+pub use cbi_telemetry as telemetry;
 pub use cbi_vm as vm;
 pub use cbi_workloads as workloads;
 

@@ -31,6 +31,7 @@ pub struct EliminationReport {
 
 /// Runs the four elimination strategies over a campaign's reports.
 pub fn eliminate(result: &CampaignResult) -> EliminationReport {
+    let _span = cbi_telemetry::span("analyze.eliminate");
     let stats: SufficientStats = result.collector.reports().iter().cloned().collect();
     let groups = result.site_groups();
 
@@ -139,6 +140,7 @@ impl RegressionConfig {
 /// Panics if the campaign produced no reports or the split sizes exceed
 /// the report count.
 pub fn regress(result: &CampaignResult, config: &RegressionConfig) -> RegressionStudy {
+    let _span = cbi_telemetry::span("analyze.regress");
     let reports = result.collector.reports();
     assert!(!reports.is_empty(), "no reports to analyze");
 

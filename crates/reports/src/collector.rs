@@ -186,6 +186,8 @@ impl Collector {
     /// on counter layout, or [`CollectError::OutOfOrder`] if the incoming
     /// run ids do not continue this collector's sequence.
     pub fn merge(&mut self, other: Collector) -> Result<(), CollectError> {
+        let _span = cbi_telemetry::span("collector.merge");
+        cbi_telemetry::count("collector.merged_reports", other.reports.len() as u64);
         if other.counters != self.counters {
             return Err(CollectError::LayoutMismatch {
                 expected: self.counters,

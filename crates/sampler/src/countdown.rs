@@ -83,6 +83,7 @@ impl CountdownBank {
     /// without reallocating; campaign workers use this to recycle one bank
     /// buffer across thousands of trials.
     pub fn reseed(&mut self, density: SamplingDensity, seed: u64) {
+        cbi_telemetry::count("sampler.bank_reseeds", 1);
         let mut g = Geometric::new(density, seed);
         for v in &mut self.values {
             *v = g.draw();
@@ -108,6 +109,9 @@ impl CountdownBank {
 
 impl CountdownSource for CountdownBank {
     fn next_countdown(&mut self) -> u64 {
+        // Each refill marks one sample boundary: the runtime only asks for
+        // a new countdown after taking (or seeding) a sample.
+        cbi_telemetry::count("sampler.refills", 1);
         let v = self.values[self.cursor];
         self.cursor = (self.cursor + 1) % self.values.len();
         v

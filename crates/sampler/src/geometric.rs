@@ -77,6 +77,7 @@ impl Geometric {
 
 impl CountdownSource for Geometric {
     fn next_countdown(&mut self) -> u64 {
+        cbi_telemetry::count("sampler.refills", 1);
         self.draw()
     }
 }

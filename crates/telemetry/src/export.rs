@@ -1,0 +1,290 @@
+//! Exporters for [`Metrics`] snapshots.
+//!
+//! Three formats, all hand-rolled (no serialization dependency):
+//!
+//! * [`summary`] — an aligned, human-readable table for terminals;
+//! * [`write_jsonl`] — one JSON object per line (`counter`, `histogram`,
+//!   `span`), the machine-readable dump CI archives per PR;
+//! * [`write_chrome_trace`] — a Chrome trace-event JSON array of complete
+//!   (`"ph":"X"`) events, loadable in `chrome://tracing` or Perfetto,
+//!   with one lane per logical worker.
+
+use crate::metrics::Metrics;
+use std::io::{self, Write};
+
+/// Renders an aligned human-readable summary of a snapshot.
+pub fn summary(m: &Metrics) -> String {
+    let mut out = String::new();
+    if m.is_empty() {
+        out.push_str("telemetry: no data recorded\n");
+        return out;
+    }
+
+    let phases = m.span_summary();
+    if !phases.is_empty() {
+        out.push_str("spans (by first start):\n");
+        let width = phases.iter().map(|(n, _, _)| n.len()).max().unwrap_or(0);
+        for (name, count, total_ns) in &phases {
+            out.push_str(&format!(
+                "  {name:<width$}  {:>10}  x{count}\n",
+                fmt_ns(*total_ns),
+            ));
+        }
+    }
+
+    if !m.counters.is_empty() {
+        out.push_str("counters:\n");
+        let width = m.counters.keys().map(String::len).max().unwrap_or(0);
+        for (name, value) in &m.counters {
+            out.push_str(&format!("  {name:<width$}  {value:>12}\n"));
+        }
+    }
+
+    if !m.histograms.is_empty() {
+        out.push_str("histograms:\n");
+        let width = m.histograms.keys().map(String::len).max().unwrap_or(0);
+        for (name, h) in &m.histograms {
+            out.push_str(&format!(
+                "  {name:<width$}  n={} mean={:.1} min={} p50~{} p99~{} max={}\n",
+                h.count,
+                h.mean(),
+                if h.count == 0 { 0 } else { h.min },
+                h.quantile(0.5),
+                h.quantile(0.99),
+                h.max,
+            ));
+        }
+    }
+
+    if m.per_worker.len() > 1 {
+        out.push_str("per-worker counters:\n");
+        for (worker, counters) in &m.per_worker {
+            out.push_str(&format!("  {}:\n", worker_name(*worker)));
+            let width = counters.keys().map(String::len).max().unwrap_or(0);
+            for (name, value) in counters {
+                out.push_str(&format!("    {name:<width$}  {value:>12}\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Writes the snapshot as JSON Lines: one `{"type": ...}` object per
+/// counter (global and per-worker), histogram, and span.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_jsonl<W: Write>(m: &Metrics, mut w: W) -> io::Result<()> {
+    for (name, value) in &m.counters {
+        writeln!(
+            w,
+            "{{\"type\":\"counter\",\"name\":{},\"value\":{value}}}",
+            json_str(name)
+        )?;
+    }
+    for (worker, counters) in &m.per_worker {
+        for (name, value) in counters {
+            writeln!(
+                w,
+                "{{\"type\":\"counter\",\"name\":{},\"worker\":{worker},\"value\":{value}}}",
+                json_str(name)
+            )?;
+        }
+    }
+    for (name, h) in &m.histograms {
+        writeln!(
+            w,
+            "{{\"type\":\"histogram\",\"name\":{},\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+            json_str(name),
+            h.count,
+            h.sum,
+            if h.count == 0 { 0 } else { h.min },
+            h.max,
+            h.quantile(0.5),
+            h.quantile(0.9),
+            h.quantile(0.99),
+        )?;
+    }
+    for s in &m.spans {
+        writeln!(
+            w,
+            "{{\"type\":\"span\",\"name\":{},\"worker\":{},\"start_us\":{:.3},\"dur_us\":{:.3}}}",
+            json_str(&s.name),
+            s.worker,
+            s.start_ns as f64 / 1_000.0,
+            s.dur_ns as f64 / 1_000.0,
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes the snapshot's spans as a Chrome trace-event file (the JSON
+/// object form with a `traceEvents` array), loadable in
+/// `chrome://tracing`.  Each logical worker becomes one named thread
+/// lane; counters ride along as a final instant event's arguments.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_chrome_trace<W: Write>(m: &Metrics, mut w: W) -> io::Result<()> {
+    write!(w, "{{\"traceEvents\":[")?;
+    let mut first = true;
+    let mut workers: Vec<u32> = m.spans.iter().map(|s| s.worker).collect();
+    workers.sort_unstable();
+    workers.dedup();
+    for worker in &workers {
+        sep(&mut w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{worker},\"args\":{{\"name\":{}}}}}",
+            json_str(&worker_name(*worker))
+        )?;
+    }
+    for s in &m.spans {
+        sep(&mut w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":{},\"cat\":\"cbi\",\"ph\":\"X\",\"pid\":1,\"tid\":{},\"ts\":{:.3},\"dur\":{:.3}}}",
+            json_str(&s.name),
+            s.worker,
+            s.start_ns as f64 / 1_000.0,
+            s.dur_ns as f64 / 1_000.0,
+        )?;
+    }
+    if !m.counters.is_empty() {
+        sep(&mut w, &mut first)?;
+        write!(
+            w,
+            "{{\"name\":\"counters\",\"cat\":\"cbi\",\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":0,\"s\":\"g\",\"args\":{{"
+        )?;
+        let mut first_arg = true;
+        for (name, value) in &m.counters {
+            if !first_arg {
+                write!(w, ",")?;
+            }
+            first_arg = false;
+            write!(w, "{}:{value}", json_str(name))?;
+        }
+        write!(w, "}}}}")?;
+    }
+    writeln!(w, "]}}")?;
+    Ok(())
+}
+
+/// Human-facing name of a logical worker lane.
+pub fn worker_name(worker: u32) -> String {
+    if worker == crate::MAIN_WORKER {
+        "main".to_string()
+    } else {
+        format!("worker-{worker}")
+    }
+}
+
+/// Formats nanoseconds with an adaptive unit.
+pub fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.1} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+fn sep<W: Write>(w: &mut W, first: &mut bool) -> io::Result<()> {
+    if !*first {
+        write!(w, ",")?;
+    }
+    *first = false;
+    Ok(())
+}
+
+/// Minimal JSON string encoding; metric names are plain identifiers but
+/// escaping keeps the output well-formed for any input.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{Histogram, SpanRecord};
+
+    fn sample() -> Metrics {
+        let mut m = Metrics::default();
+        let mut h = Histogram::default();
+        h.observe(10);
+        h.observe(1000);
+        m.absorb(
+            0,
+            vec![("vm.runs", 2)],
+            vec![("vm.ops_per_run", h)],
+            vec![SpanRecord {
+                name: "phase.parse".to_string(),
+                worker: 0,
+                start_ns: 1_000,
+                dur_ns: 2_500_000,
+                seq: 0,
+            }],
+        );
+        m.absorb(1, vec![("campaign.trials", 40)], vec![], vec![]);
+        m.normalize();
+        m
+    }
+
+    #[test]
+    fn summary_mentions_everything() {
+        let s = summary(&sample());
+        assert!(s.contains("phase.parse"), "{s}");
+        assert!(s.contains("vm.runs"), "{s}");
+        assert!(s.contains("vm.ops_per_run"), "{s}");
+        assert!(s.contains("worker-1"), "{s}");
+        assert!(s.contains("2.500 ms"), "{s}");
+    }
+
+    #[test]
+    fn jsonl_lines_are_json_objects() {
+        let mut buf = Vec::new();
+        write_jsonl(&sample(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.lines().count() >= 4, "{text}");
+        for line in text.lines() {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+            assert!(line.contains("\"type\":"), "{line}");
+        }
+    }
+
+    #[test]
+    fn chrome_trace_shape() {
+        let mut buf = Vec::new();
+        write_chrome_trace(&sample(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("{\"traceEvents\":["), "{text}");
+        assert!(text.trim_end().ends_with("]}"), "{text}");
+        assert!(text.contains("\"ph\":\"X\""), "{text}");
+        assert!(text.contains("\"thread_name\""), "{text}");
+        assert!(text.contains("\"vm.runs\":2"), "{text}");
+    }
+
+    #[test]
+    fn json_str_escapes() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+}

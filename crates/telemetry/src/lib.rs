@@ -1,0 +1,259 @@
+//! Zero-dependency telemetry for the bug-isolation pipeline.
+//!
+//! The paper's premise is that a deployed community emits cheap,
+//! aggregatable telemetry (counter vectors, §2.5); this crate applies the
+//! same discipline to the reproduction itself, so the campaign driver, the
+//! VM, and the sampling runtime can be observed without perturbing them:
+//!
+//! * **Off by default, near-zero overhead.**  Every recording entry point
+//!   begins with one relaxed atomic load; until [`enable`] is called, the
+//!   whole crate is a no-op sink and hot loops pay a single predictable
+//!   branch.
+//! * **Per-thread buffers, deterministic merge.**  Each recording thread
+//!   appends to a private buffer (no cross-thread contention on the record
+//!   path).  [`collect`] drains every buffer and merges them
+//!   deterministically: counters sum commutatively into name-sorted maps,
+//!   per-worker attribution keys on the *logical* worker label set with
+//!   [`set_worker`] (never the OS thread id), and spans sort on stable
+//!   keys — the same discipline as the campaign driver's ordered report
+//!   merge, so output never depends on scheduler interleaving.
+//! * **Observation only.**  Nothing here feeds back into execution: no
+//!   RNG draws, no branch decisions, no allocation visible to the program
+//!   under test.  Enabling telemetry cannot change a campaign's reports —
+//!   the `telemetry_determinism` suite holds the collector output
+//!   byte-identical with telemetry on and off.
+//!
+//! # Vocabulary
+//!
+//! * a **counter** is a named monotonically increasing `u64`
+//!   ([`count`]);
+//! * a **histogram** records a distribution of `u64` values in log₂
+//!   buckets with exact count/sum/min/max ([`record`]);
+//! * a **span** is a named wall-clock interval ([`span`] returns an RAII
+//!   guard; [`time`] wraps a closure).
+//!
+//! # Example
+//!
+//! ```
+//! cbi_telemetry::enable();
+//! {
+//!     let _g = cbi_telemetry::span("phase.demo");
+//!     cbi_telemetry::count("demo.widgets", 3);
+//!     cbi_telemetry::record("demo.sizes", 17);
+//! }
+//! cbi_telemetry::disable();
+//! let metrics = cbi_telemetry::collect();
+//! assert_eq!(metrics.counter("demo.widgets"), 3);
+//! assert_eq!(metrics.histogram("demo.sizes").unwrap().count, 1);
+//! assert_eq!(metrics.spans.len(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod export;
+pub mod metrics;
+
+pub use metrics::{Histogram, Metrics, SpanRecord};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// The logical label of threads that never call [`set_worker`]: the main
+/// thread of the process, by convention.
+pub const MAIN_WORKER: u32 = 0;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+static REGISTRY: Mutex<Vec<Arc<Mutex<LocalBuffer>>>> = Mutex::new(Vec::new());
+
+thread_local! {
+    static LOCAL: RefCell<Option<Arc<Mutex<LocalBuffer>>>> = const { RefCell::new(None) };
+}
+
+/// One thread's private telemetry buffer.  Records append here without
+/// touching any shared state; [`collect`] merges all buffers later.
+#[derive(Debug, Default)]
+struct LocalBuffer {
+    worker: u32,
+    counters: Vec<(&'static str, u64)>,
+    histograms: Vec<(&'static str, Histogram)>,
+    spans: Vec<SpanRecord>,
+    next_seq: u64,
+}
+
+impl LocalBuffer {
+    fn count(&mut self, name: &'static str, delta: u64) {
+        match self.counters.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, v)) => *v += delta,
+            None => self.counters.push((name, delta)),
+        }
+    }
+
+    fn record(&mut self, name: &'static str, value: u64) {
+        match self.histograms.iter_mut().find(|(n, _)| *n == name) {
+            Some((_, h)) => h.observe(value),
+            None => {
+                let mut h = Histogram::default();
+                h.observe(value);
+                self.histograms.push((name, h));
+            }
+        }
+    }
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Runs `f` on the calling thread's buffer, registering it globally on
+/// first use so [`collect`] can find it after the thread exits.
+fn with_local(f: impl FnOnce(&mut LocalBuffer)) {
+    LOCAL.with(|slot| {
+        let mut slot = slot.borrow_mut();
+        let arc = slot.get_or_insert_with(|| {
+            let arc = Arc::new(Mutex::new(LocalBuffer::default()));
+            lock(&REGISTRY).push(Arc::clone(&arc));
+            arc
+        });
+        f(&mut lock(arc));
+    });
+}
+
+/// Turns recording on.  The first call anchors the clock epoch used by
+/// span timestamps and the Chrome trace export.
+pub fn enable() {
+    let _ = EPOCH.get_or_init(Instant::now);
+    ENABLED.store(true, Ordering::Release);
+}
+
+/// Turns recording off.  Already-buffered data stays available to
+/// [`collect`].
+pub fn disable() {
+    ENABLED.store(false, Ordering::Release);
+}
+
+/// Whether telemetry is currently recording.  One relaxed atomic load —
+/// cheap enough for per-run (not per-instruction) checks on hot paths.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Nanoseconds since the telemetry epoch (anchored lazily).
+pub fn now_ns() -> u64 {
+    let epoch = EPOCH.get_or_init(Instant::now);
+    u64::try_from(epoch.elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// Tags the calling thread's buffer with a logical worker label.
+///
+/// Campaign workers call this with their deterministic shard index so
+/// per-worker attribution survives any OS thread scheduling; untagged
+/// threads report as [`MAIN_WORKER`].
+pub fn set_worker(label: u32) {
+    if !enabled() {
+        return;
+    }
+    with_local(|b| b.worker = label);
+}
+
+/// Adds `delta` to the named counter.  No-op while disabled.
+#[inline]
+pub fn count(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|b| b.count(name, delta));
+}
+
+/// Records one value into the named histogram.  No-op while disabled.
+#[inline]
+pub fn record(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    with_local(|b| b.record(name, value));
+}
+
+/// An RAII span: records the wall-clock interval from construction to
+/// drop under the creating thread's worker label.
+#[must_use = "a span measures until it is dropped"]
+#[derive(Debug)]
+pub struct SpanGuard {
+    name: &'static str,
+    start_ns: u64,
+    active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        let end = now_ns();
+        let (name, start_ns) = (self.name, self.start_ns);
+        with_local(|b| {
+            let seq = b.next_seq;
+            b.next_seq += 1;
+            b.spans.push(SpanRecord {
+                name: name.to_string(),
+                worker: b.worker,
+                start_ns,
+                dur_ns: end.saturating_sub(start_ns),
+                seq,
+            });
+        });
+    }
+}
+
+/// Starts a span.  Returns an inert guard while disabled.
+#[inline]
+pub fn span(name: &'static str) -> SpanGuard {
+    let active = enabled();
+    SpanGuard {
+        name,
+        start_ns: if active { now_ns() } else { 0 },
+        active,
+    }
+}
+
+/// Times a closure under a span and returns its result.
+pub fn time<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    let _g = span(name);
+    f()
+}
+
+/// Drains every thread buffer into one deterministic [`Metrics`]
+/// snapshot.
+///
+/// Buffers of threads that have exited are removed from the registry;
+/// live threads keep recording into fresh buffers afterwards.  The merge
+/// is order-independent: counters and histograms fold commutatively into
+/// name-sorted maps, and spans sort on `(worker, start, seq, name)`.
+pub fn collect() -> Metrics {
+    let mut metrics = Metrics::default();
+    let mut registry = lock(&REGISTRY);
+    for buf in registry.iter() {
+        let mut buf = lock(buf);
+        let drained = std::mem::take(&mut *buf);
+        buf.worker = drained.worker; // labels outlive a drain
+        metrics.absorb(
+            drained.worker,
+            drained.counters,
+            drained.histograms,
+            drained.spans,
+        );
+    }
+    // Threads that exited no longer hold their Arc; drop their slots.
+    registry.retain(|buf| Arc::strong_count(buf) > 1);
+    metrics.normalize();
+    metrics
+}
+
+/// Discards all buffered telemetry without producing a snapshot.
+pub fn reset() {
+    let _ = collect();
+}

@@ -1,0 +1,279 @@
+//! Merged telemetry snapshots.
+//!
+//! [`Metrics`] is what [`crate::collect`] returns: every thread buffer
+//! folded into name-sorted maps plus a stably ordered span list.  The
+//! merge is deterministic in the sense that matters for reproducibility:
+//! the set of names, the counter totals, and the per-worker attribution
+//! never depend on which OS thread ran which shard or on the order the
+//! buffers drained — only wall-clock magnitudes vary run to run.
+
+use std::collections::BTreeMap;
+
+/// Number of log₂ histogram buckets: bucket `0` holds the value `0`,
+/// bucket `i > 0` holds values `v` with `floor(log2 v) == i - 1`, and the
+/// last bucket tops out at `u64::MAX`.
+pub const BUCKETS: usize = 65;
+
+/// A log₂-bucketed distribution of `u64` values with exact count, sum,
+/// min, and max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Sum of recorded values (saturating).
+    pub sum: u64,
+    /// Smallest recorded value.
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Log₂ bucket occupancy; see [`BUCKETS`].
+    pub buckets: [u64; BUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+            buckets: [0; BUCKETS],
+        }
+    }
+}
+
+impl Histogram {
+    /// Records one value.
+    pub fn observe(&mut self, value: u64) {
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+        self.buckets[bucket_of(value)] += 1;
+    }
+
+    /// Folds another histogram into this one (commutative).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+    }
+
+    /// Mean of the recorded values, or 0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper edge of the bucket containing the `q`-quantile
+    /// (`0.0 ..= 1.0`), or 0 when empty.  Log₂ resolution: an estimate,
+    /// never an exact order statistic.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return bucket_upper_edge(i).min(self.max);
+            }
+        }
+        self.max
+    }
+}
+
+fn bucket_of(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        (64 - value.leading_zeros()) as usize
+    }
+}
+
+fn bucket_upper_edge(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else if i >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << i) - 1
+    }
+}
+
+/// One completed span: a named wall-clock interval attributed to a
+/// logical worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Span name (e.g. `"campaign.execute"`).
+    pub name: String,
+    /// Logical worker label of the recording thread.
+    pub worker: u32,
+    /// Start, nanoseconds since the telemetry epoch.
+    pub start_ns: u64,
+    /// Duration in nanoseconds.
+    pub dur_ns: u64,
+    /// Per-buffer monotonic sequence number (stable tiebreaker).
+    pub seq: u64,
+}
+
+/// A merged, deterministic snapshot of all recorded telemetry.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Metrics {
+    /// Counter totals across all workers, sorted by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Per-worker counter totals: `worker label → name → value`.
+    pub per_worker: BTreeMap<u32, BTreeMap<String, u64>>,
+    /// Histograms merged across all workers, sorted by name.
+    pub histograms: BTreeMap<String, Histogram>,
+    /// All spans, sorted by `(worker, start, seq, name)`.
+    pub spans: Vec<SpanRecord>,
+}
+
+impl Metrics {
+    /// A counter's total, or 0 if never recorded.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// One worker's share of a counter, or 0.
+    pub fn worker_counter(&self, worker: u32, name: &str) -> u64 {
+        self.per_worker
+            .get(&worker)
+            .and_then(|m| m.get(name))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// A histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Total duration of all spans with the given name, in nanoseconds.
+    pub fn span_total_ns(&self, name: &str) -> u64 {
+        self.spans
+            .iter()
+            .filter(|s| s.name == name)
+            .map(|s| s.dur_ns)
+            .sum()
+    }
+
+    /// Span names aggregated to `(count, total ns)`, ordered by earliest
+    /// start — the natural "phase table" ordering.
+    pub fn span_summary(&self) -> Vec<(String, u64, u64)> {
+        let mut order: Vec<&SpanRecord> = self.spans.iter().collect();
+        order.sort_by_key(|s| (s.start_ns, s.worker, s.seq));
+        let mut out: Vec<(String, u64, u64)> = Vec::new();
+        for s in order {
+            match out.iter_mut().find(|(n, _, _)| *n == s.name) {
+                Some((_, count, total)) => {
+                    *count += 1;
+                    *total += s.dur_ns;
+                }
+                None => out.push((s.name.clone(), 1, s.dur_ns)),
+            }
+        }
+        out
+    }
+
+    /// True when nothing was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.histograms.is_empty() && self.spans.is_empty()
+    }
+
+    /// Folds one drained thread buffer into the snapshot.
+    pub(crate) fn absorb(
+        &mut self,
+        worker: u32,
+        counters: Vec<(&'static str, u64)>,
+        histograms: Vec<(&'static str, Histogram)>,
+        spans: Vec<SpanRecord>,
+    ) {
+        for (name, v) in counters {
+            *self.counters.entry(name.to_string()).or_default() += v;
+            *self
+                .per_worker
+                .entry(worker)
+                .or_default()
+                .entry(name.to_string())
+                .or_default() += v;
+        }
+        for (name, h) in histograms {
+            self.histograms
+                .entry(name.to_string())
+                .or_default()
+                .merge(&h);
+        }
+        self.spans.extend(spans);
+    }
+
+    /// Applies the deterministic final ordering after all buffers drained.
+    pub(crate) fn normalize(&mut self) {
+        self.spans.sort_by(|a, b| {
+            (a.worker, a.start_ns, a.seq, &a.name).cmp(&(b.worker, b.start_ns, b.seq, &b.name))
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::default();
+        for v in [0, 1, 2, 3, 4, 100, 1000] {
+            h.observe(v);
+        }
+        assert_eq!(h.count, 7);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 1000);
+        assert_eq!(h.sum, 1110);
+        assert_eq!(h.buckets[0], 1); // 0
+        assert_eq!(h.buckets[1], 1); // 1
+        assert_eq!(h.buckets[2], 2); // 2..=3
+        assert_eq!(h.buckets[3], 1); // 4..=7
+        assert!(h.quantile(0.5) <= 7);
+        assert_eq!(h.quantile(1.0), 1000);
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        for v in [5, 9] {
+            a.observe(v);
+        }
+        for v in [1, 1 << 40] {
+            b.observe(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count, 4);
+        assert_eq!(ab.max, 1 << 40);
+    }
+
+    #[test]
+    fn absorb_attributes_per_worker() {
+        let mut m = Metrics::default();
+        m.absorb(1, vec![("trials", 10)], vec![], vec![]);
+        m.absorb(2, vec![("trials", 7)], vec![], vec![]);
+        m.absorb(1, vec![("trials", 5)], vec![], vec![]);
+        assert_eq!(m.counter("trials"), 22);
+        assert_eq!(m.worker_counter(1, "trials"), 15);
+        assert_eq!(m.worker_counter(2, "trials"), 7);
+        assert_eq!(m.worker_counter(3, "trials"), 0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Integration tests for the global telemetry runtime.
+//!
+//! Telemetry state is process-global, so every test that enables it
+//! serializes on one mutex and drains buffers before releasing it.
+
+use cbi_telemetry as tm;
+use std::sync::Mutex;
+
+static GATE: Mutex<()> = Mutex::new(());
+
+fn guarded<T>(f: impl FnOnce() -> T) -> T {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    tm::reset();
+    tm::enable();
+    let out = f();
+    tm::disable();
+    tm::reset();
+    out
+}
+
+#[test]
+fn disabled_is_a_no_op_sink() {
+    let _g = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    tm::disable();
+    tm::reset();
+    tm::count("noop.counter", 5);
+    tm::record("noop.hist", 9);
+    drop(tm::span("noop.span"));
+    let m = tm::collect();
+    assert!(m.is_empty(), "{m:?}");
+}
+
+#[test]
+fn counters_merge_across_threads_deterministically() {
+    let (total, w1, w2) = guarded(|| {
+        std::thread::scope(|s| {
+            for w in 1..=2u32 {
+                s.spawn(move || {
+                    tm::set_worker(w);
+                    for _ in 0..w * 10 {
+                        tm::count("t.trials", 1);
+                    }
+                });
+            }
+        });
+        let m = tm::collect();
+        (
+            m.counter("t.trials"),
+            m.worker_counter(1, "t.trials"),
+            m.worker_counter(2, "t.trials"),
+        )
+    });
+    assert_eq!(total, 30);
+    assert_eq!(w1, 10);
+    assert_eq!(w2, 20);
+}
+
+#[test]
+fn spans_capture_duration_and_nest() {
+    let m = guarded(|| {
+        {
+            let _outer = tm::span("t.outer");
+            tm::time("t.inner", || {
+                std::thread::sleep(std::time::Duration::from_millis(2))
+            });
+        }
+        tm::collect()
+    });
+    assert_eq!(m.spans.len(), 2);
+    let outer = m.span_total_ns("t.outer");
+    let inner = m.span_total_ns("t.inner");
+    assert!(inner >= 2_000_000, "inner {inner}ns");
+    assert!(outer >= inner, "outer {outer} < inner {inner}");
+    let phases = m.span_summary();
+    assert_eq!(phases[0].0, "t.outer", "outer starts first: {phases:?}");
+}
+
+#[test]
+fn collect_drains_and_preserves_worker_label() {
+    let (first, second) = guarded(|| {
+        tm::count("t.drain", 1);
+        let first = tm::collect();
+        tm::count("t.drain", 2);
+        let second = tm::collect();
+        (first, second)
+    });
+    assert_eq!(first.counter("t.drain"), 1);
+    assert_eq!(second.counter("t.drain"), 2, "drained, not cumulative");
+}
+
+#[test]
+fn exporters_round_the_same_snapshot() {
+    let m = guarded(|| {
+        tm::count("t.widgets", 3);
+        tm::record("t.sizes", 128);
+        tm::time("t.phase", || ());
+        tm::collect()
+    });
+    let text = tm::export::summary(&m);
+    assert!(text.contains("t.widgets"), "{text}");
+    let mut jsonl = Vec::new();
+    tm::export::write_jsonl(&m, &mut jsonl).unwrap();
+    assert!(String::from_utf8(jsonl).unwrap().contains("\"t.sizes\""));
+    let mut trace = Vec::new();
+    tm::export::write_chrome_trace(&m, &mut trace).unwrap();
+    let trace = String::from_utf8(trace).unwrap();
+    assert!(trace.contains("\"t.phase\""), "{trace}");
+}

@@ -373,6 +373,7 @@ impl<'a> Vm<'a> {
             trace_limit: self.trace_limit,
             trace: std::collections::VecDeque::new(),
             stack: Vec::with_capacity(64),
+            tm: TmCounters::new(),
         };
 
         // Seed the global countdown before the first instruction (§2.1):
@@ -400,6 +401,7 @@ impl<'a> Vm<'a> {
             Err(Trap::OpLimit) => RunOutcome::OpLimit,
         };
 
+        exec.tm.flush(exec.ops);
         Ok(RunResult {
             outcome,
             ops: exec.ops,
@@ -454,6 +456,7 @@ impl<'a> Vm<'a> {
             max_depth: self.max_depth,
             trace_limit: self.trace_limit,
             trace: std::collections::VecDeque::new(),
+            tm: TmCounters::new(),
         };
 
         // Seed the global countdown before the first instruction (§2.1):
@@ -482,6 +485,7 @@ impl<'a> Vm<'a> {
             Err(Trap::OpLimit) => RunOutcome::OpLimit,
         };
 
+        exec.tm.flush(exec.ops);
         Ok(RunResult {
             outcome,
             ops: exec.ops,
@@ -494,6 +498,65 @@ impl<'a> Vm<'a> {
 
 pub(crate) fn saturating_i64(v: u64) -> i64 {
     i64::try_from(v).unwrap_or(i64::MAX)
+}
+
+/// Per-run telemetry accumulators, shared by both engines.
+///
+/// Values accumulate in plain locals on the execution path — when
+/// telemetry is disabled the only cost is one predictable branch per
+/// statement — and flush to `cbi_telemetry` once per run, so hot loops
+/// never touch thread-local or atomic state.
+pub(crate) struct TmCounters {
+    pub(crate) on: bool,
+    pub(crate) steps: u64,
+    pub(crate) fast: u64,
+    pub(crate) slow: u64,
+    pub(crate) samples: u64,
+}
+
+impl TmCounters {
+    pub(crate) fn new() -> Self {
+        TmCounters {
+            on: cbi_telemetry::enabled(),
+            steps: 0,
+            fast: 0,
+            slow: 0,
+            samples: 0,
+        }
+    }
+
+    /// Classifies one executed synthesized conditional by its comparison
+    /// operator: the transformation emits `cd > w` threshold checks whose
+    /// taken arm is the instrumentation-free fast path, and `cd == 0`
+    /// slow-path guards whose taken arm records a sample.
+    #[inline]
+    pub(crate) fn synthesized_if(&mut self, op: BinOp, taken: bool) {
+        match op {
+            BinOp::Gt => {
+                if taken {
+                    self.fast += 1;
+                } else {
+                    self.slow += 1;
+                }
+            }
+            BinOp::Eq if taken => self.samples += 1,
+            _ => {}
+        }
+    }
+
+    pub(crate) fn flush(&self, ops: u64) {
+        if !self.on {
+            return;
+        }
+        cbi_telemetry::count("vm.runs", 1);
+        cbi_telemetry::count("vm.steps", self.steps);
+        cbi_telemetry::count("vm.ops", ops);
+        cbi_telemetry::count("vm.region.fast_entries", self.fast);
+        cbi_telemetry::count("vm.region.slow_entries", self.slow);
+        cbi_telemetry::count("vm.samples_taken", self.samples);
+        cbi_telemetry::record("vm.ops_per_run", ops);
+        cbi_telemetry::record("vm.steps_per_run", self.steps);
+    }
 }
 
 pub(crate) enum Trap {
@@ -532,6 +595,7 @@ struct Exec<'a> {
     max_depth: usize,
     trace_limit: usize,
     trace: std::collections::VecDeque<(usize, bool)>,
+    tm: TmCounters,
 }
 
 impl Exec<'_> {
@@ -616,6 +680,9 @@ impl Exec<'_> {
         // imports/exports) costs a flat unit: in a native build these are
         // register operations (§2.4).  Branch bodies of synthesized
         // conditionals still charge normally — they contain real code.
+        if self.tm.on {
+            self.tm.steps += 1;
+        }
         if s.span().is_synthesized() {
             match s {
                 Stmt::Decl { ty, name, init, .. } => {
@@ -647,6 +714,11 @@ impl Exec<'_> {
                                 .type_error(format!("synthesized condition evaluated to {other}")))
                         }
                     };
+                    if self.tm.on {
+                        if let Expr::Binary { op, .. } = cond {
+                            self.tm.synthesized_if(*op, taken);
+                        }
+                    }
                     if taken {
                         return self.exec_block(then_block, frame);
                     } else if let Some(e) = else_block {

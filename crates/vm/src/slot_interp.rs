@@ -50,6 +50,9 @@ pub(crate) struct SlotExec<'a> {
     /// All live frames, concatenated; each call sees the window starting
     /// at its `base`.  `None` = slot not yet bound by its declaration.
     pub(crate) stack: Vec<Option<Value>>,
+    /// Per-run telemetry accumulators (flushed by the driver in
+    /// [`crate::interp::Vm::run`]).
+    pub(crate) tm: crate::interp::TmCounters,
 }
 
 impl<'a> SlotExec<'a> {
@@ -147,6 +150,9 @@ impl<'a> SlotExec<'a> {
         // imports/exports) costs a flat unit: in a native build these are
         // register operations (§2.4).  Branch bodies of synthesized
         // conditionals still charge normally — they contain real code.
+        if self.tm.on {
+            self.tm.steps += 1;
+        }
         match s {
             SlotStmt::Decl {
                 ty,
@@ -204,6 +210,11 @@ impl<'a> SlotExec<'a> {
                     self.charge(self.costs.stmt)?;
                     self.eval_bool(cond, f, base)?
                 };
+                if self.tm.on && *synthesized {
+                    if let SlotExpr::Binary { op, .. } = cond {
+                        self.tm.synthesized_if(*op, taken);
+                    }
+                }
                 if taken {
                     self.exec_block(then_block, f, base)
                 } else if let Some(e) = else_block {

@@ -19,6 +19,7 @@ use cbi_minic::slots::SlotProgram;
 use cbi_minic::Program;
 use cbi_reports::{Collector, Label, Report};
 use cbi_sampler::{CountdownBank, SamplingDensity};
+use cbi_telemetry as telemetry;
 use cbi_vm::{RunOutcome, Vm};
 use std::borrow::Cow;
 
@@ -112,13 +113,19 @@ pub fn run_campaign(
     trials: &[Vec<i64>],
     config: &CampaignConfig,
 ) -> Result<CampaignResult, WorkloadError> {
-    let instrumented = instrument(program, config.scheme)?;
+    let instrumented =
+        telemetry::time("campaign.instrument", || instrument(program, config.scheme))?;
     let executable: Cow<'_, Program> = match config.density {
-        Some(_) => Cow::Owned(apply_sampling(&instrumented.program, &config.transform)?.0),
+        Some(_) => Cow::Owned(
+            telemetry::time("campaign.transform", || {
+                apply_sampling(&instrumented.program, &config.transform)
+            })?
+            .0,
+        ),
         None => Cow::Borrowed(&instrumented.program),
     };
     // Lower once; every trial indexes the shared slot program.
-    let slots = cbi_minic::lower(&executable);
+    let slots = telemetry::time("campaign.lower", || cbi_minic::lower(&executable));
     let total_counters = instrumented.sites.total_counters();
 
     let jobs = config.jobs.clamp(1, trials.len().max(1));
@@ -126,6 +133,7 @@ pub fn run_campaign(
     let mut dropped = 0;
 
     if jobs <= 1 {
+        let _execute = telemetry::span("campaign.execute");
         let shard = run_shard(
             &slots,
             &instrumented.sites,
@@ -138,25 +146,43 @@ pub fn run_campaign(
         dropped = shard.1;
     } else {
         let chunk = trials.len().div_ceil(jobs);
-        let shards: Vec<Result<(Collector, usize), WorkloadError>> = std::thread::scope(|s| {
-            let handles: Vec<_> = trials
-                .chunks(chunk)
-                .enumerate()
-                .map(|(w, shard)| {
-                    let slots = &slots;
-                    let sites = &instrumented.sites;
-                    s.spawn(move || {
-                        run_shard(slots, sites, shard, w * chunk, total_counters, config)
+        let shards: Vec<Result<(Collector, usize), WorkloadError>> = {
+            let _execute = telemetry::span("campaign.execute");
+            let tm_on = telemetry::enabled();
+            std::thread::scope(|s| {
+                let handles: Vec<_> = trials
+                    .chunks(chunk)
+                    .enumerate()
+                    .map(|(w, shard)| {
+                        let slots = &slots;
+                        let sites = &instrumented.sites;
+                        // Spawn-to-start latency per worker: how long a
+                        // shard waited for the scheduler ("queue wait").
+                        let spawned_ns = tm_on.then(telemetry::now_ns);
+                        s.spawn(move || {
+                            if let Some(t0) = spawned_ns {
+                                telemetry::set_worker(w as u32 + 1);
+                                // A counter (not a histogram) so the wait
+                                // stays attributed to its worker label.
+                                telemetry::count(
+                                    "campaign.queue_wait_ns",
+                                    telemetry::now_ns().saturating_sub(t0),
+                                );
+                            }
+                            let _shard_span = telemetry::span("campaign.shard");
+                            run_shard(slots, sites, shard, w * chunk, total_counters, config)
+                        })
                     })
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("campaign worker panicked"))
-                .collect()
-        });
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("campaign worker panicked"))
+                    .collect()
+            })
+        };
         // Shards cover contiguous, increasing trial ranges, so an ordered
         // merge reproduces the serial report sequence exactly.
+        let _merge = telemetry::span("campaign.merge");
         for shard in shards {
             let (c, d) = shard?;
             collector.merge(c).expect("shards merge in run-id order");
@@ -215,6 +241,10 @@ fn run_shard(
             .add(Report::new(i as u64, label, result.counters))
             .expect("campaign reports share one layout");
     }
+    // Attributed to the calling thread's worker label, so the per-worker
+    // breakdown shows how trials and drops spread across the shards.
+    telemetry::count("campaign.trials", shard.len() as u64);
+    telemetry::count("campaign.dropped", dropped as u64);
     Ok((collector, dropped))
 }
 
