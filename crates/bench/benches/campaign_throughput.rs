@@ -148,8 +148,56 @@ fn main() {
         ));
     }
 
+    // Wire codec throughput: encode/decode the campaign's report stream
+    // and compare against the JSONL archive format on both size and
+    // speed.  These are the numbers that decide whether remote
+    // collection can keep up with the campaign driver.
+    let reports = result.collector.reports();
+    let layout_hash = result.instrumented.sites.layout_hash();
+    let counters = result.instrumented.sites.total_counters();
+
+    let mut encode = Duration::MAX;
+    let mut decode = Duration::MAX;
+    let mut jsonl_encode = Duration::MAX;
+    let mut wire_bytes = 0usize;
+    let mut jsonl_bytes = 0usize;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let bytes =
+            cbi::reports::wire::encode_reports(reports, layout_hash, counters).expect("encode");
+        encode = encode.min(start.elapsed());
+        wire_bytes = bytes.len();
+
+        let start = Instant::now();
+        let (decoded, _) = cbi::reports::wire::read_collector(bytes.as_slice()).expect("decode");
+        decode = decode.min(start.elapsed());
+        assert_eq!(decoded.reports(), reports, "wire must round-trip exactly");
+
+        let mut jsonl = Vec::new();
+        let start = Instant::now();
+        result.collector.write_jsonl(&mut jsonl).expect("jsonl");
+        jsonl_encode = jsonl_encode.min(start.elapsed());
+        jsonl_bytes = jsonl.len();
+    }
+    let n = reports.len() as f64;
+    let encode_rps = n / encode.as_secs_f64();
+    let decode_rps = n / decode.as_secs_f64();
+    let jsonl_rps = n / jsonl_encode.as_secs_f64();
+    let wire_bpr = wire_bytes as f64 / n;
+    let jsonl_bpr = jsonl_bytes as f64 / n;
+    println!(
+        "  wire encode {encode_rps:>11.0} rep/s   ingest {decode_rps:>11.0} rep/s   {wire_bpr:.1} B/report"
+    );
+    println!(
+        "  jsonl encode {jsonl_rps:>10.0} rep/s   {jsonl_bpr:.1} B/report   binary is {:.2}x smaller",
+        jsonl_bpr / wire_bpr
+    );
+    let wire_rows = format!(
+        "    {{\"format\": \"binary\", \"encode_reports_per_sec\": {encode_rps:.0}, \"ingest_reports_per_sec\": {decode_rps:.0}, \"bytes_per_report\": {wire_bpr:.2}}},\n    {{\"format\": \"jsonl\", \"encode_reports_per_sec\": {jsonl_rps:.0}, \"bytes_per_report\": {jsonl_bpr:.2}}}"
+    );
+
     let json = format!(
-        "{{\n  \"benchmark\": \"ccrypt\",\n  \"scheme\": \"returns\",\n  \"density\": \"1/100\",\n  \"trials\": {TRIALS},\n  \"jobs\": {JOBS},\n  \"reports\": {},\n  \"dropped\": {},\n  \"baseline_seconds\": {:.6},\n  \"optimized_seconds\": {:.6},\n  \"speedup\": {speedup:.3},\n  \"telemetry\": [\n{telemetry_rows}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"ccrypt\",\n  \"scheme\": \"returns\",\n  \"density\": \"1/100\",\n  \"trials\": {TRIALS},\n  \"jobs\": {JOBS},\n  \"reports\": {},\n  \"dropped\": {},\n  \"baseline_seconds\": {:.6},\n  \"optimized_seconds\": {:.6},\n  \"speedup\": {speedup:.3},\n  \"telemetry\": [\n{telemetry_rows}\n  ],\n  \"wire\": [\n{wire_rows}\n  ]\n}}\n",
         result.collector.len(),
         result.dropped,
         baseline.as_secs_f64(),

@@ -42,7 +42,8 @@ fn main() {
         100.0 * result.collector.failure_count() as f64 / result.collector.len() as f64,
     );
 
-    let study = cbi::regress(&result, &RegressionConfig::paper_proportions(runs));
+    let study = cbi::regress(&result, &RegressionConfig::paper_proportions(runs))
+        .expect("bc study campaign yields reports");
     println!(
         "effective features after universal-falsehood filtering: {} of {} (paper: 2908 of 30,150)",
         study.effective_features, study.total_counters

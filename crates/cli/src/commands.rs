@@ -2,8 +2,10 @@
 
 use crate::args::Args;
 use cbi::prelude::*;
-use cbi::RegressionConfig;
+use cbi::reports::wire;
+use cbi::{EliminationReport, RegressionConfig, RegressionStudy};
 use std::fs;
+use std::io::Write as _;
 
 /// Usage text shown on errors.
 pub const USAGE: &str = "\
@@ -14,18 +16,32 @@ usage:
                  [--global-countdown] [--no-regions] [--metrics]
                  [--metrics-out metrics.jsonl] [--trace-out trace.json]
   cbi campaign   <file.mc> <inputs.txt> [--scheme S] [--density D] [--seed N]
-                 [--jobs N] [--out reports.jsonl] [--metrics]
+                 [--jobs N] [--out reports.jsonl] [--spool reports.cbr]
+                 [--transmit HOST:PORT] [--metrics]
                  [--metrics-out metrics.jsonl] [--trace-out trace.json]
   cbi profile    <file.mc> <inputs.txt> [--scheme S] [--density D] [--seed N]
                  [--jobs N] [--analyze eliminate|regress|none]
                  [--metrics-out metrics.jsonl] [--trace-out trace.json]
-  cbi analyze    <reports.jsonl> <file.mc> [--scheme S] [--mode eliminate|regress]
+  cbi analyze    <reports.jsonl|.cbr> <file.mc> [--scheme S]
+                 [--mode eliminate|regress]
+  cbi serve      <file.mc> [--scheme S] [--addr 127.0.0.1:0] [--max-conns 1]
+                 [--mode eliminate|regress|both] [--spool reports.cbr]
+                 [--metrics] [--metrics-out metrics.jsonl]
+  cbi transmit   <reports.jsonl|.cbr> --to HOST:PORT [<file.mc>] [--scheme S]
 
   --jobs N shards campaign trials over N worker threads (reports are
   bit-identical at any job count).  --metrics prints a telemetry summary,
   --metrics-out / --trace-out dump JSONL metrics and a chrome://tracing
   span file; `cbi profile` runs a campaign with telemetry on and prints
-  the phase/worker breakdown.";
+  the phase/worker breakdown.
+
+  Remote collection: `cbi serve` binds a loopback ingest daemon for the
+  given instrumented program (it prints `listening on ADDR`), validates
+  each client stream's layout hash, and analyzes reports as they arrive.
+  `cbi campaign --transmit ADDR` streams reports to such a server in the
+  compact binary wire format; `--spool FILE` writes the same frames to
+  disk; `cbi transmit` replays a saved JSONL or spool file to a server.
+  `cbi analyze` accepts both JSONL and binary spool files.";
 
 /// Valueless boolean switches accepted by the subcommands.
 const SWITCHES: &[&str] = &["global-countdown", "no-regions", "metrics"];
@@ -44,6 +60,8 @@ pub fn dispatch(raw: Vec<String>) -> Result<(), String> {
         Some("campaign") => cmd_campaign(&args),
         Some("profile") => cmd_profile(&args),
         Some("analyze") => cmd_analyze(&args),
+        Some("serve") => cmd_serve(&args),
+        Some("transmit") => cmd_transmit(&args),
         Some(other) => Err(format!("unknown subcommand `{other}`")),
         None => Err("missing subcommand".to_string()),
     }
@@ -234,9 +252,8 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-/// Parses the shared campaign inputs (program, inputs file, config) and
-/// runs the campaign with phase spans around parse and execution.
-fn run_campaign_from_args(args: &Args) -> Result<cbi::workloads::CampaignResult, String> {
+/// Parses the shared campaign inputs: program, trial list, and config.
+fn campaign_setup(args: &Args) -> Result<(Program, Vec<Vec<i64>>, CampaignConfig), String> {
     let program = cbi::telemetry::time("phase.parse", || load_program(args, 1))?;
     let inputs_path = args
         .positional(2)
@@ -257,6 +274,13 @@ fn run_campaign_from_args(args: &Args) -> Result<cbi::workloads::CampaignResult,
     let mut config =
         CampaignConfig::sampled(scheme, SamplingDensity::one_in(density)).with_jobs(jobs);
     config.seed = seed;
+    Ok((program, trials, config))
+}
+
+/// Parses the shared campaign inputs and runs the campaign with phase
+/// spans around parse and execution.
+fn run_campaign_from_args(args: &Args) -> Result<cbi::workloads::CampaignResult, String> {
+    let (program, trials, config) = campaign_setup(args)?;
     cbi::telemetry::time("phase.campaign", || {
         run_campaign(&program, &trials, &config)
     })
@@ -267,31 +291,68 @@ fn cmd_campaign(args: &Args) -> Result<(), String> {
     let telemetry = TelemetryOpts::from_args(args);
     let recording = telemetry.begin();
 
-    let result = run_campaign_from_args(args)?;
+    let (program, trials, config) = campaign_setup(args)?;
+
+    // Reports land in the collector (for the summary and JSONL outputs)
+    // and simultaneously in an optional spool file and transmit socket.
+    let spool = match args.flag("spool") {
+        Some(path) => {
+            Some(SpoolSink::create(path).map_err(|e| format!("cannot create spool {path}: {e}"))?)
+        }
+        None => None,
+    };
+    let transmit = match args.flag("transmit") {
+        Some(addr) => Some(
+            TransmitSink::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?,
+        ),
+        None => None,
+    };
+    let remote = spool.is_some() || transmit.is_some();
+    let mut sink = (Collector::default(), (spool, transmit));
+
+    let run = cbi::telemetry::time("phase.campaign", || {
+        run_campaign_into(&program, &trials, &config, &mut sink)
+    })
+    .map_err(|e| e.to_string())?;
+    let (collector, (spool, transmit)) = sink;
+
     eprintln!(
         "{} runs: {} success, {} failure, {} dropped",
-        result.collector.len(),
-        result.collector.success_count(),
-        result.collector.failure_count(),
-        result.dropped
+        collector.len(),
+        collector.success_count(),
+        collector.failure_count(),
+        run.dropped
     );
+    if let (Some(path), Some(s)) = (args.flag("spool"), &spool) {
+        eprintln!(
+            "{} reports ({} bytes) spooled to {path}",
+            s.reports_written(),
+            s.bytes_written()
+        );
+    }
+    if let (Some(addr), Some(t)) = (args.flag("transmit"), &transmit) {
+        eprintln!(
+            "{} reports ({} bytes) transmitted to {addr}",
+            t.reports_written(),
+            t.bytes_written()
+        );
+    }
 
     match args.flag("out") {
         Some(path) => {
             let mut buf = Vec::new();
-            result
-                .collector
-                .write_jsonl(&mut buf)
-                .map_err(|e| e.to_string())?;
+            collector.write_jsonl(&mut buf).map_err(|e| e.to_string())?;
             fs::write(path, buf).map_err(|e| format!("cannot write {path}: {e}"))?;
             eprintln!("reports written to {path}");
         }
-        None => {
-            result
-                .collector
+        // With a spool or transmit destination the reports already went
+        // somewhere durable; only bare campaigns dump JSONL to stdout.
+        None if !remote => {
+            collector
                 .write_jsonl(std::io::stdout().lock())
                 .map_err(|e| e.to_string())?;
         }
+        None => {}
     }
     if recording {
         telemetry.finish()?;
@@ -323,7 +384,8 @@ fn cmd_profile(args: &Args) -> Result<(), String> {
         }
         "regress" => {
             let n = result.collector.len();
-            let _ = cbi::regress(&result, &RegressionConfig::paper_proportions(n));
+            let _ = cbi::regress(&result, &RegressionConfig::paper_proportions(n))
+                .map_err(|e| e.to_string())?;
         }
         _ => {}
     }
@@ -416,6 +478,48 @@ fn print_profile(
     }
 }
 
+/// Renders an elimination report in the shared format used by `analyze`
+/// and `serve`, so local and remote analyses diff cleanly.
+fn print_elimination(report: &EliminationReport) {
+    let [uf, cov, ex, sc] = report.independent_survivors;
+    println!("universal falsehood:        {uf} survivors");
+    println!("lack of failing coverage:   {cov} survivors");
+    println!("lack of failing example:    {ex} survivors");
+    println!("successful counterexample:  {sc} survivors");
+    println!("combined (falsehood ∧ counterexample):");
+    for name in &report.combined_names {
+        println!("  {name}");
+    }
+}
+
+/// Renders a regression study in the shared format used by `analyze`
+/// and `serve`.
+fn print_regression(study: &RegressionStudy) {
+    println!(
+        "lambda {} (cv), test accuracy {:.3}, {} effective features",
+        study.lambda, study.test_accuracy, study.effective_features
+    );
+    for (i, (name, beta)) in study.top(10).iter().enumerate() {
+        println!("{:>3}. beta={beta:+.4}  {name}", i + 1);
+    }
+}
+
+/// Loads a report archive, accepting both JSONL and the binary spool
+/// format (detected by the `CBIR` magic).  Returns the collector and,
+/// for binary spools, the stream's layout hash.
+fn load_reports(path: &str) -> Result<(Collector, Option<u64>), String> {
+    let raw = fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if raw.starts_with(&wire::MAGIC) {
+        let (collector, header) =
+            wire::read_collector(raw.as_slice()).map_err(|e| format!("{path}: {e}"))?;
+        Ok((collector, Some(header.layout_hash)))
+    } else {
+        let collector =
+            Collector::read_jsonl(raw.as_slice()).map_err(|e| format!("{path}: {e}"))?;
+        Ok((collector, None))
+    }
+}
+
 fn cmd_analyze(args: &Args) -> Result<(), String> {
     let reports_path = args
         .positional(1)
@@ -424,9 +528,7 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     let scheme = scheme_of(args)?;
     let mode = args.flag("mode").unwrap_or("eliminate");
 
-    let raw =
-        fs::read_to_string(reports_path).map_err(|e| format!("cannot read {reports_path}: {e}"))?;
-    let collector = Collector::read_jsonl(raw.as_bytes()).map_err(|e| e.to_string())?;
+    let (collector, spool_hash) = load_reports(reports_path)?;
     eprintln!(
         "{} reports ({} failures)",
         collector.len(),
@@ -443,6 +545,18 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
             collector.counter_count()
         ));
     }
+    // Binary spools carry the producer's layout hash: reject a stream
+    // recorded from a different instrumented binary even when the counter
+    // counts coincide.
+    if let Some(got) = spool_hash {
+        let expected = inst.sites.layout_hash();
+        if got != expected {
+            return Err(format!(
+                "report layout mismatch: spool was recorded from a different \
+                 instrumented binary (layout hash {got:#018x}, program has {expected:#018x})"
+            ));
+        }
+    }
     let result = cbi::workloads::CampaignResult {
         instrumented: inst,
         collector,
@@ -450,31 +564,152 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
     };
 
     match mode {
-        "eliminate" => {
-            let report = cbi::eliminate(&result);
-            let [uf, cov, ex, sc] = report.independent_survivors;
-            println!("universal falsehood:        {uf} survivors");
-            println!("lack of failing coverage:   {cov} survivors");
-            println!("lack of failing example:    {ex} survivors");
-            println!("successful counterexample:  {sc} survivors");
-            println!("combined (falsehood ∧ counterexample):");
-            for name in &report.combined_names {
-                println!("  {name}");
-            }
-        }
+        "eliminate" => print_elimination(&cbi::eliminate(&result)),
         "regress" => {
             let n = result.collector.len();
-            let study = cbi::regress(&result, &RegressionConfig::paper_proportions(n));
-            println!(
-                "lambda {} (cv), test accuracy {:.3}, {} effective features",
-                study.lambda, study.test_accuracy, study.effective_features
-            );
-            for (i, (name, beta)) in study.top(10).iter().enumerate() {
-                println!("{:>3}. beta={beta:+.4}  {name}", i + 1);
-            }
+            let study = cbi::regress(&result, &RegressionConfig::paper_proportions(n))
+                .map_err(|e| e.to_string())?;
+            print_regression(&study);
         }
         other => return Err(format!("unknown mode `{other}`")),
     }
+    Ok(())
+}
+
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    let program = load_program(args, 1)?;
+    let scheme = scheme_of(args)?;
+    let addr = args.flag("addr").unwrap_or("127.0.0.1:0");
+    let max_conns: usize = args.flag_or("max-conns", 1)?;
+    if max_conns == 0 {
+        return Err("--max-conns must be a positive integer (got 0)".to_string());
+    }
+    let mode = args.flag("mode").unwrap_or("eliminate");
+    if !matches!(mode, "eliminate" | "regress" | "both") {
+        return Err(format!(
+            "unknown --mode `{mode}` (expected eliminate, regress, or both)"
+        ));
+    }
+    let telemetry = TelemetryOpts::from_args(args);
+    let recording = telemetry.begin();
+
+    // The server pins the layout of the binary it was started for:
+    // clients built from anything else are rejected at the handshake.
+    let inst = instrument(&program, scheme).map_err(|e| e.to_string())?;
+    let layout = ReportLayout {
+        counters: inst.sites.total_counters(),
+        layout_hash: inst.sites.layout_hash(),
+    };
+
+    let server = cbi::IngestServer::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let bound = server.local_addr().map_err(|e| e.to_string())?;
+    println!("listening on {bound}");
+    std::io::stdout().flush().map_err(|e| e.to_string())?;
+
+    // Aggregates stream into the analyzer; the collector keeps the full
+    // archive for the batch regression study; the spool keeps the frames.
+    let spool = match args.flag("spool") {
+        Some(path) => {
+            Some(SpoolSink::create(path).map_err(|e| format!("cannot create spool {path}: {e}"))?)
+        }
+        None => None,
+    };
+    let mut sink = (
+        (
+            Collector::default(),
+            StreamingAnalyzer::new(StreamingConfig::default()),
+        ),
+        spool,
+    );
+    let summary = server
+        .serve(max_conns, Some(layout), &mut sink)
+        .map_err(|e| e.to_string())?;
+    let ((collector, analyzer), spool) = sink;
+
+    eprintln!(
+        "ingested {} reports ({} bytes) over {} connection(s)",
+        summary.reports, summary.bytes, summary.connections
+    );
+    if let (Some(path), Some(s)) = (args.flag("spool"), &spool) {
+        eprintln!("{} reports spooled to {path}", s.reports_written());
+    }
+
+    println!(
+        "{} runs: {} success, {} failure",
+        collector.len(),
+        collector.success_count(),
+        collector.failure_count()
+    );
+    if matches!(mode, "eliminate" | "both") {
+        print_elimination(&analyzer.eliminate(&inst.sites));
+    }
+    if matches!(mode, "regress" | "both") {
+        let n = collector.len();
+        let result = cbi::workloads::CampaignResult {
+            instrumented: inst,
+            collector,
+            dropped: 0,
+        };
+        let study = cbi::regress(&result, &RegressionConfig::paper_proportions(n))
+            .map_err(|e| e.to_string())?;
+        print_regression(&study);
+    }
+    if recording {
+        telemetry.finish()?;
+    }
+    Ok(())
+}
+
+fn cmd_transmit(args: &Args) -> Result<(), String> {
+    let reports_path = args
+        .positional(1)
+        .ok_or_else(|| "missing reports file".to_string())?;
+    let addr = args
+        .flag("to")
+        .ok_or_else(|| "missing --to HOST:PORT".to_string())?;
+
+    let (collector, spool_hash) = load_reports(reports_path)?;
+    // The stream header needs the producing binary's layout hash: binary
+    // spools carry it; JSONL archives need the program to recompute it.
+    let layout_hash = match (spool_hash, args.positional(2)) {
+        (_, Some(_)) => {
+            let program = load_program(args, 2)?;
+            let inst = instrument(&program, scheme_of(args)?).map_err(|e| e.to_string())?;
+            if inst.sites.total_counters() != collector.counter_count() {
+                return Err(format!(
+                    "report layout mismatch: program has {} counters, reports have {}",
+                    inst.sites.total_counters(),
+                    collector.counter_count()
+                ));
+            }
+            inst.sites.layout_hash()
+        }
+        (Some(hash), None) => hash,
+        (None, None) => {
+            return Err(
+                "JSONL archives carry no layout hash; pass the instrumented \
+                 program as `cbi transmit <reports.jsonl> --to ADDR <file.mc>`"
+                    .to_string(),
+            )
+        }
+    };
+
+    let mut sink =
+        TransmitSink::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    sink.begin(ReportLayout {
+        counters: collector.counter_count(),
+        layout_hash,
+    })
+    .map_err(|e| e.to_string())?;
+    for report in collector.reports() {
+        sink.accept(report.clone()).map_err(|e| e.to_string())?;
+    }
+    sink.finish().map_err(|e| e.to_string())?;
+    eprintln!(
+        "{} reports ({} bytes) transmitted to {addr}",
+        sink.reports_written(),
+        sink.bytes_written()
+    );
     Ok(())
 }
 
@@ -604,6 +839,73 @@ mod tests {
         let p = tmp("prog4.mc", PROG);
         assert!(dispatch_strs(&["run", p.to_str().unwrap(), "--scheme", "bogus"]).is_err());
         assert!(dispatch_strs(&["run", p.to_str().unwrap(), "--density", "x"]).is_err());
+    }
+
+    #[test]
+    fn campaign_spools_binary_reports_that_analyze_reads() {
+        let p = tmp("prog6.mc", PROG);
+        let inputs = tmp("inputs6.txt", "5\n4\n\n3\n2\n1\n");
+        let spool = std::env::temp_dir().join("cbi-cli-test-reports6.cbr");
+        let out = std::env::temp_dir().join("cbi-cli-test-reports6.jsonl");
+        dispatch_strs(&[
+            "campaign",
+            p.to_str().unwrap(),
+            inputs.to_str().unwrap(),
+            "--scheme",
+            "returns",
+            "--density",
+            "1",
+            "--spool",
+            spool.to_str().unwrap(),
+            "--out",
+            out.to_str().unwrap(),
+        ])
+        .unwrap();
+        // The spool is binary (magic-prefixed) and strictly smaller than
+        // the JSONL archive of the same campaign.
+        let binary = fs::read(&spool).unwrap();
+        assert_eq!(&binary[..4], b"CBIR");
+        assert!(binary.len() < fs::metadata(&out).unwrap().len() as usize);
+        // `analyze` accepts the spool directly.
+        dispatch_strs(&[
+            "analyze",
+            spool.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "--scheme",
+            "returns",
+        ])
+        .unwrap();
+        // ... and rejects it against a different instrumentation scheme
+        // with a layout diagnostic.
+        let err = dispatch_strs(&[
+            "analyze",
+            spool.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "--scheme",
+            "branches",
+        ])
+        .unwrap_err();
+        assert!(err.contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn transmit_requires_program_for_jsonl() {
+        let reports = tmp(
+            "reports7.jsonl",
+            "{\"run_id\":0,\"label\":\"Success\",\"counters\":[0]}\n",
+        );
+        let err = dispatch_strs(&["transmit", reports.to_str().unwrap(), "--to", "127.0.0.1:1"])
+            .unwrap_err();
+        assert!(err.contains("layout hash"), "{err}");
+    }
+
+    #[test]
+    fn serve_validates_flags_before_binding() {
+        let p = tmp("prog8.mc", PROG);
+        let err = dispatch_strs(&["serve", p.to_str().unwrap(), "--mode", "bogus"]).unwrap_err();
+        assert!(err.contains("--mode"), "{err}");
+        let err = dispatch_strs(&["serve", p.to_str().unwrap(), "--max-conns", "0"]).unwrap_err();
+        assert!(err.contains("--max-conns"), "{err}");
     }
 
     #[test]

@@ -12,13 +12,26 @@
 //!     nonzero counters.
 //!
 //! cbi campaign <file.mc> <inputs.txt> [--scheme S] [--density D] [--seed N]
-//!              [--jobs N] [--out reports.jsonl]
+//!              [--jobs N] [--out reports.jsonl] [--spool reports.cbr]
+//!              [--transmit HOST:PORT]
 //!     Run a campaign: one run per input line, writing reports as JSONL.
 //!     `--jobs N` shards trials over N worker threads; the report stream
-//!     is bit-identical at any job count.
+//!     is bit-identical at any job count.  `--spool` archives the binary
+//!     wire frames to disk; `--transmit` streams them to a `cbi serve`
+//!     ingest server.
 //!
-//! cbi analyze <reports.jsonl> <file.mc> [--scheme S] [--mode eliminate|regress]
-//!     Run the §3.2 elimination or §3.3 regression analysis over reports.
+//! cbi analyze <reports.jsonl|.cbr> <file.mc> [--scheme S]
+//!             [--mode eliminate|regress]
+//!     Run the §3.2 elimination or §3.3 regression analysis over reports
+//!     (JSONL or binary spool, detected by the `CBIR` magic).
+//!
+//! cbi serve <file.mc> [--scheme S] [--addr 127.0.0.1:0] [--max-conns N]
+//!           [--mode eliminate|regress|both] [--spool reports.cbr]
+//!     Run a loopback ingest server pinned to the program's instrumented
+//!     layout; analyze the ingested stream after the last connection.
+//!
+//! cbi transmit <reports.jsonl|.cbr> --to HOST:PORT [<file.mc>] [--scheme S]
+//!     Replay an archived report stream to an ingest server.
 //! ```
 //!
 //! Inputs for `campaign` are given as a text file with one run per line,

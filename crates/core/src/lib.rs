@@ -61,13 +61,20 @@
 pub mod coverage;
 pub mod deployment;
 pub mod pipeline;
+pub mod remote;
+pub mod streaming;
 pub mod traces;
 
 pub use coverage::{coverage, CoverageReport};
 pub use deployment::{
     simulate_deployment, simulate_variant_fleet, Deployment, FleetConfig, FleetOutcome,
 };
-pub use pipeline::{eliminate, regress, EliminationReport, RegressionConfig, RegressionStudy};
+pub use pipeline::{
+    eliminate, eliminate_stats, regress, EliminationReport, PipelineError, RegressionConfig,
+    RegressionStudy,
+};
+pub use remote::{IngestServer, IngestSummary, ServeError};
+pub use streaming::{StreamingAnalyzer, StreamingConfig};
 pub use traces::{crash_proximity, ProximityConfig, ProximityEntry, ProximityReport};
 
 pub use cbi_instrument as instrument;
@@ -82,15 +89,22 @@ pub use cbi_workloads as workloads;
 /// The most commonly used items, for glob import.
 pub mod prelude {
     pub use crate::pipeline::{
-        eliminate, regress, EliminationReport, RegressionConfig, RegressionStudy,
+        eliminate, regress, EliminationReport, PipelineError, RegressionConfig, RegressionStudy,
     };
+    pub use crate::remote::{IngestServer, IngestSummary};
+    pub use crate::streaming::{StreamingAnalyzer, StreamingConfig};
     pub use cbi_instrument::{
         apply_sampling, instrument, strip_sites, Scheme, SiteTable, TransformOptions,
     };
     pub use cbi_minic::{parse, pretty, resolve, Program};
-    pub use cbi_reports::{Collector, Label, Report, SufficientStats};
+    pub use cbi_reports::{
+        Collector, Label, Report, ReportLayout, ReportSink, SpoolSink, SufficientStats,
+        TransmitSink,
+    };
     pub use cbi_sampler::{CountdownBank, CountdownSource, Geometric, SamplingDensity};
     pub use cbi_stats::{Dataset, LogisticModel, Strategy, TrainConfig};
     pub use cbi_vm::{RunOutcome, Vm};
-    pub use cbi_workloads::{run_campaign, CampaignConfig, CampaignResult};
+    pub use cbi_workloads::{
+        run_campaign, run_campaign_into, CampaignConfig, CampaignResult, CampaignRun,
+    };
 }

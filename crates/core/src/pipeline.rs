@@ -5,10 +5,43 @@
 //! train a regularized crash predictor (§3.3), and report *named*
 //! predicates ready for a human to read.
 
+use cbi_instrument::SiteTable;
 use cbi_reports::SufficientStats;
 use cbi_stats::elimination::{apply, combine, survivor_count, survivors, Strategy};
 use cbi_stats::{choose_lambda, Dataset, LogisticModel, TrainConfig};
 use cbi_workloads::CampaignResult;
+use std::error::Error;
+use std::fmt;
+
+/// Error from a statistical pipeline over collected reports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PipelineError {
+    /// The campaign produced no reports to analyze.
+    NoReports,
+    /// The requested train/cv split sizes exceed the report count.
+    SplitExceedsReports {
+        /// Requested training split size.
+        train: usize,
+        /// Requested cross-validation split size.
+        cv: usize,
+        /// Reports actually available.
+        total: usize,
+    },
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::NoReports => write!(f, "no reports to analyze"),
+            PipelineError::SplitExceedsReports { train, cv, total } => write!(
+                f,
+                "split sizes exceed report count: train {train} + cv {cv} > {total} reports"
+            ),
+        }
+    }
+}
+
+impl Error for PipelineError {}
 
 /// Results of the §3.2 predicate-elimination analysis.
 #[derive(Debug, Clone)]
@@ -30,26 +63,42 @@ pub struct EliminationReport {
 }
 
 /// Runs the four elimination strategies over a campaign's reports.
+///
+/// Reads only the collector's incrementally-maintained
+/// [`SufficientStats`] — the raw report archive is never rescanned.
 pub fn eliminate(result: &CampaignResult) -> EliminationReport {
-    let _span = cbi_telemetry::span("analyze.eliminate");
-    let stats: SufficientStats = result.collector.reports().iter().cloned().collect();
-    let groups = result.site_groups();
+    eliminate_stats(
+        result.collector.stats(),
+        &result.site_groups(),
+        &result.instrumented.sites,
+    )
+}
 
-    let uf = apply(&stats, Strategy::UniversalFalsehood, &groups);
-    let cov = apply(&stats, Strategy::LackOfFailingCoverage, &groups);
-    let ex = apply(&stats, Strategy::LackOfFailingExample, &groups);
-    let sc = apply(&stats, Strategy::SuccessfulCounterexample, &groups);
+/// Runs the four elimination strategies over bare sufficient statistics.
+///
+/// This is the aggregate-only core of [`eliminate`]: everything the §3.2
+/// strategies need fits in [`SufficientStats`], so the same analysis runs
+/// identically over an in-memory campaign, a spool file, or a live ingest
+/// stream that discarded each report on arrival.
+pub fn eliminate_stats(
+    stats: &SufficientStats,
+    groups: &[(usize, usize)],
+    sites: &SiteTable,
+) -> EliminationReport {
+    let _span = cbi_telemetry::span("analyze.eliminate");
+
+    let uf = apply(stats, Strategy::UniversalFalsehood, groups);
+    let cov = apply(stats, Strategy::LackOfFailingCoverage, groups);
+    let ex = apply(stats, Strategy::LackOfFailingExample, groups);
+    let sc = apply(stats, Strategy::SuccessfulCounterexample, groups);
 
     let combined_mask = combine(&[uf.clone(), sc.clone()]);
     let combined = survivors(&combined_mask);
-    let combined_names = combined
-        .iter()
-        .map(|&c| result.instrumented.sites.predicate_name(c))
-        .collect();
+    let combined_names = combined.iter().map(|&c| sites.predicate_name(c)).collect();
 
     EliminationReport {
-        runs: result.collector.len(),
-        failures: result.collector.failure_count(),
+        runs: (stats.success_runs() + stats.failure_runs()) as usize,
+        failures: stats.failure_runs() as usize,
         independent_survivors: [
             survivor_count(&uf),
             survivor_count(&cov),
@@ -135,14 +184,27 @@ impl RegressionConfig {
 /// Trains the §3.3 crash predictor over a campaign's reports and ranks
 /// predicates by coefficient magnitude.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if the campaign produced no reports or the split sizes exceed
-/// the report count.
-pub fn regress(result: &CampaignResult, config: &RegressionConfig) -> RegressionStudy {
+/// Returns [`PipelineError::NoReports`] if the campaign produced no
+/// reports and [`PipelineError::SplitExceedsReports`] if the configured
+/// split sizes exceed the report count.
+pub fn regress(
+    result: &CampaignResult,
+    config: &RegressionConfig,
+) -> Result<RegressionStudy, PipelineError> {
     let _span = cbi_telemetry::span("analyze.regress");
     let reports = result.collector.reports();
-    assert!(!reports.is_empty(), "no reports to analyze");
+    if reports.is_empty() {
+        return Err(PipelineError::NoReports);
+    }
+    if config.train + config.cv > reports.len() {
+        return Err(PipelineError::SplitExceedsReports {
+            train: config.train,
+            cv: config.cv,
+            total: reports.len(),
+        });
+    }
 
     let dataset = Dataset::from_reports(reports);
     let failure_rate = dataset.failure_count() as f64 / dataset.len() as f64;
@@ -168,7 +230,7 @@ pub fn regress(result: &CampaignResult, config: &RegressionConfig) -> Regression
         ranked_counters.push(counter);
     }
 
-    RegressionStudy {
+    Ok(RegressionStudy {
         total_counters: result.instrumented.sites.total_counters(),
         effective_features: dataset.feature_count(),
         lambda: choice.lambda,
@@ -176,5 +238,5 @@ pub fn regress(result: &CampaignResult, config: &RegressionConfig) -> Regression
         failure_rate,
         ranked,
         ranked_counters,
-    }
+    })
 }

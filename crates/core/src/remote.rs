@@ -1,0 +1,254 @@
+//! Loopback ingest server — the "central database" end of §1's feedback
+//! loop, made a real network endpoint.
+//!
+//! [`IngestServer`] listens on a TCP address, accepts framed wire-format
+//! report streams (see `cbi_reports::wire`), validates each stream's
+//! layout hash against the instrumented binary it is serving, and feeds
+//! every report into a caller-supplied [`ReportSink`] — typically a
+//! [`StreamingAnalyzer`](crate::streaming::StreamingAnalyzer) (aggregates
+//! only) or a [`Collector`](cbi_reports::Collector) (full archive).
+//!
+//! Connections are served sequentially, one telemetry lane per
+//! connection: each connection's `serve.*` counters and spans land on
+//! their own worker label, so `cbi … --metrics` shows per-connection
+//! ingest cost the same way campaign shards show per-worker cost.
+
+use cbi_reports::{ReportLayout, ReportSink, SinkError, WireError, WireReader};
+use cbi_telemetry as telemetry;
+use std::error::Error;
+use std::fmt;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+/// Error from serving an ingest session.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Listener or connection I/O failed.
+    Io(io::Error),
+    /// A client stream was malformed or its layout did not match.
+    Wire(WireError),
+    /// The sink rejected the stream or a report.
+    Sink(SinkError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "ingest i/o error: {e}"),
+            ServeError::Wire(e) => write!(f, "ingest stream error: {e}"),
+            ServeError::Sink(e) => write!(f, "ingest sink error: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Io(e) => Some(e),
+            ServeError::Wire(e) => Some(e),
+            ServeError::Sink(e) => Some(e),
+        }
+    }
+}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+impl From<WireError> for ServeError {
+    fn from(e: WireError) -> Self {
+        ServeError::Wire(e)
+    }
+}
+
+impl From<SinkError> for ServeError {
+    fn from(e: SinkError) -> Self {
+        ServeError::Sink(e)
+    }
+}
+
+/// What an ingest session saw, summed over its connections.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct IngestSummary {
+    /// Connections accepted and drained.
+    pub connections: usize,
+    /// Reports ingested.
+    pub reports: u64,
+    /// Wire bytes consumed (headers + frames).
+    pub bytes: u64,
+}
+
+/// A loopback TCP ingest daemon for framed report streams.
+#[derive(Debug)]
+pub struct IngestServer {
+    listener: TcpListener,
+}
+
+impl IngestServer {
+    /// Binds to `addr` (use port `0` for an ephemeral port).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if binding fails.
+    pub fn bind(addr: &str) -> io::Result<IngestServer> {
+        Ok(IngestServer {
+            listener: TcpListener::bind(addr)?,
+        })
+    }
+
+    /// The address actually bound — consult this after binding port `0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the socket address is
+    /// unavailable.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts and drains `connections` sequential client streams into
+    /// `sink`, then finishes the sink.
+    ///
+    /// Each stream's header is validated against `expected` when given
+    /// (version, layout hash, and counter count — a client built from a
+    /// different binary is rejected before any frame is decoded); the
+    /// sink's own `begin` additionally enforces cross-connection layout
+    /// agreement when `expected` is `None`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError`] on listener I/O failure, a malformed or
+    /// mismatched client stream, or sink rejection.
+    pub fn serve<S: ReportSink>(
+        &self,
+        connections: usize,
+        expected: Option<ReportLayout>,
+        sink: &mut S,
+    ) -> Result<IngestSummary, ServeError> {
+        let _session = telemetry::span("serve.session");
+        let mut summary = IngestSummary::default();
+        for conn in 0..connections {
+            let (stream, _peer) = self.listener.accept()?;
+            // One telemetry lane per connection, mirroring campaign
+            // workers: lane 0 stays the driver, connections are 1-based.
+            telemetry::set_worker(conn as u32 + 1);
+            let result = Self::drain(stream, expected, sink, &mut summary);
+            telemetry::set_worker(telemetry::MAIN_WORKER);
+            result.inspect_err(|_| telemetry::count("serve.rejected", 1))?;
+        }
+        sink.finish()?;
+        Ok(summary)
+    }
+
+    /// Drains one client connection into the sink.
+    fn drain<S: ReportSink>(
+        stream: TcpStream,
+        expected: Option<ReportLayout>,
+        sink: &mut S,
+        summary: &mut IngestSummary,
+    ) -> Result<(), ServeError> {
+        let _span = telemetry::span("serve.connection");
+        telemetry::count("serve.connections", 1);
+        let mut reader = WireReader::new(BufReader::new(stream))?;
+        if let Some(layout) = expected {
+            reader.expect_layout(layout.layout_hash, layout.counters)?;
+        }
+        let header = reader.header();
+        sink.begin(ReportLayout {
+            counters: header.counters,
+            layout_hash: header.layout_hash,
+        })?;
+        while let Some(report) = reader.read_report()? {
+            telemetry::count("serve.reports", 1);
+            sink.accept(report)?;
+        }
+        telemetry::count("serve.bytes", reader.bytes_read());
+        summary.connections += 1;
+        summary.reports += reader.reports_read();
+        summary.bytes += reader.bytes_read();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbi_reports::{Collector, Label, Report, TransmitSink};
+
+    fn reports() -> Vec<Report> {
+        vec![
+            Report::new(0, Label::Success, vec![1, 0, 2]),
+            Report::new(1, Label::Failure, vec![0, 4, 0]),
+            Report::new(2, Label::Success, vec![3, 0, 0]),
+        ]
+    }
+
+    #[test]
+    fn loopback_round_trip_into_collector() {
+        let server = IngestServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+        let layout = ReportLayout {
+            counters: 3,
+            layout_hash: 0xabc,
+        };
+
+        let client = std::thread::spawn(move || {
+            let mut sink = TransmitSink::connect(addr.to_string()).unwrap();
+            sink.begin(layout).unwrap();
+            for r in reports() {
+                sink.accept(r).unwrap();
+            }
+            sink.finish().unwrap();
+        });
+
+        let mut collector = Collector::default();
+        let summary = server.serve(1, Some(layout), &mut collector).unwrap();
+        client.join().unwrap();
+
+        assert_eq!(summary.connections, 1);
+        assert_eq!(summary.reports, 3);
+        assert!(summary.bytes > 0);
+        assert_eq!(collector.reports(), &reports()[..]);
+    }
+
+    #[test]
+    fn mismatched_layout_is_rejected_before_frames() {
+        let server = IngestServer::bind("127.0.0.1:0").unwrap();
+        let addr = server.local_addr().unwrap();
+
+        let client = std::thread::spawn(move || {
+            let mut sink = TransmitSink::connect(addr.to_string()).unwrap();
+            sink.begin(ReportLayout {
+                counters: 3,
+                layout_hash: 0xbad,
+            })
+            .unwrap();
+            for r in reports() {
+                sink.accept(r).unwrap();
+            }
+            // The server may reset the connection after rejecting the
+            // header; transmission errors past that point are expected.
+            let _ = sink.finish();
+        });
+
+        let mut collector = Collector::default();
+        let err = server
+            .serve(
+                1,
+                Some(ReportLayout {
+                    counters: 3,
+                    layout_hash: 0xabc,
+                }),
+                &mut collector,
+            )
+            .unwrap_err();
+        client.join().unwrap();
+        assert!(matches!(
+            err,
+            ServeError::Wire(WireError::LayoutHashMismatch { .. })
+        ));
+        assert!(collector.is_empty(), "no frame may land after rejection");
+    }
+}

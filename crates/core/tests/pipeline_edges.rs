@@ -55,9 +55,41 @@ fn regress_handles_single_class_gracefully() {
             cv: 10,
             ..RegressionConfig::default()
         },
-    );
+    )
+    .unwrap();
     assert_eq!(study.failure_rate, 0.0);
     assert!(study.test_accuracy > 0.99);
+}
+
+#[test]
+fn regress_reports_empty_campaign_as_typed_error() {
+    let result = campaign(HEALTHY, 0);
+    let err = cbi::regress(&result, &RegressionConfig::default()).unwrap_err();
+    assert_eq!(err, PipelineError::NoReports);
+    assert!(err.to_string().contains("no reports"));
+}
+
+#[test]
+fn regress_reports_oversized_split_as_typed_error() {
+    let result = campaign(HEALTHY, 10);
+    let err = cbi::regress(
+        &result,
+        &RegressionConfig {
+            train: 9,
+            cv: 5,
+            ..RegressionConfig::default()
+        },
+    )
+    .unwrap_err();
+    assert_eq!(
+        err,
+        PipelineError::SplitExceedsReports {
+            train: 9,
+            cv: 5,
+            total: 10
+        }
+    );
+    assert!(err.to_string().contains("exceed"));
 }
 
 #[test]
@@ -70,7 +102,8 @@ fn regression_study_rank_lookup_misses_cleanly() {
             cv: 8,
             ..RegressionConfig::default()
         },
-    );
+    )
+    .unwrap();
     assert!(study.rank_of("not a predicate").is_none());
     assert!(study.top(1000).len() <= study.ranked.len());
 }

@@ -204,6 +204,37 @@ impl SiteTable {
     pub fn sites_in_function(&self, function: &str) -> usize {
         self.sites.iter().filter(|s| s.function == function).count()
     }
+
+    /// A deterministic 64-bit fingerprint of the counter layout: every
+    /// site's kind, position, subject, and counter base, plus the total
+    /// counter count.  Two instrumented binaries share a hash exactly
+    /// when their reports are interchangeable, so the wire codec in
+    /// `cbi-reports` can reject mismatched report streams at the frame
+    /// boundary (FNV-1a; stable across processes and platforms).
+    pub fn layout_hash(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        fn eat(mut h: u64, bytes: &[u8]) -> u64 {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(PRIME);
+            }
+            h
+        }
+        let mut h = OFFSET;
+        h = eat(h, &(self.total_counters as u64).to_le_bytes());
+        for site in &self.sites {
+            h = eat(h, &[site.kind.arity() as u8]);
+            h = eat(h, site.kind.to_string().as_bytes());
+            h = eat(h, &(site.counter_base as u64).to_le_bytes());
+            h = eat(h, site.function.as_bytes());
+            h = eat(h, &site.span.line.to_le_bytes());
+            h = eat(h, &site.span.col.to_le_bytes());
+            h = eat(h, site.text.as_bytes());
+            h = eat(h, &[0xff]); // site separator
+        }
+        h
+    }
 }
 
 /// Recognizes an instrumentation-site statement: a bare call to one of the
@@ -337,6 +368,31 @@ mod tests {
         assert_eq!(SiteKind::Branch.arity(), 3);
         assert_eq!(SiteKind::ReturnSign.arity(), 3);
         assert_eq!(SiteKind::ScalarPair.arity(), 3);
+    }
+
+    #[test]
+    fn layout_hash_is_stable_and_discriminating() {
+        let mut a = SiteTable::new();
+        a.add("f", span(1), SiteKind::Assert, "x".into());
+        a.add("g", span(2), SiteKind::ReturnSign, "h()".into());
+
+        let mut b = SiteTable::new();
+        b.add("f", span(1), SiteKind::Assert, "x".into());
+        b.add("g", span(2), SiteKind::ReturnSign, "h()".into());
+        assert_eq!(a.layout_hash(), b.layout_hash(), "same layout, same hash");
+
+        // Any perturbation — site text, kind, position — changes the hash.
+        let mut c = SiteTable::new();
+        c.add("f", span(1), SiteKind::Assert, "y".into());
+        c.add("g", span(2), SiteKind::ReturnSign, "h()".into());
+        assert_ne!(a.layout_hash(), c.layout_hash());
+
+        let mut d = SiteTable::new();
+        d.add("f", span(1), SiteKind::Bounds, "x".into());
+        d.add("g", span(2), SiteKind::ReturnSign, "h()".into());
+        assert_ne!(a.layout_hash(), d.layout_hash());
+
+        assert_ne!(SiteTable::new().layout_hash(), a.layout_hash());
     }
 
     #[test]

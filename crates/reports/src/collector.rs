@@ -5,6 +5,8 @@
 //! collector must share a counter layout (the same instrumented binary).
 
 use crate::report::{Label, Report, ReportParseError};
+use crate::sink::{ReportLayout, ReportSink, SinkError};
+use crate::suffstats::SufficientStats;
 use std::error::Error;
 use std::fmt;
 use std::io::{BufRead, Write};
@@ -72,12 +74,18 @@ impl From<ReportParseError> for CollectError {
 }
 
 /// The central database of reports for one instrumented program.
+///
+/// Alongside the raw reports, the collector folds every arrival into an
+/// incrementally-updated [`SufficientStats`] accumulator, so analyses
+/// that only need per-counter aggregates (§3.2, §5) never rescan the
+/// report archive.
 #[derive(Debug, Clone, Default)]
 pub struct Collector {
     counters: usize,
     reports: Vec<Report>,
     successes: usize,
     failures: usize,
+    stats: SufficientStats,
 }
 
 impl Collector {
@@ -88,6 +96,7 @@ impl Collector {
             reports: Vec::new(),
             successes: 0,
             failures: 0,
+            stats: SufficientStats::new(counters),
         }
     }
 
@@ -108,8 +117,15 @@ impl Collector {
             Label::Success => self.successes += 1,
             Label::Failure => self.failures += 1,
         }
+        self.stats.update(&report);
         self.reports.push(report);
         Ok(())
+    }
+
+    /// The incrementally-maintained per-counter aggregates over every
+    /// report ingested so far.
+    pub fn stats(&self) -> &SufficientStats {
+        &self.stats
     }
 
     /// Number of counters per report.
@@ -232,6 +248,29 @@ impl Collector {
     }
 }
 
+impl ReportSink for Collector {
+    /// An empty collector adopts the announced layout; a non-empty one
+    /// requires it to match.
+    fn begin(&mut self, layout: ReportLayout) -> Result<(), SinkError> {
+        if self.is_empty() {
+            self.counters = layout.counters;
+            self.stats = SufficientStats::new(layout.counters);
+            Ok(())
+        } else if self.counters == layout.counters {
+            Ok(())
+        } else {
+            Err(SinkError::Collect(CollectError::LayoutMismatch {
+                expected: self.counters,
+                got: layout.counters,
+            }))
+        }
+    }
+
+    fn accept(&mut self, report: Report) -> Result<(), SinkError> {
+        self.add(report).map_err(SinkError::Collect)
+    }
+}
+
 impl Extend<Report> for Collector {
     /// Extends the collector, panicking on layout mismatches.
     ///
@@ -256,6 +295,46 @@ mod tests {
         c.add(Report::new(2, Label::Success, vec![0, 0, 0]))
             .unwrap();
         c
+    }
+
+    #[test]
+    fn incremental_stats_match_rescan() {
+        let c = sample();
+        let rescan: SufficientStats = c.reports().iter().cloned().collect();
+        assert_eq!(c.stats(), &rescan);
+        assert_eq!(c.stats().success_runs(), 2);
+        assert_eq!(c.stats().failure_runs(), 1);
+    }
+
+    #[test]
+    fn sink_begin_adopts_layout_when_empty() {
+        let mut c = Collector::default();
+        c.begin(ReportLayout {
+            counters: 2,
+            layout_hash: 0,
+        })
+        .unwrap();
+        c.accept(Report::new(0, Label::Success, vec![1, 0]))
+            .unwrap();
+        assert_eq!(c.counter_count(), 2);
+        assert_eq!(c.stats().counter_count(), 2);
+        // Non-empty: a different layout is rejected.
+        let err = c
+            .begin(ReportLayout {
+                counters: 3,
+                layout_hash: 0,
+            })
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SinkError::Collect(CollectError::LayoutMismatch { .. })
+        ));
+        // The matching layout is fine (stream continuation).
+        c.begin(ReportLayout {
+            counters: 2,
+            layout_hash: 9,
+        })
+        .unwrap();
     }
 
     #[test]

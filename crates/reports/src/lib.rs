@@ -6,6 +6,12 @@
 //! [`SufficientStats`] models the privacy-preserving alternative that folds
 //! each report into per-counter aggregates and discards the raw trace.
 //!
+//! Collection policy is abstracted behind [`ReportSink`]: the campaign
+//! driver emits into any sink — the in-memory [`Collector`], the
+//! spool-to-disk [`SpoolSink`], or the framed-socket [`TransmitSink`] —
+//! and the [`wire`] module defines the versioned, layout-hashed binary
+//! format those streams use on disk and on the network.
+//!
 //! # Example
 //!
 //! ```
@@ -26,8 +32,12 @@
 
 pub mod collector;
 pub mod report;
+pub mod sink;
 pub mod suffstats;
+pub mod wire;
 
 pub use collector::{CollectError, Collector};
 pub use report::{Label, Report, ReportParseError};
+pub use sink::{ReportLayout, ReportSink, SinkError, SpoolSink, TransmitSink, WireSink};
 pub use suffstats::SufficientStats;
+pub use wire::{StreamHeader, WireError, WireReader, WireWriter};

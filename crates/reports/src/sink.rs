@@ -1,0 +1,393 @@
+//! Where reports go: the [`ReportSink`] abstraction.
+//!
+//! The campaign driver produces one [`Report`] per run; *collection
+//! policy* — keep them in memory, spool them to disk, transmit them to a
+//! remote analysis server, or fold them into aggregates and discard them —
+//! is the sink's business, not the driver's.  A sink receives the counter
+//! layout once ([`ReportSink::begin`]), then reports in run-id order
+//! ([`ReportSink::accept`]), then a final flush ([`ReportSink::finish`]).
+//!
+//! In-tree implementations:
+//!
+//! * [`Collector`](crate::Collector) — the in-memory central database;
+//! * [`SpoolSink`] — length-prefixed binary frames to a file on disk;
+//! * [`TransmitSink`] — the same frames over a TCP socket to a
+//!   `cbi serve` ingest daemon;
+//! * `StreamingAnalyzer` (in the `cbi` crate) — sufficient statistics
+//!   plus an online trainer, retaining no raw reports at all.
+//!
+//! Sinks compose: `(&mut a, &mut b)` fans each report out to both, and
+//! `Option<S>` is a sink that may be absent.
+
+use crate::collector::CollectError;
+use crate::report::Report;
+use crate::wire::{WireError, WireWriter};
+use std::error::Error;
+use std::fmt;
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::path::Path;
+
+/// The counter layout a campaign announces to its sink before the first
+/// report: the report vector width plus the site-table fingerprint of the
+/// instrumented binary (see `SiteTable::layout_hash` in `cbi-instrument`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReportLayout {
+    /// Counters per report.
+    pub counters: usize,
+    /// Fingerprint of the producing site table.
+    pub layout_hash: u64,
+}
+
+/// Error from a report sink.
+#[derive(Debug)]
+pub enum SinkError {
+    /// A collection error (layout mismatch, ordering violation, I/O).
+    Collect(CollectError),
+    /// A wire-format error (encoding or transport).
+    Wire(WireError),
+    /// [`ReportSink::accept`] was called before [`ReportSink::begin`].
+    NotBegun,
+}
+
+impl fmt::Display for SinkError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SinkError::Collect(e) => write!(f, "sink collect error: {e}"),
+            SinkError::Wire(e) => write!(f, "sink wire error: {e}"),
+            SinkError::NotBegun => f.write_str("sink received a report before begin()"),
+        }
+    }
+}
+
+impl Error for SinkError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            SinkError::Collect(e) => Some(e),
+            SinkError::Wire(e) => Some(e),
+            SinkError::NotBegun => None,
+        }
+    }
+}
+
+impl From<CollectError> for SinkError {
+    fn from(e: CollectError) -> Self {
+        SinkError::Collect(e)
+    }
+}
+
+impl From<WireError> for SinkError {
+    fn from(e: WireError) -> Self {
+        SinkError::Wire(e)
+    }
+}
+
+/// A destination for a stream of reports sharing one counter layout.
+pub trait ReportSink {
+    /// Announces the layout before any report arrives.  Called exactly
+    /// once per stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinkError`] if the sink cannot accept this layout.
+    fn begin(&mut self, layout: ReportLayout) -> Result<(), SinkError>;
+
+    /// Delivers one report.  Reports arrive in strictly increasing
+    /// run-id order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinkError`] if the report cannot be ingested.
+    fn accept(&mut self, report: Report) -> Result<(), SinkError>;
+
+    /// Flushes any buffered state after the last report.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SinkError`] on flush failure.
+    fn finish(&mut self) -> Result<(), SinkError> {
+        Ok(())
+    }
+}
+
+impl<S: ReportSink + ?Sized> ReportSink for &mut S {
+    fn begin(&mut self, layout: ReportLayout) -> Result<(), SinkError> {
+        (**self).begin(layout)
+    }
+
+    fn accept(&mut self, report: Report) -> Result<(), SinkError> {
+        (**self).accept(report)
+    }
+
+    fn finish(&mut self) -> Result<(), SinkError> {
+        (**self).finish()
+    }
+}
+
+/// Fans each report out to both sinks (the report is cloned once).
+impl<A: ReportSink, B: ReportSink> ReportSink for (A, B) {
+    fn begin(&mut self, layout: ReportLayout) -> Result<(), SinkError> {
+        self.0.begin(layout)?;
+        self.1.begin(layout)
+    }
+
+    fn accept(&mut self, report: Report) -> Result<(), SinkError> {
+        self.0.accept(report.clone())?;
+        self.1.accept(report)
+    }
+
+    fn finish(&mut self) -> Result<(), SinkError> {
+        self.0.finish()?;
+        self.1.finish()
+    }
+}
+
+/// A sink that may be absent; `None` swallows everything.
+impl<S: ReportSink> ReportSink for Option<S> {
+    fn begin(&mut self, layout: ReportLayout) -> Result<(), SinkError> {
+        match self {
+            Some(s) => s.begin(layout),
+            None => Ok(()),
+        }
+    }
+
+    fn accept(&mut self, report: Report) -> Result<(), SinkError> {
+        match self {
+            Some(s) => s.accept(report),
+            None => Ok(()),
+        }
+    }
+
+    fn finish(&mut self) -> Result<(), SinkError> {
+        match self {
+            Some(s) => s.finish(),
+            None => Ok(()),
+        }
+    }
+}
+
+/// A sink that frames reports onto any writer with the binary wire
+/// codec.  The stream header is written at [`ReportSink::begin`], when
+/// the layout becomes known.
+#[derive(Debug)]
+pub struct WireSink<W: Write> {
+    pending: Option<W>,
+    writer: Option<WireWriter<W>>,
+}
+
+impl<W: Write> WireSink<W> {
+    /// Wraps a writer; nothing is written until `begin`.
+    pub fn new(w: W) -> Self {
+        WireSink {
+            pending: Some(w),
+            writer: None,
+        }
+    }
+
+    /// Reports framed so far.
+    pub fn reports_written(&self) -> u64 {
+        self.writer.as_ref().map_or(0, WireWriter::reports_written)
+    }
+
+    /// Bytes written so far, header included.
+    pub fn bytes_written(&self) -> u64 {
+        self.writer.as_ref().map_or(0, WireWriter::bytes_written)
+    }
+}
+
+impl<W: Write> ReportSink for WireSink<W> {
+    fn begin(&mut self, layout: ReportLayout) -> Result<(), SinkError> {
+        let w = self.pending.take().ok_or(SinkError::NotBegun)?;
+        self.writer = Some(WireWriter::new(w, layout.layout_hash, layout.counters)?);
+        Ok(())
+    }
+
+    fn accept(&mut self, report: Report) -> Result<(), SinkError> {
+        let w = self.writer.as_mut().ok_or(SinkError::NotBegun)?;
+        w.write_report(&report)?;
+        Ok(())
+    }
+
+    fn finish(&mut self) -> Result<(), SinkError> {
+        if let Some(w) = self.writer.as_mut() {
+            w.flush()?;
+        }
+        Ok(())
+    }
+}
+
+/// Spools reports to a file as binary wire frames — the durable
+/// intermediary between collection and analysis.
+#[derive(Debug)]
+pub struct SpoolSink {
+    inner: WireSink<BufWriter<File>>,
+}
+
+impl SpoolSink {
+    /// Creates (truncating) the spool file.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the file cannot be created.
+    pub fn create<P: AsRef<Path>>(path: P) -> std::io::Result<Self> {
+        let file = File::create(path)?;
+        Ok(SpoolSink {
+            inner: WireSink::new(BufWriter::new(file)),
+        })
+    }
+
+    /// Reports spooled so far.
+    pub fn reports_written(&self) -> u64 {
+        self.inner.reports_written()
+    }
+
+    /// Bytes spooled so far, header included.
+    pub fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+}
+
+impl ReportSink for SpoolSink {
+    fn begin(&mut self, layout: ReportLayout) -> Result<(), SinkError> {
+        self.inner.begin(layout)
+    }
+
+    fn accept(&mut self, report: Report) -> Result<(), SinkError> {
+        self.inner.accept(report)
+    }
+
+    fn finish(&mut self) -> Result<(), SinkError> {
+        self.inner.finish()
+    }
+}
+
+/// Transmits reports over a TCP connection as binary wire frames — the
+/// client half of the remote-collection loop.  Connect before the
+/// campaign; `finish` flushes and half-closes the socket so the server
+/// sees a clean end of stream.
+#[derive(Debug)]
+pub struct TransmitSink {
+    stream: TcpStream,
+    inner: WireSink<BufWriter<TcpStream>>,
+}
+
+impl TransmitSink {
+    /// Connects to an ingest server (typically `cbi serve` on loopback).
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying I/O error if the connection fails.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let writer = stream.try_clone()?;
+        Ok(TransmitSink {
+            stream,
+            inner: WireSink::new(BufWriter::new(writer)),
+        })
+    }
+
+    /// Reports transmitted so far.
+    pub fn reports_written(&self) -> u64 {
+        self.inner.reports_written()
+    }
+
+    /// Bytes transmitted so far, header included.
+    pub fn bytes_written(&self) -> u64 {
+        self.inner.bytes_written()
+    }
+}
+
+impl ReportSink for TransmitSink {
+    fn begin(&mut self, layout: ReportLayout) -> Result<(), SinkError> {
+        self.inner.begin(layout)
+    }
+
+    fn accept(&mut self, report: Report) -> Result<(), SinkError> {
+        self.inner.accept(report)
+    }
+
+    fn finish(&mut self) -> Result<(), SinkError> {
+        self.inner.finish()?;
+        // Half-close: the server's reader sees EOF at a frame boundary.
+        self.stream.shutdown(Shutdown::Write).ok();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::Label;
+    use crate::wire::read_collector;
+    use crate::Collector;
+
+    fn layout() -> ReportLayout {
+        ReportLayout {
+            counters: 2,
+            layout_hash: 77,
+        }
+    }
+
+    fn feed<S: ReportSink>(sink: &mut S) {
+        sink.begin(layout()).unwrap();
+        sink.accept(Report::new(0, Label::Success, vec![1, 0]))
+            .unwrap();
+        sink.accept(Report::new(1, Label::Failure, vec![0, 2]))
+            .unwrap();
+        sink.finish().unwrap();
+    }
+
+    #[test]
+    fn wire_sink_frames_reports() {
+        let mut sink = WireSink::new(Vec::new());
+        feed(&mut sink);
+        assert_eq!(sink.reports_written(), 2);
+        let bytes = sink.writer.unwrap().into_inner().unwrap();
+        let (c, header) = read_collector(bytes.as_slice()).unwrap();
+        assert_eq!(header.layout_hash, 77);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.failure_count(), 1);
+    }
+
+    #[test]
+    fn accept_before_begin_is_typed() {
+        let mut sink = WireSink::new(Vec::new());
+        let err = sink
+            .accept(Report::new(0, Label::Success, vec![]))
+            .unwrap_err();
+        assert!(matches!(err, SinkError::NotBegun));
+        assert!(err.to_string().contains("begin"));
+    }
+
+    #[test]
+    fn pair_sink_fans_out() {
+        let mut pair = (Collector::default(), WireSink::new(Vec::new()));
+        feed(&mut pair);
+        assert_eq!(pair.0.len(), 2);
+        assert_eq!(pair.1.reports_written(), 2);
+    }
+
+    #[test]
+    fn option_sink_swallows_when_absent() {
+        let mut none: Option<Collector> = None;
+        feed(&mut none);
+        let mut some = Some(Collector::default());
+        feed(&mut some);
+        assert_eq!(some.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn spool_sink_round_trips_through_disk() {
+        let path = std::env::temp_dir().join("cbi-spool-sink-test.cbr");
+        let mut sink = SpoolSink::create(&path).unwrap();
+        feed(&mut sink);
+        assert!(sink.bytes_written() > 0);
+        let file = File::open(&path).unwrap();
+        let (c, header) = read_collector(std::io::BufReader::new(file)).unwrap();
+        assert_eq!(header.counters, 2);
+        assert_eq!(c.len(), 2);
+        std::fs::remove_file(&path).ok();
+    }
+}

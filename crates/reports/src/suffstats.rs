@@ -66,7 +66,10 @@ impl SufficientStats {
             if c > 0 {
                 nonzero[i] += 1;
             }
-            sum[i] += c;
+            // The elimination strategies only consult the nonzero-run
+            // counts; the totals saturate rather than poison an entire
+            // campaign over one absurd counter.
+            sum[i] = sum[i].saturating_add(c);
         }
         match report.label {
             Label::Success => self.successes += 1,
@@ -123,8 +126,8 @@ impl SufficientStats {
         for i in 0..self.counter_count() {
             self.nonzero_in_success[i] += other.nonzero_in_success[i];
             self.nonzero_in_failure[i] += other.nonzero_in_failure[i];
-            self.sum_success[i] += other.sum_success[i];
-            self.sum_failure[i] += other.sum_failure[i];
+            self.sum_success[i] = self.sum_success[i].saturating_add(other.sum_success[i]);
+            self.sum_failure[i] = self.sum_failure[i].saturating_add(other.sum_failure[i]);
         }
         self.successes += other.successes;
         self.failures += other.failures;

@@ -1,5 +1,5 @@
-//! Campaign driver: instrument once, run many randomized trials, collect
-//! reports — the client half of the deployment loop of §1.
+//! Campaign driver: instrument once, run many randomized trials, emit
+//! reports into a sink — the client half of the deployment loop of §1.
 //!
 //! The driver is built for throughput (§2.5 contemplates millions of
 //! runs): the program is lowered to slot form once and shared by every
@@ -7,9 +7,15 @@
 //! reseeds one countdown bank instead of allocating a fresh one per run,
 //! and trials shard across `jobs` scoped threads.  Because trial `i` is
 //! fully determined by `(program, trials[i], seed + i)`, workers fill
-//! private [`Collector`]s over contiguous trial ranges and the driver
-//! merges them in run-id order — the result is bit-identical to serial
-//! execution at any job count.
+//! private report buffers over contiguous trial ranges and the driver
+//! drains them in run-id order — the emitted sequence is bit-identical
+//! to serial execution at any job count.
+//!
+//! Collection policy is a parameter: [`run_campaign_into`] feeds any
+//! [`ReportSink`] — an in-memory [`Collector`], a spool file, a live
+//! socket, or a streaming analyzer.  With `jobs <= 1` each report goes
+//! straight from the VM into the sink with no intermediate buffering, so
+//! memory use is bounded by the sink, not the trial count.
 
 use crate::WorkloadError;
 use cbi_instrument::{
@@ -17,7 +23,7 @@ use cbi_instrument::{
 };
 use cbi_minic::slots::SlotProgram;
 use cbi_minic::Program;
-use cbi_reports::{Collector, Label, Report};
+use cbi_reports::{Collector, Label, Report, ReportLayout, ReportSink};
 use cbi_sampler::{CountdownBank, SamplingDensity};
 use cbi_telemetry as telemetry;
 use cbi_vm::{RunOutcome, Vm};
@@ -97,12 +103,37 @@ impl CampaignResult {
     }
 }
 
+/// The outcome of a campaign emitted into an external sink: everything
+/// [`CampaignResult`] records except the reports themselves, which went
+/// wherever the sink sent them.
+#[derive(Debug)]
+pub struct CampaignRun {
+    /// The instrumented program and its site table.
+    pub instrumented: Instrumented,
+    /// Runs dropped because they exhausted the operation budget.
+    pub dropped: usize,
+    /// Reports accepted by the sink.
+    pub emitted: usize,
+}
+
+impl CampaignRun {
+    /// Site `(counter_base, arity)` groups, as the elimination strategies
+    /// expect them.
+    pub fn site_groups(&self) -> Vec<(usize, usize)> {
+        self.instrumented
+            .sites
+            .iter()
+            .map(|s| (s.counter_base, s.kind.arity()))
+            .collect()
+    }
+}
+
 /// Instruments `program` with `config.scheme`, transforms it (when a
-/// density is given), runs every trial, and collects one report per run.
+/// density is given), runs every trial, and collects one report per run
+/// into an in-memory [`Collector`].
 ///
-/// Trials shard over `config.jobs` scoped worker threads; results are
-/// bit-identical to serial execution at any job count (see the module
-/// docs).
+/// Equivalent to [`run_campaign_into`] with a `Collector` sink; see that
+/// function for the sharding and ordering contract.
 ///
 /// # Errors
 ///
@@ -113,6 +144,40 @@ pub fn run_campaign(
     trials: &[Vec<i64>],
     config: &CampaignConfig,
 ) -> Result<CampaignResult, WorkloadError> {
+    // Layout is adopted from the sink's `begin`, so the counter width
+    // here is provisional and overwritten before the first report.
+    let mut collector = Collector::new(0);
+    let run = run_campaign_into(program, trials, config, &mut collector)?;
+    Ok(CampaignResult {
+        instrumented: run.instrumented,
+        collector,
+        dropped: run.dropped,
+    })
+}
+
+/// Instruments `program` with `config.scheme`, transforms it (when a
+/// density is given), runs every trial, and emits one report per run
+/// into `sink`.
+///
+/// The sink's [`begin`](ReportSink::begin) is called with the site
+/// table's layout (counter count and layout hash) before any report, and
+/// [`finish`](ReportSink::finish) after the last one.  Trials shard over
+/// `config.jobs` scoped worker threads; the report sequence the sink
+/// observes is bit-identical to serial execution at any job count (see
+/// the module docs).  With `jobs <= 1` reports flow straight from the VM
+/// into the sink, one at a time, with no intermediate buffering.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError`] if instrumentation, transformation, or VM
+/// configuration fails, or if the sink rejects a report (I/O failure,
+/// layout mismatch).  Individual run crashes are data, not errors.
+pub fn run_campaign_into<S: ReportSink>(
+    program: &Program,
+    trials: &[Vec<i64>],
+    config: &CampaignConfig,
+    sink: &mut S,
+) -> Result<CampaignRun, WorkloadError> {
     let instrumented =
         telemetry::time("campaign.instrument", || instrument(program, config.scheme))?;
     let executable: Cow<'_, Program> = match config.density {
@@ -126,27 +191,25 @@ pub fn run_campaign(
     };
     // Lower once; every trial indexes the shared slot program.
     let slots = telemetry::time("campaign.lower", || cbi_minic::lower(&executable));
-    let total_counters = instrumented.sites.total_counters();
+
+    sink.begin(ReportLayout {
+        counters: instrumented.sites.total_counters(),
+        layout_hash: instrumented.sites.layout_hash(),
+    })?;
 
     let jobs = config.jobs.clamp(1, trials.len().max(1));
-    let mut collector = Collector::new(total_counters);
     let mut dropped = 0;
+    let mut emitted = 0usize;
 
     if jobs <= 1 {
         let _execute = telemetry::span("campaign.execute");
-        let shard = run_shard(
-            &slots,
-            &instrumented.sites,
-            trials,
-            0,
-            total_counters,
-            config,
-        )?;
-        collector = shard.0;
-        dropped = shard.1;
+        dropped = run_shard(&slots, &instrumented.sites, trials, 0, config, &mut |r| {
+            emitted += 1;
+            sink.accept(r).map_err(WorkloadError::from)
+        })?;
     } else {
         let chunk = trials.len().div_ceil(jobs);
-        let shards: Vec<Result<(Collector, usize), WorkloadError>> = {
+        let shards: Vec<Result<(Vec<Report>, usize), WorkloadError>> = {
             let _execute = telemetry::span("campaign.execute");
             let tm_on = telemetry::enabled();
             std::thread::scope(|s| {
@@ -170,7 +233,13 @@ pub fn run_campaign(
                                 );
                             }
                             let _shard_span = telemetry::span("campaign.shard");
-                            run_shard(slots, sites, shard, w * chunk, total_counters, config)
+                            let mut reports = Vec::with_capacity(shard.len());
+                            let dropped =
+                                run_shard(slots, sites, shard, w * chunk, config, &mut |r| {
+                                    reports.push(r);
+                                    Ok(())
+                                })?;
+                            Ok((reports, dropped))
                         })
                     })
                     .collect();
@@ -180,33 +249,37 @@ pub fn run_campaign(
                     .collect()
             })
         };
-        // Shards cover contiguous, increasing trial ranges, so an ordered
-        // merge reproduces the serial report sequence exactly.
+        // Shards cover contiguous, increasing trial ranges, so draining
+        // them in order reproduces the serial report sequence exactly.
         let _merge = telemetry::span("campaign.merge");
         for shard in shards {
-            let (c, d) = shard?;
-            collector.merge(c).expect("shards merge in run-id order");
+            let (reports, d) = shard?;
+            for report in reports {
+                emitted += 1;
+                sink.accept(report)?;
+            }
             dropped += d;
         }
     }
 
-    Ok(CampaignResult {
+    sink.finish()?;
+    Ok(CampaignRun {
         instrumented,
-        collector,
         dropped,
+        emitted,
     })
 }
 
-/// Runs trials `base..base + shard.len()` into a private collector.
+/// Runs trials `base..base + shard.len()`, passing each surviving report
+/// to `emit` in run-id order; returns the dropped-run count.
 fn run_shard(
     slots: &SlotProgram,
     sites: &SiteTable,
     shard: &[Vec<i64>],
     base: usize,
-    total_counters: usize,
     config: &CampaignConfig,
-) -> Result<(Collector, usize), WorkloadError> {
-    let mut collector = Collector::new(total_counters);
+    emit: &mut dyn FnMut(Report) -> Result<(), WorkloadError>,
+) -> Result<usize, WorkloadError> {
     let mut dropped = 0;
     // One bank per worker, reseeded per trial: `reseed(d, seed + i)` draws
     // the same countdowns `generate(d, n, seed + i)` would, without the
@@ -237,15 +310,13 @@ fn run_shard(
                 continue;
             }
         };
-        collector
-            .add(Report::new(i as u64, label, result.counters))
-            .expect("campaign reports share one layout");
+        emit(Report::new(i as u64, label, result.counters))?;
     }
     // Attributed to the calling thread's worker label, so the per-worker
     // breakdown shows how trials and drops spread across the shards.
     telemetry::count("campaign.trials", shard.len() as u64);
     telemetry::count("campaign.dropped", dropped as u64);
-    Ok((collector, dropped))
+    Ok(dropped)
 }
 
 #[cfg(test)]

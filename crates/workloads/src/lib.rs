@@ -29,7 +29,7 @@ pub use benchmarks::{
     all_benchmarks, bc_program, benchmark, ccrypt_program, Benchmark, BC_SOURCE, BENCHMARK_SOURCES,
     CCRYPT_SOURCE,
 };
-pub use campaign::{run_campaign, CampaignConfig, CampaignResult};
+pub use campaign::{run_campaign, run_campaign_into, CampaignConfig, CampaignResult, CampaignRun};
 pub use ccrypt::{ccrypt_trial, ccrypt_trials, CcryptTrialConfig};
 pub use overhead::{
     measure_overhead, measure_overhead_instrumented, OverheadConfig, OverheadMeasurement,
@@ -85,6 +85,15 @@ impl From<cbi_vm::VmError> for WorkloadError {
     fn from(e: cbi_vm::VmError) -> Self {
         WorkloadError {
             message: e.to_string(),
+            source: Some(Box::new(e)),
+        }
+    }
+}
+
+impl From<cbi_reports::SinkError> for WorkloadError {
+    fn from(e: cbi_reports::SinkError) -> Self {
+        WorkloadError {
+            message: format!("report sink: {e}"),
             source: Some(Box::new(e)),
         }
     }

@@ -22,7 +22,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         100.0 * result.collector.failure_count() as f64 / result.collector.len() as f64
     );
 
-    let study = cbi::regress(&result, &RegressionConfig::paper_proportions(4390));
+    let study = cbi::regress(&result, &RegressionConfig::paper_proportions(4390))
+        .expect("campaign yields reports");
     println!(
         "trained on {} effective features; lambda = {} by cross-validation; \
          test accuracy {:.2}",

@@ -1,0 +1,68 @@
+#!/usr/bin/env bash
+# Loopback remote-collection smoke test.
+#
+# Starts `cbi serve` on an ephemeral port, runs a sampled campaign that
+# transmits its reports over TCP while also archiving them locally, then
+# checks that the server-side analyses (streaming elimination + batch
+# regression) match the in-process `cbi analyze` of the local archive
+# line for line, and that the binary spool replays to the same result.
+#
+# Usage: scripts/loopback_smoke.sh [path-to-cbi-binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CBI="${1:-target/release/cbi}"
+PROG=examples/profile_demo.mc
+INPUTS=examples/profile_demo_inputs.txt
+OUT="${SMOKE_OUT:-smoke-artifacts}"
+mkdir -p "$OUT"
+
+# The server exits after one connection; stdout carries the bound
+# address followed by the analysis results.
+"$CBI" serve "$PROG" --scheme returns --addr 127.0.0.1:0 --max-conns 1 \
+  --mode both --spool "$OUT/reports.cbr" \
+  >"$OUT/serve.txt" 2>"$OUT/serve.log" &
+SERVER=$!
+
+ADDR=""
+for _ in $(seq 1 100); do
+  ADDR=$(sed -n 's/^listening on //p' "$OUT/serve.txt" 2>/dev/null || true)
+  [ -n "$ADDR" ] && break
+  sleep 0.1
+done
+if [ -z "$ADDR" ]; then
+  echo "FAIL: server never reported a bound address" >&2
+  cat "$OUT/serve.log" >&2 || true
+  kill "$SERVER" 2>/dev/null || true
+  exit 1
+fi
+echo "server listening on $ADDR"
+
+# Sampled campaign: transmit over loopback, archive locally as JSONL.
+"$CBI" campaign "$PROG" "$INPUTS" --scheme returns --density 10 --jobs 4 \
+  --transmit "$ADDR" --out "$OUT/reports.jsonl"
+
+wait "$SERVER"
+
+# Split the server transcript into its elimination and regression blocks.
+sed -n '/^universal falsehood:/,/^lambda /p' "$OUT/serve.txt" | sed '$d' \
+  >"$OUT/serve_elim.txt"
+sed -n '/^lambda /,$p' "$OUT/serve.txt" >"$OUT/serve_regress.txt"
+
+# In-process analyses of the locally archived reports.
+"$CBI" analyze "$OUT/reports.jsonl" "$PROG" --scheme returns \
+  --mode eliminate >"$OUT/local_elim.txt"
+"$CBI" analyze "$OUT/reports.jsonl" "$PROG" --scheme returns \
+  --mode regress >"$OUT/local_regress.txt"
+# The binary spool the server kept must replay to the same survivors.
+"$CBI" analyze "$OUT/reports.cbr" "$PROG" --scheme returns \
+  --mode eliminate >"$OUT/spool_elim.txt"
+
+echo "--- elimination (server vs in-process) ---"
+diff -u "$OUT/serve_elim.txt" "$OUT/local_elim.txt"
+echo "--- elimination (spool replay vs in-process) ---"
+diff -u "$OUT/spool_elim.txt" "$OUT/local_elim.txt"
+echo "--- regression (server vs in-process) ---"
+diff -u "$OUT/serve_regress.txt" "$OUT/local_regress.txt"
+
+echo "PASS: remote and in-process analyses agree"

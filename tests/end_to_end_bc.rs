@@ -24,7 +24,7 @@ fn crash_rate_is_roughly_one_in_four() {
 #[test]
 fn regression_points_at_the_buggy_zeroing_loop() {
     let result = campaign(1500, 106, SamplingDensity::one_in(20));
-    let study = cbi::regress(&result, &RegressionConfig::paper_proportions(1500));
+    let study = cbi::regress(&result, &RegressionConfig::paper_proportions(1500)).unwrap();
 
     // The top-ranked predicates must implicate `indx` inside more_arrays.
     let top = study.top(3);
@@ -49,7 +49,7 @@ fn smoking_gun_is_present_but_not_first() {
     // §3.3.3: `indx > a_count` corresponds to a sampled predicate but was
     // ranked 240th, behind the redundant cluster.
     let result = campaign(1500, 106, SamplingDensity::one_in(20));
-    let study = cbi::regress(&result, &RegressionConfig::paper_proportions(1500));
+    let study = cbi::regress(&result, &RegressionConfig::paper_proportions(1500)).unwrap();
     let rank = study
         .rank_of("indx > a_count")
         .expect("smoking gun must be a sampled feature");

@@ -1,0 +1,113 @@
+//! Engine reference gate: the slot-resolved VM must be byte-identical to
+//! the name-map reference interpreter over the whole in-tree corpus —
+//! the `examples/` programs plus every workload analogue — across all
+//! four observation schemes, both unconditional and sampled, with trace
+//! capture on.  Full [`RunResult`] equality: outcome, op count, counter
+//! vector, program output, and the bounded observation trace.
+
+use cbi::prelude::*;
+use cbi::workloads::{BC_SOURCE, BENCHMARK_SOURCES, CCRYPT_SOURCE};
+use cbi_vm::Engine;
+
+const SCHEMES: [Scheme; 4] = [
+    Scheme::Checks,
+    Scheme::Returns,
+    Scheme::ScalarPairs,
+    Scheme::Branches,
+];
+
+/// Every MiniC source the repository ships, by name.
+fn corpus() -> Vec<(String, String)> {
+    let mut sources = Vec::new();
+    let examples = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples");
+    let mut entries: Vec<_> = std::fs::read_dir(&examples)
+        .expect("examples directory")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "mc"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "examples corpus must not be empty");
+    for path in entries {
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        let src = std::fs::read_to_string(&path).expect("read example");
+        sources.push((name, src));
+    }
+    for (name, src) in BENCHMARK_SOURCES {
+        sources.push((format!("bench/{name}"), (*src).to_string()));
+    }
+    sources.push(("ccrypt".into(), CCRYPT_SOURCE.to_string()));
+    sources.push(("bc".into(), BC_SOURCE.to_string()));
+    sources
+}
+
+/// Runs `program` under both engines with identical configuration and
+/// asserts full result equality.  Crashes are fine — both engines must
+/// crash identically.
+fn assert_engines_agree(label: &str, program: &Program, sites: &SiteTable, sampled: bool) {
+    let input = [5i64, 3, 7, 2, 9, 1, 4, 8, 6, 10];
+    let slots = cbi::minic::lower(program);
+
+    let mut reference = Vm::new(program);
+    reference
+        .with_engine(Engine::NameMap)
+        .with_sites(sites)
+        .with_input(&input[..])
+        .with_trace(16);
+    let mut fast = Vm::from_slots(&slots);
+    fast.with_sites(sites).with_input(&input[..]).with_trace(16);
+    if sampled {
+        reference.with_sampling(Box::new(Geometric::new(SamplingDensity::one_in(3), 0xabc)));
+        fast.with_sampling(Box::new(Geometric::new(SamplingDensity::one_in(3), 0xabc)));
+    }
+
+    let r = reference.run().expect("vm config");
+    let f = fast.run().expect("vm config");
+    assert_eq!(r, f, "{label}: engines diverged");
+}
+
+#[test]
+fn slot_engine_matches_reference_across_corpus_and_schemes() {
+    for (name, src) in corpus() {
+        let program = parse(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        for scheme in SCHEMES {
+            let inst = instrument(&program, scheme).expect("instrument");
+            assert_engines_agree(
+                &format!("{name} {scheme:?} unconditional"),
+                &inst.program,
+                &inst.sites,
+                false,
+            );
+            let (transformed, _) =
+                apply_sampling(&inst.program, &TransformOptions::default()).expect("transform");
+            assert_engines_agree(
+                &format!("{name} {scheme:?} sampled"),
+                &transformed,
+                &inst.sites,
+                true,
+            );
+        }
+    }
+}
+
+#[test]
+fn engines_agree_on_empty_input() {
+    // The no-input path exercises `has_input() == 0` branches (the ccrypt
+    // EOF crash among them); both engines must take them identically.
+    for (name, src) in corpus() {
+        let program = parse(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let inst = instrument(&program, Scheme::Returns).expect("instrument");
+        let slots = cbi::minic::lower(&inst.program);
+        let r = Vm::new(&inst.program)
+            .with_engine(Engine::NameMap)
+            .with_sites(&inst.sites)
+            .with_trace(16)
+            .run()
+            .expect("vm config");
+        let f = Vm::from_slots(&slots)
+            .with_sites(&inst.sites)
+            .with_trace(16)
+            .run()
+            .expect("vm config");
+        assert_eq!(r, f, "{name}: engines diverged on empty input");
+    }
+}
