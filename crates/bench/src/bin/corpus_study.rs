@@ -1,0 +1,147 @@
+//! Corpus study — isolation quality against planted ground truth.
+//!
+//! The paper evaluates its analyses on programs whose bugs are known in
+//! advance (ccrypt's EOF crash, bc's array overrun).  This study scales
+//! that idea: a seeded fault injector plants one labeled bug per program,
+//! a campaign runs per corpus entry at each sampling density, and the
+//! scores say how often the *true* predicate survives §3.2 elimination
+//! and where it lands in the §3.3 regression ordering — survival rate,
+//! mean rank, recall@k, and Doric-style wasted effort (rank / counters).
+//!
+//! Usage: `corpus_study [size] [seed] [trials]` (defaults 100 / 0xc0de /
+//! 48); sweeps densities 1, 1/10, 1/100, 1/1000.  Writes
+//! `BENCH_corpus.json` at the repository root.
+
+use cbi_corpus::{evaluate, generate_corpus, EvalConfig, GenerateConfig};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+const DENSITIES: [u64; 4] = [1, 10, 100, 1000];
+const JOBS: usize = 8;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let size: usize = args
+        .next()
+        .map(|a| a.parse().expect("size must be a number"))
+        .unwrap_or(100);
+    let seed: u64 = args
+        .next()
+        .map(|a| a.parse().expect("seed must be a number"))
+        .unwrap_or(0xc0de);
+    let trials: usize = args
+        .next()
+        .map(|a| a.parse().expect("trials must be a number"))
+        .unwrap_or(48);
+
+    let start = Instant::now();
+    let corpus = generate_corpus(&GenerateConfig { size, seed, trials }).expect("generate corpus");
+    let generation = start.elapsed();
+    for note in &corpus.log {
+        eprintln!("note: {note}");
+    }
+
+    let deterministic = corpus
+        .entries
+        .iter()
+        .filter(|e| e.bug.deterministic)
+        .count();
+    println!("== corpus isolation quality (planted ground truth) ==");
+    println!(
+        "entries: {} ({} deterministic, {} conditional), {} trials each, seed {seed:#x}",
+        corpus.entries.len(),
+        deterministic,
+        corpus.entries.len() - deterministic,
+        trials,
+    );
+
+    let start = Instant::now();
+    let report = evaluate(
+        &corpus.entries,
+        &EvalConfig {
+            densities: DENSITIES.to_vec(),
+            jobs: JOBS,
+        },
+    )
+    .expect("evaluate corpus");
+    let evaluation = start.elapsed();
+    println!(
+        "generation {:.2}s, evaluation {:.2}s ({} campaigns, jobs {JOBS})",
+        generation.as_secs_f64(),
+        evaluation.as_secs_f64(),
+        report.scores.len(),
+    );
+
+    // Operator × density → survival rate / mean rank, operators in
+    // first-seen manifest order.
+    let mut op_order: Vec<String> = Vec::new();
+    let mut cells: BTreeMap<(usize, u64), (usize, usize, usize)> = BTreeMap::new();
+    for s in &report.scores {
+        let op = match op_order.iter().position(|o| o == &s.operator) {
+            Some(i) => i,
+            None => {
+                op_order.push(s.operator.clone());
+                op_order.len() - 1
+            }
+        };
+        let cell = cells.entry((op, s.density)).or_insert((0, 0, 0));
+        cell.0 += 1;
+        cell.1 += usize::from(s.survived);
+        cell.2 += s.rank;
+    }
+    println!();
+    println!("operator x density -> survival rate / mean rank");
+    print!("{:<24}", "operator");
+    for d in DENSITIES {
+        print!("  {:>13}", format!("1/{d}"));
+    }
+    println!();
+    for (i, op) in op_order.iter().enumerate() {
+        print!("{op:<24}");
+        for d in DENSITIES {
+            let (n, surv, rank_sum) = cells[&(i, d)];
+            print!(
+                "  {:>13}",
+                format!(
+                    "{:.2} / {:.1}",
+                    surv as f64 / n as f64,
+                    rank_sum as f64 / n as f64
+                )
+            );
+        }
+        println!();
+    }
+
+    // Per-density aggregates across all operators.
+    println!();
+    println!("density   survival   mean-rank   recall@5   wasted-effort");
+    let mut density_rows = Vec::new();
+    for d in DENSITIES {
+        let scores: Vec<_> = report.scores.iter().filter(|s| s.density == d).collect();
+        let n = scores.len() as f64;
+        let survival = scores.iter().filter(|s| s.survived).count() as f64 / n;
+        let mean_rank = scores.iter().map(|s| s.rank as f64).sum::<f64>() / n;
+        let recall5 = scores.iter().filter(|s| s.rank < 5).count() as f64 / n;
+        let wasted = scores
+            .iter()
+            .map(|s| s.rank as f64 / s.counters as f64)
+            .sum::<f64>()
+            / n;
+        println!("1/{d:<7} {survival:>8.2} {mean_rank:>11.2} {recall5:>10.2} {wasted:>15.3}");
+        density_rows.push(format!(
+            "    {{\"density\": \"1/{d}\", \"survival_rate\": {survival:.4}, \"mean_rank\": {mean_rank:.3}, \"recall_at_5\": {recall5:.4}, \"wasted_effort\": {wasted:.4}}}"
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"corpus\",\n  \"entries\": {},\n  \"deterministic\": {deterministic},\n  \"seed\": {seed},\n  \"trials\": {trials},\n  \"jobs\": {JOBS},\n  \"generation_seconds\": {:.6},\n  \"evaluation_seconds\": {:.6},\n  \"densities\": [\n{}\n  ]\n}}\n",
+        corpus.entries.len(),
+        generation.as_secs_f64(),
+        evaluation.as_secs_f64(),
+        density_rows.join(",\n"),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_corpus.json");
+    std::fs::write(out, json).expect("write BENCH_corpus.json");
+    println!();
+    println!("wrote {out}");
+}

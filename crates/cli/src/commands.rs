@@ -28,6 +28,9 @@ usage:
                  [--mode eliminate|regress|both] [--spool reports.cbr]
                  [--metrics] [--metrics-out metrics.jsonl]
   cbi transmit   <reports.jsonl|.cbr> --to HOST:PORT [<file.mc>] [--scheme S]
+  cbi corpus     generate <dir> [--size N] [--seed N] [--trials N]
+  cbi corpus     evaluate <dir> [--densities 1,10,100,1000] [--jobs N]
+                 [--out report.txt] [--summary-out summary.txt]
 
   --jobs N shards campaign trials over N worker threads (reports are
   bit-identical at any job count).  --metrics prints a telemetry summary,
@@ -41,7 +44,15 @@ usage:
   `cbi campaign --transmit ADDR` streams reports to such a server in the
   compact binary wire format; `--spool FILE` writes the same frames to
   disk; `cbi transmit` replays a saved JSONL or spool file to a server.
-  `cbi analyze` accepts both JSONL and binary spool files.";
+  `cbi analyze` accepts both JSONL and binary spool files.
+
+  Ground-truth corpus: `cbi corpus generate` plants one labeled bug per
+  program into seeded testgen programs and the ccrypt/bc workloads,
+  validating each by an instrumented campaign, and writes
+  <dir>/manifest.jsonl plus <dir>/programs/.  `cbi corpus evaluate`
+  replays a campaign per entry across the density sweep, scoring
+  elimination survival, regression rank, recall@k, and wasted effort
+  against the manifest; output is byte-identical at any --jobs value.";
 
 /// Valueless boolean switches accepted by the subcommands.
 const SWITCHES: &[&str] = &["global-countdown", "no-regions", "metrics"];
@@ -62,6 +73,7 @@ pub fn dispatch(raw: Vec<String>) -> Result<(), String> {
         Some("analyze") => cmd_analyze(&args),
         Some("serve") => cmd_serve(&args),
         Some("transmit") => cmd_transmit(&args),
+        Some("corpus") => cmd_corpus(&args),
         Some(other) => Err(format!("unknown subcommand `{other}`")),
         None => Err("missing subcommand".to_string()),
     }
@@ -713,6 +725,92 @@ fn cmd_transmit(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_corpus(args: &Args) -> Result<(), String> {
+    match args.positional(1) {
+        Some("generate") => cmd_corpus_generate(args),
+        Some("evaluate") => cmd_corpus_evaluate(args),
+        Some(other) => Err(format!(
+            "unknown corpus action `{other}` (expected generate or evaluate)"
+        )),
+        None => Err("missing corpus action (expected generate or evaluate)".to_string()),
+    }
+}
+
+fn corpus_dir(args: &Args) -> Result<&str, String> {
+    args.positional(2)
+        .ok_or_else(|| "missing corpus directory argument".to_string())
+}
+
+fn cmd_corpus_generate(args: &Args) -> Result<(), String> {
+    let dir = corpus_dir(args)?;
+    let config = cbi_corpus::GenerateConfig {
+        size: args.flag_or("size", 100usize)?,
+        seed: args.flag_or("seed", 0xc0deu64)?,
+        trials: args.flag_or("trials", 48usize)?,
+    };
+    if config.size == 0 || config.trials == 0 {
+        return Err("--size and --trials must be positive".to_string());
+    }
+    let corpus = cbi_corpus::generate_corpus(&config).map_err(|e| e.to_string())?;
+    for note in &corpus.log {
+        eprintln!("note: {note}");
+    }
+    cbi_corpus::write_corpus(std::path::Path::new(dir), &corpus).map_err(|e| e.to_string())?;
+    let dets = corpus
+        .entries
+        .iter()
+        .filter(|e| e.bug.deterministic)
+        .count();
+    println!(
+        "{} entries written to {dir} ({} deterministic, {} input-conditioned or sampling-dependent)",
+        corpus.entries.len(),
+        dets,
+        corpus.entries.len() - dets
+    );
+    Ok(())
+}
+
+fn cmd_corpus_evaluate(args: &Args) -> Result<(), String> {
+    let dir = corpus_dir(args)?;
+    let densities: Vec<u64> = args
+        .flag("densities")
+        .unwrap_or("1,10,100,1000")
+        .split(',')
+        .map(|t| {
+            let t = t.trim();
+            t.parse::<u64>()
+                .ok()
+                .filter(|&d| d > 0)
+                .ok_or_else(|| format!("bad density `{t}` (expected positive integers)"))
+        })
+        .collect::<Result<_, _>>()?;
+    let config = cbi_corpus::EvalConfig {
+        densities,
+        jobs: jobs_of(args)?,
+    };
+    let entries = cbi_corpus::load_corpus(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+    eprintln!("evaluating {} entries from {dir}", entries.len());
+    let report = cbi_corpus::evaluate(&entries, &config).map_err(|e| e.to_string())?;
+
+    let rendered = cbi_corpus::render_report(&report);
+    match args.flag("out") {
+        Some(path) => {
+            fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("score report written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    let summary = cbi_corpus::render_summary(&report);
+    match args.flag("summary-out") {
+        Some(path) => {
+            fs::write(path, &summary).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("summary written to {path}");
+        }
+        None => print!("{summary}"),
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -906,6 +1004,51 @@ mod tests {
         assert!(err.contains("--mode"), "{err}");
         let err = dispatch_strs(&["serve", p.to_str().unwrap(), "--max-conns", "0"]).unwrap_err();
         assert!(err.contains("--max-conns"), "{err}");
+    }
+
+    #[test]
+    fn corpus_generate_and_evaluate_round_trip() {
+        let dir = std::env::temp_dir().join("cbi-cli-test-corpus");
+        let _ = fs::remove_dir_all(&dir);
+        dispatch_strs(&[
+            "corpus",
+            "generate",
+            dir.to_str().unwrap(),
+            "--size",
+            "3",
+            "--seed",
+            "9",
+            "--trials",
+            "16",
+        ])
+        .unwrap();
+        assert!(dir.join("manifest.jsonl").exists());
+        let summary = dir.join("summary.txt");
+        dispatch_strs(&[
+            "corpus",
+            "evaluate",
+            dir.to_str().unwrap(),
+            "--densities",
+            "1",
+            "--summary-out",
+            summary.to_str().unwrap(),
+            "--out",
+            dir.join("report.txt").to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = fs::read_to_string(&summary).unwrap();
+        assert!(text.contains("corpus summary"), "{text}");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corpus_rejects_bad_arguments() {
+        assert!(dispatch_strs(&["corpus"]).is_err());
+        assert!(dispatch_strs(&["corpus", "bogus"]).is_err());
+        assert!(dispatch_strs(&["corpus", "generate"]).is_err());
+        let err =
+            dispatch_strs(&["corpus", "evaluate", "/tmp/x", "--densities", "1,0"]).unwrap_err();
+        assert!(err.contains("density"), "{err}");
     }
 
     #[test]

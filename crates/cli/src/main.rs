@@ -32,6 +32,15 @@
 //!
 //! cbi transmit <reports.jsonl|.cbr> --to HOST:PORT [<file.mc>] [--scheme S]
 //!     Replay an archived report stream to an ingest server.
+//!
+//! cbi corpus generate <dir> [--size N] [--seed N] [--trials N]
+//!     Plant one validated, labeled bug per program (seeded testgen
+//!     programs plus ccrypt/bc) and write the ground-truth manifest.
+//!
+//! cbi corpus evaluate <dir> [--densities 1,10,100,1000] [--jobs N]
+//!                     [--out report.txt] [--summary-out summary.txt]
+//!     Score elimination and regression against the manifest across the
+//!     sampling-density sweep; output is byte-identical at any --jobs.
 //! ```
 //!
 //! Inputs for `campaign` are given as a text file with one run per line,

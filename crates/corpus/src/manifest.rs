@@ -1,0 +1,418 @@
+//! The `PlantedBug` ground-truth manifest and its JSONL codec.
+//!
+//! One line per corpus entry, hand-rolled JSON in the same
+//! zero-dependency style as the report codec: a tolerant scanner that
+//! accepts any field order and insignificant whitespace, and an emitter
+//! that always writes fields in a fixed order so manifests are
+//! byte-stable across runs.
+
+use crate::CorpusError;
+use std::fmt;
+use std::io::{BufRead, Write};
+
+/// Which workload family a corpus entry was planted into.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Workload {
+    /// A seeded `cbi-testgen` program.
+    Testgen,
+    /// The `ccrypt` benchmark analogue (EOF prompts disabled, so the
+    /// planted bug is the only crash source).
+    Ccrypt,
+    /// The `bc` benchmark analogue (its organic heap-overrun crashes
+    /// remain active alongside the planted bug).
+    Bc,
+}
+
+impl Workload {
+    /// Manifest spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Workload::Testgen => "testgen",
+            Workload::Ccrypt => "ccrypt",
+            Workload::Bc => "bc",
+        }
+    }
+
+    /// Parses the manifest spelling.
+    pub fn from_str_opt(s: &str) -> Option<Workload> {
+        match s {
+            "testgen" => Some(Workload::Testgen),
+            "ccrypt" => Some(Workload::Ccrypt),
+            "bc" => Some(Workload::Bc),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Ground truth for one corpus entry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlantedBug {
+    /// Stable entry id (`tg-0007`, `cc-0001`, …); also names the source
+    /// file.
+    pub id: String,
+    /// Workload family the bug was planted into.
+    pub workload: Workload,
+    /// Mutation operator name (see [`crate::Operator::name`]).
+    pub operator: String,
+    /// Path of the mutated program, relative to the corpus directory.
+    pub source: String,
+    /// Whether a violation fails the run even without instrumentation.
+    pub deterministic: bool,
+    /// `"always"` if every validation trial failed, `"conditional"` if
+    /// the bug depends on trial input.
+    pub trigger: String,
+    /// Counter index (in the `checks`-scheme layout) of the true
+    /// predicate — the violated slot of the fault's bounds site.
+    pub true_counter: usize,
+    /// Human-readable name of the true predicate.
+    pub true_predicate: String,
+    /// Site-table layout hash of the instrumented program, pinning
+    /// `true_counter` to a concrete layout.
+    pub layout_hash: u64,
+    /// Total counters in that layout.
+    pub counters: usize,
+    /// Trials per campaign (validation used these; evaluation replays
+    /// them).
+    pub trials: usize,
+    /// Seed regenerating the trial inputs.
+    pub trial_seed: u64,
+    /// Failing runs among the uninstrumented baseline trials.
+    pub baseline_failures: usize,
+}
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+impl PlantedBug {
+    /// Encodes the record as a single JSON line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        let str_field = |out: &mut String, key: &str, val: &str, comma: bool| {
+            if comma {
+                out.push(',');
+            }
+            out.push('"');
+            out.push_str(key);
+            out.push_str("\":\"");
+            escape_into(out, val);
+            out.push('"');
+        };
+        out.push('{');
+        str_field(&mut out, "id", &self.id, false);
+        str_field(&mut out, "workload", self.workload.as_str(), true);
+        str_field(&mut out, "operator", &self.operator, true);
+        str_field(&mut out, "source", &self.source, true);
+        out.push_str(&format!(",\"deterministic\":{}", self.deterministic));
+        str_field(&mut out, "trigger", &self.trigger, true);
+        out.push_str(&format!(",\"true_counter\":{}", self.true_counter));
+        str_field(&mut out, "true_predicate", &self.true_predicate, true);
+        out.push_str(&format!(",\"layout_hash\":{}", self.layout_hash));
+        out.push_str(&format!(",\"counters\":{}", self.counters));
+        out.push_str(&format!(",\"trials\":{}", self.trials));
+        out.push_str(&format!(",\"trial_seed\":{}", self.trial_seed));
+        out.push_str(&format!(
+            ",\"baseline_failures\":{}",
+            self.baseline_failures
+        ));
+        out.push('}');
+        out
+    }
+
+    /// Decodes one JSON line; field order and whitespace are free.
+    pub fn from_json(line: &str) -> Result<PlantedBug, String> {
+        let mut p = Scanner::new(line);
+        let mut id = None;
+        let mut workload = None;
+        let mut operator = None;
+        let mut source = None;
+        let mut deterministic = None;
+        let mut trigger = None;
+        let mut true_counter = None;
+        let mut true_predicate = None;
+        let mut layout_hash = None;
+        let mut counters = None;
+        let mut trials = None;
+        let mut trial_seed = None;
+        let mut baseline_failures = None;
+        p.expect('{')?;
+        loop {
+            p.skip_ws();
+            if p.eat('}') {
+                break;
+            }
+            let key = p.string()?;
+            p.skip_ws();
+            p.expect(':')?;
+            p.skip_ws();
+            match key.as_str() {
+                "id" => id = Some(p.string()?),
+                "workload" => {
+                    let w = p.string()?;
+                    workload =
+                        Some(Workload::from_str_opt(&w).ok_or(format!("unknown workload {w:?}"))?);
+                }
+                "operator" => operator = Some(p.string()?),
+                "source" => source = Some(p.string()?),
+                "deterministic" => deterministic = Some(p.boolean()?),
+                "trigger" => trigger = Some(p.string()?),
+                "true_counter" => true_counter = Some(p.number()? as usize),
+                "true_predicate" => true_predicate = Some(p.string()?),
+                "layout_hash" => layout_hash = Some(p.number()?),
+                "counters" => counters = Some(p.number()? as usize),
+                "trials" => trials = Some(p.number()? as usize),
+                "trial_seed" => trial_seed = Some(p.number()?),
+                "baseline_failures" => baseline_failures = Some(p.number()? as usize),
+                other => return Err(format!("unknown field {other:?}")),
+            }
+            p.skip_ws();
+            if !p.eat(',') {
+                p.expect('}')?;
+                break;
+            }
+        }
+        let req = |name: &str| format!("missing field {name:?}");
+        Ok(PlantedBug {
+            id: id.ok_or_else(|| req("id"))?,
+            workload: workload.ok_or_else(|| req("workload"))?,
+            operator: operator.ok_or_else(|| req("operator"))?,
+            source: source.ok_or_else(|| req("source"))?,
+            deterministic: deterministic.ok_or_else(|| req("deterministic"))?,
+            trigger: trigger.ok_or_else(|| req("trigger"))?,
+            true_counter: true_counter.ok_or_else(|| req("true_counter"))?,
+            true_predicate: true_predicate.ok_or_else(|| req("true_predicate"))?,
+            layout_hash: layout_hash.ok_or_else(|| req("layout_hash"))?,
+            counters: counters.ok_or_else(|| req("counters"))?,
+            trials: trials.ok_or_else(|| req("trials"))?,
+            trial_seed: trial_seed.ok_or_else(|| req("trial_seed"))?,
+            baseline_failures: baseline_failures.ok_or_else(|| req("baseline_failures"))?,
+        })
+    }
+}
+
+/// Minimal JSON scanner over one manifest line.
+struct Scanner<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Scanner<'a> {
+    fn new(s: &'a str) -> Self {
+        Scanner {
+            bytes: s.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, c: char) -> bool {
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&(c as u8)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        if self.eat(c) {
+            Ok(())
+        } else {
+            Err(format!("expected {c:?} at byte {}", self.pos))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err("unterminated string".to_string()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or("truncated \\u escape")?;
+                            let hex = std::str::from_utf8(hex).map_err(|e| e.to_string())?;
+                            let code = u32::from_str_radix(hex, 16).map_err(|e| e.to_string())?;
+                            out.push(char::from_u32(code).ok_or("invalid \\u escape".to_string())?);
+                            self.pos += 4;
+                        }
+                        other => return Err(format!("bad escape {other:?}")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8 sequences pass through unmodified.
+                    let start = self.pos;
+                    self.pos += 1;
+                    while self.bytes.get(self.pos).is_some_and(|b| b & 0xc0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.bytes.get(self.pos).is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if start == self.pos {
+            return Err(format!("expected number at byte {start}"));
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|e| e.to_string())?
+            .parse::<u64>()
+            .map_err(|e| e.to_string())
+    }
+
+    fn boolean(&mut self) -> Result<bool, String> {
+        self.skip_ws();
+        if self.bytes[self.pos..].starts_with(b"true") {
+            self.pos += 4;
+            Ok(true)
+        } else if self.bytes[self.pos..].starts_with(b"false") {
+            self.pos += 5;
+            Ok(false)
+        } else {
+            Err(format!("expected boolean at byte {}", self.pos))
+        }
+    }
+}
+
+/// Writes a manifest, one JSON line per bug.
+pub fn write_manifest<W: Write>(mut w: W, bugs: &[PlantedBug]) -> std::io::Result<()> {
+    for bug in bugs {
+        writeln!(w, "{}", bug.to_json())?;
+    }
+    Ok(())
+}
+
+/// Reads a manifest; blank lines are skipped.
+pub fn read_manifest<R: BufRead>(r: R) -> Result<Vec<PlantedBug>, CorpusError> {
+    let mut bugs = Vec::new();
+    for (i, line) in r.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        bugs.push(
+            PlantedBug::from_json(&line).map_err(|message| CorpusError::Manifest {
+                line: i + 1,
+                message,
+            })?,
+        );
+    }
+    Ok(bugs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PlantedBug {
+        PlantedBug {
+            id: "tg-0007".to_string(),
+            workload: Workload::Testgen,
+            operator: "off_by_one_index".to_string(),
+            source: "programs/tg-0007.mc".to_string(),
+            deterministic: true,
+            trigger: "conditional".to_string(),
+            true_counter: 12,
+            true_predicate: "!(0 <= fault_t < len(buf))".to_string(),
+            layout_hash: u64::MAX - 3,
+            counters: 40,
+            trials: 48,
+            trial_seed: 0xc0de,
+            baseline_failures: 9,
+        }
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let bug = sample();
+        let line = bug.to_json();
+        assert_eq!(PlantedBug::from_json(&line).unwrap(), bug);
+    }
+
+    #[test]
+    fn field_order_and_whitespace_are_free() {
+        let line = r#" { "trials" : 48 , "id":"x", "workload":"bc",
+            "operator":"bad_pointer_offset_4","source":"programs/x.mc",
+            "deterministic":false,"trigger":"conditional","true_counter":3,
+            "true_predicate":"!(0 <= fault_t < len(p))","layout_hash":1,
+            "counters":9,"trial_seed":2,"baseline_failures":0 } "#
+            .replace('\n', " ");
+        let bug = PlantedBug::from_json(&line).unwrap();
+        assert_eq!(bug.workload, Workload::Bc);
+        assert_eq!(bug.trials, 48);
+    }
+
+    #[test]
+    fn manifest_round_trip_preserves_order() {
+        let mut a = sample();
+        let mut b = sample();
+        b.id = "cc-0000".to_string();
+        b.workload = Workload::Ccrypt;
+        a.true_predicate = "weird \"quoted\" \\ name".to_string();
+        let mut buf = Vec::new();
+        write_manifest(&mut buf, &[a.clone(), b.clone()]).unwrap();
+        let back = read_manifest(&buf[..]).unwrap();
+        assert_eq!(back, vec![a, b]);
+    }
+
+    #[test]
+    fn malformed_lines_carry_line_numbers() {
+        let text = format!("{}\n{{\"id\":}}\n", sample().to_json());
+        let err = read_manifest(text.as_bytes()).unwrap_err();
+        match err {
+            CorpusError::Manifest { line, .. } => assert_eq!(line, 2),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+}

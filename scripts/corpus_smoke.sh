@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Corpus ground-truth smoke test.
+#
+# Generates a small fault-injection corpus at a fixed seed, evaluates it
+# at 1/100 sampling, and diffs the integer-only score summary against the
+# checked-in golden file.  Any drift in generation, instrumentation
+# layout, campaign scheduling, or elimination shows up as a diff.
+#
+# Usage: scripts/corpus_smoke.sh [path-to-cbi-binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CBI="${1:-target/release/cbi}"
+OUT="${SMOKE_OUT:-smoke-artifacts}"
+GOLDEN=tests/golden/corpus_smoke_summary.txt
+mkdir -p "$OUT"
+
+"$CBI" corpus generate "$OUT/corpus" --size 25 --seed 7 --trials 32
+"$CBI" corpus evaluate "$OUT/corpus" --densities 100 --jobs 4 \
+  --out "$OUT/corpus_report.txt" --summary-out "$OUT/corpus_summary.txt"
+
+echo "--- score summary vs golden ---"
+diff -u "$GOLDEN" "$OUT/corpus_summary.txt"
+
+echo "PASS: corpus scores match the golden summary"

@@ -17,6 +17,14 @@ INPUTS=examples/profile_demo_inputs.txt
 OUT="${SMOKE_OUT:-smoke-artifacts}"
 mkdir -p "$OUT"
 
+# Whatever exit path we take (including set -e aborts), never leave a
+# background server running.
+SERVER=""
+cleanup() {
+  [ -n "${SERVER:-}" ] && kill "$SERVER" 2>/dev/null || true
+}
+trap cleanup EXIT
+
 # The server exits after one connection; stdout carries the bound
 # address followed by the analysis results.
 "$CBI" serve "$PROG" --scheme returns --addr 127.0.0.1:0 --max-conns 1 \
@@ -33,7 +41,6 @@ done
 if [ -z "$ADDR" ]; then
   echo "FAIL: server never reported a bound address" >&2
   cat "$OUT/serve.log" >&2 || true
-  kill "$SERVER" 2>/dev/null || true
   exit 1
 fi
 echo "server listening on $ADDR"
@@ -43,6 +50,7 @@ echo "server listening on $ADDR"
   --transmit "$ADDR" --out "$OUT/reports.jsonl"
 
 wait "$SERVER"
+SERVER=""
 
 # Split the server transcript into its elimination and regression blocks.
 sed -n '/^universal falsehood:/,/^lambda /p' "$OUT/serve.txt" | sed '$d' \
