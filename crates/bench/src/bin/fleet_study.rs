@@ -1,0 +1,113 @@
+//! Fleet study — community-scale throughput and detection economics.
+//!
+//! The paper's premise is that sampling makes instrumentation cheap
+//! enough to deploy to a whole user community.  This study runs the
+//! fleet simulator against a corpus entry with planted ground truth and
+//! sweeps the sampling density, measuring what the community costs and
+//! what it buys: client-runs/sec through the simulator, bytes on the
+//! wire per accepted report, and the detection latency + regression
+//! rank of the true predicate at each density.
+//!
+//! Usage: `fleet_study [clients] [runs] [seed]` (defaults 32 / 8000 /
+//! 0xf1ee7); sweeps densities 1, 1/10, 1/100, 1/1000 with a mildly
+//! lossy channel.  Writes `BENCH_fleet.json` at the repository root.
+
+use cbi_corpus::{generate_corpus, GenerateConfig};
+use cbi_fleet::{run_corpus_fleet, ChannelSpec, FleetSpec};
+use std::time::Instant;
+
+const DENSITIES: [u64; 4] = [1, 10, 100, 1000];
+const JOBS: usize = 8;
+const POOL: usize = 256;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let clients: usize = args
+        .next()
+        .map(|a| a.parse().expect("clients must be a number"))
+        .unwrap_or(32);
+    let runs: usize = args
+        .next()
+        .map(|a| a.parse().expect("runs must be a number"))
+        .unwrap_or(8000);
+    let seed: u64 = args
+        .next()
+        .map(|a| a.parse().expect("seed must be a number"))
+        .unwrap_or(0xf1ee7);
+
+    let corpus = generate_corpus(&GenerateConfig {
+        size: 4,
+        seed: 7,
+        trials: 32,
+    })
+    .expect("generate corpus");
+    let entry = corpus
+        .entries
+        .iter()
+        .find(|e| e.bug.deterministic)
+        .unwrap_or_else(|| corpus.entries.first().expect("non-empty corpus"));
+    println!("== fleet throughput and detection economics ==");
+    println!(
+        "entry {} ({}, {}), {clients} clients, {runs} community runs, jobs {JOBS}",
+        entry.bug.id, entry.bug.operator, entry.bug.trigger
+    );
+    println!();
+    println!("density   runs/sec   bytes/report   accepted   latency      rank");
+
+    let mut rows = Vec::new();
+    for d in DENSITIES {
+        let mut spec = FleetSpec::new(clients, runs);
+        spec.densities = vec![(d, 1.0)];
+        spec.zipf_exponent = 1.0;
+        spec.batch_size = 16;
+        spec.epoch_len = (runs as u64 / 8).max(1);
+        spec.channel = ChannelSpec {
+            drop: 0.05,
+            truncate: 0.02,
+            bit_flip: 0.01,
+            max_retries: 3,
+            backoff_base: 1,
+        };
+        spec.seed = seed;
+        spec.jobs = JOBS;
+
+        let start = Instant::now();
+        let report = run_corpus_fleet(entry, POOL, &spec).expect("run fleet");
+        let elapsed = start.elapsed().as_secs_f64();
+        let s = &report.summary;
+
+        let runs_per_sec = s.runs as f64 / elapsed;
+        let bytes_per_report = if s.accepted_reports > 0 {
+            s.bytes_accepted as f64 / s.accepted_reports as f64
+        } else {
+            0.0
+        };
+        let latency = s.target_latency.map_or("-".to_string(), |l| l.to_string());
+        let rank = report
+            .target_rank
+            .map_or("-".to_string(), |r| r.to_string());
+        println!(
+            "1/{d:<7} {runs_per_sec:>9.0} {bytes_per_report:>14.1} {:>10} {latency:>9} {rank:>9}",
+            s.accepted_reports
+        );
+        rows.push(format!(
+            "    {{\"density\": \"1/{d}\", \"runs_per_sec\": {runs_per_sec:.1}, \"bytes_per_report\": {bytes_per_report:.2}, \"accepted_reports\": {}, \"bytes_sent\": {}, \"lost_batches\": {}, \"retries\": {}, \"target_latency\": {}, \"target_rank\": {}}}",
+            s.accepted_reports,
+            s.bytes_sent,
+            s.lost_batches,
+            s.retries,
+            s.target_latency.map_or("null".to_string(), |l| l.to_string()),
+            report.target_rank.map_or("null".to_string(), |r| r.to_string()),
+        ));
+    }
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"fleet\",\n  \"entry\": \"{}\",\n  \"clients\": {clients},\n  \"runs\": {runs},\n  \"pool\": {POOL},\n  \"seed\": {seed},\n  \"jobs\": {JOBS},\n  \"densities\": [\n{}\n  ]\n}}\n",
+        entry.bug.id,
+        rows.join(",\n"),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_fleet.json");
+    std::fs::write(out, json).expect("write BENCH_fleet.json");
+    println!();
+    println!("wrote {out}");
+}

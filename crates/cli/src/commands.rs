@@ -31,6 +31,13 @@ usage:
   cbi corpus     generate <dir> [--size N] [--seed N] [--trials N]
   cbi corpus     evaluate <dir> [--densities 1,10,100,1000] [--jobs N]
                  [--out report.txt] [--summary-out summary.txt]
+  cbi fleet      <file.mc> <inputs.txt> [--scheme S] [--clients N] [--runs N]
+                 [--batch-size N] [--epoch-len N] [--densities 100:1,1000:3]
+                 [--zipf S] [--variant-fraction F] [--stale-fraction F]
+                 [--drop F] [--truncate F] [--bit-flip F] [--max-retries N]
+                 [--target PRED] [--seed N] [--jobs N] [--summary-out FILE]
+                 [--metrics] [--metrics-out metrics.jsonl] [--trace-out trace.json]
+  cbi fleet      --corpus <dir> [--entry ID] [--pool N] [same knobs]
 
   --jobs N shards campaign trials over N worker threads (reports are
   bit-identical at any job count).  --metrics prints a telemetry summary,
@@ -52,7 +59,20 @@ usage:
   <dir>/manifest.jsonl plus <dir>/programs/.  `cbi corpus evaluate`
   replays a campaign per entry across the density sweep, scoring
   elimination survival, regression rank, recall@k, and wasted effort
-  against the manifest; output is byte-identical at any --jobs value.";
+  against the manifest; output is byte-identical at any --jobs value.
+
+  Fleet simulation: `cbi fleet` drives a seeded community of simulated
+  clients through the whole remote pipeline — each client draws a
+  sampling density from the --densities mix, possibly a single-function
+  variant binary (--variant-fraction) or a stale version
+  (--stale-fraction, rejected at the layout handshake and counted),
+  picks inputs Zipf(--zipf)-skewed from the pool, spools reports, and
+  transmits batches over a lossy channel (--drop/--truncate/--bit-flip
+  per attempt, bounded retry with exponential backoff).  The server
+  folds surviving batches into per-epoch aggregates (--epoch-len) and
+  prints an integer-only summary that is byte-identical at any --jobs.
+  With --corpus the fleet runs a generated corpus entry and tracks its
+  planted bug's detection latency and rank against ground truth.";
 
 /// Valueless boolean switches accepted by the subcommands.
 const SWITCHES: &[&str] = &["global-countdown", "no-regions", "metrics"];
@@ -74,6 +94,7 @@ pub fn dispatch(raw: Vec<String>) -> Result<(), String> {
         Some("serve") => cmd_serve(&args),
         Some("transmit") => cmd_transmit(&args),
         Some("corpus") => cmd_corpus(&args),
+        Some("fleet") => cmd_fleet(&args),
         Some(other) => Err(format!("unknown subcommand `{other}`")),
         None => Err("missing subcommand".to_string()),
     }
@@ -811,6 +832,141 @@ fn cmd_corpus_evaluate(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses the `--densities` mix: `100:1,1000:3` pairs (weight defaults
+/// to 1 when omitted, as in `100,1000`).
+fn density_mix(args: &Args) -> Result<Vec<(u64, f64)>, String> {
+    args.flag("densities")
+        .unwrap_or("100")
+        .split(',')
+        .map(|t| {
+            let t = t.trim();
+            let (den, weight) = match t.split_once(':') {
+                Some((d, w)) => (d, w),
+                None => (t, "1"),
+            };
+            let d = den
+                .parse::<u64>()
+                .ok()
+                .filter(|&d| d > 0)
+                .ok_or_else(|| format!("bad density `{t}` (expected D or D:WEIGHT)"))?;
+            let w = weight
+                .parse::<f64>()
+                .ok()
+                .filter(|w| w.is_finite() && *w > 0.0)
+                .ok_or_else(|| format!("bad density weight `{t}` (expected D:WEIGHT)"))?;
+            Ok((d, w))
+        })
+        .collect()
+}
+
+/// Builds a [`cbi_fleet::FleetSpec`] from the shared fleet flags.
+fn fleet_spec(args: &Args) -> Result<cbi_fleet::FleetSpec, String> {
+    let clients = args.flag_or("clients", 32usize)?;
+    let runs = args.flag_or("runs", 2000usize)?;
+    let fraction = |name: &str| -> Result<f64, String> {
+        let v: f64 = args.flag_or(name, 0.0)?;
+        if (0.0..=1.0).contains(&v) {
+            Ok(v)
+        } else {
+            Err(format!("--{name} must be in [0, 1], got {v}"))
+        }
+    };
+    let mut spec = cbi_fleet::FleetSpec::new(clients, runs);
+    spec.batch_size = args.flag_or("batch-size", 16usize)?;
+    spec.epoch_len = args.flag_or("epoch-len", 256u64)?;
+    spec.zipf_exponent = args.flag_or("zipf", 0.0f64)?;
+    spec.densities = density_mix(args)?;
+    spec.variant_fraction = fraction("variant-fraction")?;
+    spec.stale_fraction = fraction("stale-fraction")?;
+    spec.scheme = scheme_of(args)?;
+    spec.channel = cbi_fleet::ChannelSpec {
+        drop: fraction("drop")?,
+        truncate: fraction("truncate")?,
+        bit_flip: fraction("bit-flip")?,
+        max_retries: args.flag_or("max-retries", 3u32)?,
+        backoff_base: args.flag_or("backoff-base", 1u64)?,
+    };
+    spec.seed = args.flag_or("seed", 0x5eedu64)?;
+    spec.jobs = jobs_of(args)?;
+    Ok(spec)
+}
+
+fn cmd_fleet(args: &Args) -> Result<(), String> {
+    let telemetry = TelemetryOpts::from_args(args);
+    let recording = telemetry.begin();
+
+    let report = if let Some(dir) = args.flag("corpus") {
+        let entries =
+            cbi_corpus::load_corpus(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+        let entry = match args.flag("entry") {
+            Some(id) => entries
+                .iter()
+                .find(|e| e.bug.id == id)
+                .ok_or_else(|| format!("no corpus entry `{id}` in {dir}"))?,
+            None => entries
+                .first()
+                .ok_or_else(|| format!("corpus {dir} is empty"))?,
+        };
+        let spec = fleet_spec(args)?;
+        let pool = args.flag_or("pool", 128usize)?;
+        eprintln!(
+            "fleet vs corpus entry {} ({}, {})",
+            entry.bug.id, entry.bug.operator, entry.bug.trigger
+        );
+        cbi::telemetry::time("phase.fleet", || {
+            cbi_fleet::run_corpus_fleet(entry, pool, &spec)
+        })
+        .map_err(|e| e.to_string())?
+    } else {
+        let program = cbi::telemetry::time("phase.parse", || load_program(args, 1))?;
+        let inputs_path = args
+            .positional(2)
+            .ok_or_else(|| "missing inputs file (the community's input pool)".to_string())?;
+        let raw = fs::read_to_string(inputs_path)
+            .map_err(|e| format!("cannot read {inputs_path}: {e}"))?;
+        let pool: Vec<Vec<i64>> = raw
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .map(parse_input)
+            .collect::<Result<_, _>>()?;
+        let spec = fleet_spec(args)?;
+        let target = match args.flag("target") {
+            Some(needle) => {
+                let sites = instrument(&program, spec.scheme)
+                    .map_err(|e| e.to_string())?
+                    .sites;
+                let c = (0..sites.total_counters())
+                    .find(|&c| sites.predicate_name(c).contains(needle))
+                    .ok_or_else(|| format!("no predicate matching `{needle}`"))?;
+                eprintln!("target: {}", sites.predicate_name(c));
+                Some(c)
+            }
+            None => None,
+        };
+        cbi::telemetry::time("phase.fleet", || {
+            cbi_fleet::run_fleet(&program, &pool, &spec, target)
+        })
+        .map_err(|e| e.to_string())?
+    };
+
+    if let Some(rank) = report.target_rank {
+        eprintln!("target rank: {rank} (0-based, regression ordering)");
+    }
+    let summary = cbi_fleet::render_summary(&report.summary, &report.epochs);
+    match args.flag("summary-out") {
+        Some(path) => {
+            fs::write(path, &summary).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("fleet summary written to {path}");
+        }
+        None => print!("{summary}"),
+    }
+
+    if recording {
+        telemetry.finish()?;
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1049,6 +1205,63 @@ mod tests {
         let err =
             dispatch_strs(&["corpus", "evaluate", "/tmp/x", "--densities", "1,0"]).unwrap_err();
         assert!(err.contains("density"), "{err}");
+    }
+
+    #[test]
+    fn fleet_runs_and_writes_a_summary() {
+        let p = tmp("prog-fleet.mc", PROG);
+        let inputs = tmp("inputs-fleet.txt", "5\n4\n9\n2\n7\n");
+        let summary = std::env::temp_dir().join("cbi-cli-test-fleet-summary.txt");
+        dispatch_strs(&[
+            "fleet",
+            p.to_str().unwrap(),
+            inputs.to_str().unwrap(),
+            "--clients",
+            "6",
+            "--runs",
+            "200",
+            "--batch-size",
+            "8",
+            "--epoch-len",
+            "50",
+            "--densities",
+            "5:2,20:1",
+            "--drop",
+            "0.1",
+            "--stale-fraction",
+            "0.1",
+            "--jobs",
+            "2",
+            "--summary-out",
+            summary.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = fs::read_to_string(&summary).unwrap();
+        assert!(text.contains("fleet: 6 clients"), "{text}");
+        assert!(text.contains("epoch"), "{text}");
+        fs::remove_file(&summary).ok();
+    }
+
+    #[test]
+    fn fleet_rejects_bad_arguments() {
+        let p = tmp("prog-fleet-bad.mc", PROG);
+        let inputs = tmp("inputs-fleet-bad.txt", "5\n");
+        let base = ["fleet", p.to_str().unwrap(), inputs.to_str().unwrap()];
+        let with = |extra: &[&str]| {
+            let mut a: Vec<&str> = base.to_vec();
+            a.extend_from_slice(extra);
+            dispatch_strs(&a)
+        };
+        let err = with(&["--densities", "0:1"]).unwrap_err();
+        assert!(err.contains("density"), "{err}");
+        let err = with(&["--densities", "100:nope"]).unwrap_err();
+        assert!(err.contains("weight"), "{err}");
+        let err = with(&["--drop", "1.5"]).unwrap_err();
+        assert!(err.contains("--drop"), "{err}");
+        let err = with(&["--target", "no_such_predicate"]).unwrap_err();
+        assert!(err.contains("no predicate"), "{err}");
+        let err = dispatch_strs(&["fleet", p.to_str().unwrap()]).unwrap_err();
+        assert!(err.contains("inputs"), "{err}");
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! the community performs before each predicate is first observed — an
 //! empirical check of the closed-form [`cbi_stats::confidence`] numbers.
 
+use crate::detection::FirstObservation;
 use cbi_instrument::{
     apply_sampling, instrument, single_function_variants, Scheme, TransformOptions,
 };
@@ -21,9 +22,8 @@ use std::collections::HashMap;
 pub struct Deployment {
     /// The underlying campaign (instrumented program, site table, reports).
     pub campaign: CampaignResult,
-    /// For each counter, the 0-based index of the first run that observed
-    /// it, or `None` if the community never saw it.
-    pub first_observation: Vec<Option<usize>>,
+    /// Per-counter record of the first run that observed it.
+    pub first_observation: FirstObservation,
 }
 
 impl Deployment {
@@ -31,25 +31,13 @@ impl Deployment {
     /// earliest observation among all predicates whose name contains
     /// `needle`, or `None` if no matching predicate was ever observed.
     pub fn latency_of(&self, needle: &str) -> Option<usize> {
-        let sites = &self.campaign.instrumented.sites;
-        (0..sites.total_counters())
-            .filter(|&c| sites.predicate_name(c).contains(needle))
-            .filter_map(|c| self.first_observation[c])
-            .min()
-            .map(|i| i + 1)
+        self.first_observation
+            .latency_of(&self.campaign.instrumented.sites, needle)
     }
 
     /// Fraction of counters the community observed at least once.
     pub fn observed_fraction(&self) -> f64 {
-        let n = self.first_observation.len();
-        if n == 0 {
-            return 0.0;
-        }
-        self.first_observation
-            .iter()
-            .filter(|o| o.is_some())
-            .count() as f64
-            / n as f64
+        self.first_observation.observed_fraction()
     }
 
     /// The collected reports.
@@ -70,14 +58,9 @@ pub fn simulate_deployment(
     config: &CampaignConfig,
 ) -> Result<Deployment, WorkloadError> {
     let campaign = run_campaign(program, trials, config)?;
-    let counters = campaign.collector.counter_count();
-    let mut first_observation = vec![None; counters];
+    let mut first_observation = FirstObservation::new(campaign.collector.counter_count());
     for (i, report) in campaign.collector.reports().iter().enumerate() {
-        for (c, slot) in first_observation.iter_mut().enumerate() {
-            if slot.is_none() && report.counters[c] > 0 {
-                *slot = Some(i);
-            }
-        }
+        first_observation.record(i, &report.counters);
     }
     Ok(Deployment {
         campaign,

@@ -1,0 +1,312 @@
+//! Per-epoch aggregation over a community report stream.
+//!
+//! §3.1.3 frames detection as a function of *community runs*: "sixty
+//! million Office XP licenses … produce 230,258 runs every nineteen
+//! minutes".  An [`EpochAggregator`] extends the streaming server side
+//! with exactly that view: it folds every accepted report into the
+//! O(counters) [`StreamingAnalyzer`] state plus a shared
+//! [`FirstObservation`] record, and every `epoch_len` runs it closes an
+//! epoch and snapshots the questions a deployment operator asks —
+//! detection latency of a target predicate, elimination-survivor count,
+//! regression rank against ground truth, failure counts, and bytes on
+//! the wire.
+//!
+//! The aggregator is itself a [`ReportSink`], so it can sit behind the
+//! transactional batch ingest exactly where a plain analyzer would.
+
+use crate::detection::FirstObservation;
+use crate::streaming::{StreamingAnalyzer, StreamingConfig};
+use cbi_instrument::SiteTable;
+use cbi_reports::{Label, Report, ReportLayout, ReportSink, SinkError};
+
+/// The integer-valued state of the community at one epoch boundary.
+///
+/// All fields are cumulative from the start of the stream, not
+/// per-epoch deltas, so any snapshot answers "after N community runs…"
+/// directly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EpochSnapshot {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Community runs (reports) folded in so far.
+    pub runs: u64,
+    /// Failure-labelled runs so far.
+    pub failures: u64,
+    /// Counters observed (nonzero) at least once.
+    pub observed: usize,
+    /// Survivors of combined §3.2 elimination.
+    pub survivors: usize,
+    /// Detection latency of the target counter (runs, 1-based).
+    pub target_latency: Option<usize>,
+    /// 0-based rank of the target counter in the regression ordering.
+    pub target_rank: Option<usize>,
+    /// Wire bytes accepted so far (as attributed by the transport).
+    pub bytes: u64,
+    /// Batches accepted so far.
+    pub batches: u64,
+    /// Batches rejected so far (malformed or mismatched).
+    pub rejected_batches: u64,
+    /// Rejections specifically from stale-version layout mismatches.
+    pub stale_batches: u64,
+}
+
+/// A [`ReportSink`] that folds a community stream and snapshots the
+/// aggregate state every `epoch_len` runs.
+#[derive(Debug, Clone)]
+pub struct EpochAggregator {
+    sites: SiteTable,
+    target_counter: Option<usize>,
+    epoch_len: u64,
+    analyzer: StreamingAnalyzer,
+    first: FirstObservation,
+    runs: u64,
+    failures: u64,
+    bytes: u64,
+    batches: u64,
+    rejected_batches: u64,
+    stale_batches: u64,
+    snapshots: Vec<EpochSnapshot>,
+}
+
+impl EpochAggregator {
+    /// Creates an aggregator for a stream instrumented per `sites`,
+    /// snapshotting every `epoch_len` runs.  `target_counter` is the
+    /// ground-truth counter (e.g. a planted bug's true predicate) whose
+    /// latency and rank each snapshot reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `epoch_len` is zero.
+    pub fn new(
+        sites: SiteTable,
+        epoch_len: u64,
+        config: StreamingConfig,
+        target_counter: Option<usize>,
+    ) -> Self {
+        assert!(epoch_len > 0, "epoch length must be nonzero");
+        let counters = sites.total_counters();
+        EpochAggregator {
+            sites,
+            target_counter,
+            epoch_len,
+            analyzer: StreamingAnalyzer::new(config),
+            first: FirstObservation::new(counters),
+            runs: 0,
+            failures: 0,
+            bytes: 0,
+            batches: 0,
+            rejected_batches: 0,
+            stale_batches: 0,
+            snapshots: Vec::new(),
+        }
+    }
+
+    /// Attributes one accepted batch's wire bytes to the stream.
+    pub fn note_accepted_batch(&mut self, bytes: u64) {
+        self.batches += 1;
+        self.bytes += bytes;
+    }
+
+    /// Records one rejected batch; `stale` marks a layout-hash
+    /// handshake rejection (a stale-version client).
+    pub fn note_rejected_batch(&mut self, stale: bool) {
+        self.rejected_batches += 1;
+        if stale {
+            self.stale_batches += 1;
+        }
+    }
+
+    /// Takes the current-state snapshot without waiting for an epoch
+    /// boundary (used to close a partial final epoch).
+    pub fn snapshot_now(&mut self) {
+        let snap = self.snapshot(self.snapshots.len());
+        self.snapshots.push(snap);
+    }
+
+    fn snapshot(&self, epoch: usize) -> EpochSnapshot {
+        let survivors = self.analyzer.eliminate(&self.sites).combined.len();
+        let target_rank = self.target_counter.and_then(|c| {
+            self.analyzer
+                .ranking()
+                .iter()
+                .position(|&(counter, _)| counter == c)
+        });
+        EpochSnapshot {
+            epoch,
+            runs: self.runs,
+            failures: self.failures,
+            observed: self.first.observed_count(),
+            survivors,
+            target_latency: self
+                .target_counter
+                .and_then(|c| self.first.latency_of_counter(c)),
+            target_rank,
+            bytes: self.bytes,
+            batches: self.batches,
+            rejected_batches: self.rejected_batches,
+            stale_batches: self.stale_batches,
+        }
+    }
+
+    /// Epoch snapshots closed so far, oldest first.
+    pub fn snapshots(&self) -> &[EpochSnapshot] {
+        &self.snapshots
+    }
+
+    /// The underlying streaming analyzer.
+    pub fn analyzer(&self) -> &StreamingAnalyzer {
+        &self.analyzer
+    }
+
+    /// The shared first-observation record.
+    pub fn first_observation(&self) -> &FirstObservation {
+        &self.first
+    }
+
+    /// The site table the stream is scored against.
+    pub fn sites(&self) -> &SiteTable {
+        &self.sites
+    }
+
+    /// Detection latency (1-based) of the earliest-observed predicate
+    /// whose name contains `needle`.
+    pub fn latency_of(&self, needle: &str) -> Option<usize> {
+        self.first.latency_of(&self.sites, needle)
+    }
+
+    /// Community runs folded so far.
+    pub fn runs(&self) -> u64 {
+        self.runs
+    }
+
+    /// Failure-labelled runs folded so far.
+    pub fn failures(&self) -> u64 {
+        self.failures
+    }
+
+    /// Wire bytes attributed via [`note_accepted_batch`](Self::note_accepted_batch).
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+impl ReportSink for EpochAggregator {
+    fn begin(&mut self, layout: ReportLayout) -> Result<(), SinkError> {
+        self.analyzer.begin(layout)
+    }
+
+    /// Folds one report.  The report's `run_id` is taken as its 0-based
+    /// community run index for latency purposes, so detection latency is
+    /// independent of batch arrival order.
+    fn accept(&mut self, report: Report) -> Result<(), SinkError> {
+        self.first.record(report.run_id as usize, &report.counters);
+        if report.label == Label::Failure {
+            self.failures += 1;
+        }
+        self.analyzer.accept(report)?;
+        self.runs += 1;
+        if self.runs.is_multiple_of(self.epoch_len) {
+            self.snapshot_now();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbi_instrument::{instrument, Scheme};
+
+    fn sites() -> SiteTable {
+        let program = cbi_minic::parse(
+            "fn rare(int v) -> int { if (v % 12 == 0) { return 1; } return 0; }\n\
+             fn main() -> int { int v = read(); int hit = rare(v); print(hit); return 0; }",
+        )
+        .unwrap();
+        instrument(&program, Scheme::Returns).unwrap().sites
+    }
+
+    fn aggregator(epoch_len: u64, target: Option<usize>) -> EpochAggregator {
+        EpochAggregator::new(sites(), epoch_len, StreamingConfig::default(), target)
+    }
+
+    fn report(run_id: u64, fail: bool, hot: usize, counters: usize) -> Report {
+        let mut values = vec![0u64; counters];
+        values[hot] = 1;
+        let label = if fail { Label::Failure } else { Label::Success };
+        Report::new(run_id, label, values)
+    }
+
+    #[test]
+    fn epochs_close_every_epoch_len_runs() {
+        let n = sites().total_counters();
+        let mut agg = aggregator(3, None);
+        agg.begin(ReportLayout {
+            counters: n,
+            layout_hash: sites().layout_hash(),
+        })
+        .unwrap();
+        for i in 0..7u64 {
+            agg.accept(report(i, i % 2 == 0, (i as usize) % n, n))
+                .unwrap();
+        }
+        assert_eq!(agg.snapshots().len(), 2, "epochs at runs 3 and 6");
+        assert_eq!(agg.snapshots()[0].runs, 3);
+        assert_eq!(agg.snapshots()[1].runs, 6);
+        agg.snapshot_now();
+        assert_eq!(agg.snapshots()[2].runs, 7);
+        assert_eq!(agg.snapshots()[2].epoch, 2);
+        assert_eq!(agg.snapshots()[2].failures, 4);
+    }
+
+    #[test]
+    fn target_latency_tracks_first_observation_by_run_id() {
+        let table = sites();
+        let n = table.total_counters();
+        let target = (0..n)
+            .find(|&c| table.predicate_name(c).contains("rare() > 0"))
+            .unwrap();
+        let mut agg = aggregator(10, Some(target));
+        agg.begin(ReportLayout {
+            counters: n,
+            layout_hash: table.layout_hash(),
+        })
+        .unwrap();
+        // The hit arrives in a late batch but carries run_id 4: latency
+        // must be 5 (1-based), not the arrival position.
+        agg.accept(report(9, false, (target + 1) % n, n)).unwrap();
+        agg.accept(report(4, true, target, n)).unwrap();
+        agg.snapshot_now();
+        let snap = &agg.snapshots()[0];
+        assert_eq!(snap.target_latency, Some(5));
+        assert_eq!(snap.observed, 2);
+        assert!(snap.target_rank.is_some());
+        assert_eq!(agg.latency_of("rare() > 0"), Some(5));
+    }
+
+    #[test]
+    fn batch_accounting_reaches_snapshots() {
+        let n = sites().total_counters();
+        let mut agg = aggregator(1, None);
+        agg.begin(ReportLayout {
+            counters: n,
+            layout_hash: sites().layout_hash(),
+        })
+        .unwrap();
+        agg.note_accepted_batch(120);
+        agg.note_rejected_batch(true);
+        agg.note_rejected_batch(false);
+        agg.accept(report(0, false, 0, n)).unwrap();
+        let snap = &agg.snapshots()[0];
+        assert_eq!(snap.bytes, 120);
+        assert_eq!(snap.batches, 1);
+        assert_eq!(snap.rejected_batches, 2);
+        assert_eq!(snap.stale_batches, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_epoch_len_panics() {
+        let _ = aggregator(0, None);
+    }
+}

@@ -60,6 +60,8 @@
 
 pub mod coverage;
 pub mod deployment;
+pub mod detection;
+pub mod epoch;
 pub mod pipeline;
 pub mod remote;
 pub mod streaming;
@@ -69,6 +71,8 @@ pub use coverage::{coverage, CoverageReport};
 pub use deployment::{
     simulate_deployment, simulate_variant_fleet, Deployment, FleetConfig, FleetOutcome,
 };
+pub use detection::FirstObservation;
+pub use epoch::{EpochAggregator, EpochSnapshot};
 pub use pipeline::{
     eliminate, eliminate_stats, regress, EliminationReport, PipelineError, RegressionConfig,
     RegressionStudy,

@@ -1,0 +1,278 @@
+//! The lossy channel between a client's spool and the collection server.
+//!
+//! Remote sampling lives on real networks: batches vanish, arrive cut
+//! short, or arrive with flipped bits.  The channel model applies those
+//! faults per transmission *attempt*, seeded, so an entire campaign of
+//! failures replays bit-for-bit from the fleet seed.  Clients respond
+//! with bounded retry under exponential backoff; what that policy does
+//! to a batch is decided here, in one place, as a pure function of the
+//! fault coin flips and the server's (deterministic) accept/reject
+//! verdict.
+
+use cbi_reports::{decode_batch, Report, ReportLayout, WireError};
+use cbi_sampler::Pcg32;
+
+/// PRNG stream tag for channel faults (one stream per attempt).
+const CHANNEL_STREAM: u64 = 0x63_68_61_6e; // "chan"
+
+/// Attempts per batch are bounded, so per-attempt streams can be packed
+/// as `batch_uid * ATTEMPT_STRIDE + attempt`.
+const ATTEMPT_STRIDE: u64 = 64;
+
+/// Fault probabilities and retry policy for the client↔server channel.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChannelSpec {
+    /// Probability an attempt vanishes entirely (nothing reaches the
+    /// server; the client times out and retries).
+    pub drop: f64,
+    /// Probability a delivered attempt arrives truncated.
+    pub truncate: f64,
+    /// Probability a delivered attempt arrives with one flipped bit.
+    pub bit_flip: f64,
+    /// Retries after the first attempt before the batch is abandoned.
+    pub max_retries: u32,
+    /// Backoff after failed attempt `k` costs `backoff_base << k` ticks.
+    pub backoff_base: u64,
+}
+
+impl Default for ChannelSpec {
+    /// A clean channel: nothing dropped, nothing corrupted.
+    fn default() -> Self {
+        ChannelSpec {
+            drop: 0.0,
+            truncate: 0.0,
+            bit_flip: 0.0,
+            max_retries: 3,
+            backoff_base: 1,
+        }
+    }
+}
+
+impl ChannelSpec {
+    /// A channel that loses or corrupts roughly `fault` of attempts,
+    /// split evenly between drops, truncations, and bit flips.
+    pub fn faulty(fault: f64) -> Self {
+        ChannelSpec {
+            drop: fault / 3.0,
+            truncate: fault / 3.0,
+            bit_flip: fault / 3.0,
+            ..ChannelSpec::default()
+        }
+    }
+}
+
+/// What one transmission attempt put on the server's doorstep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Delivery {
+    /// The attempt never arrived.
+    Dropped,
+    /// These bytes arrived (possibly truncated or bit-flipped).
+    Arrived(Vec<u8>),
+}
+
+/// Applies seeded channel faults to one attempt's payload.
+pub fn transmit(bytes: &[u8], rng: &mut Pcg32, spec: &ChannelSpec) -> Delivery {
+    if rng.next_f64() < spec.drop {
+        return Delivery::Dropped;
+    }
+    let mut payload = bytes.to_vec();
+    if rng.next_f64() < spec.truncate && !payload.is_empty() {
+        payload.truncate(rng.below(payload.len() as u64) as usize);
+    }
+    if rng.next_f64() < spec.bit_flip && !payload.is_empty() {
+        let pos = rng.below(payload.len() as u64) as usize;
+        payload[pos] ^= 1 << rng.below(8);
+    }
+    Delivery::Arrived(payload)
+}
+
+/// How a batch's send loop ended.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SendOutcome {
+    /// The server decoded an attempt cleanly and committed these
+    /// reports (decoded from the *delivered* bytes, so a bit flip that
+    /// still parses delivers silently corrupt data, as on a real wire).
+    Accepted {
+        /// The committed reports.
+        reports: Vec<Report>,
+        /// Payload bytes of the accepted attempt.
+        bytes: u64,
+    },
+    /// The server rejected the stream's layout fingerprint: a stale
+    /// client.  The client gives up immediately (its binary will never
+    /// match), so one rejection is recorded and no retries burn.
+    Stale,
+    /// Every allowed attempt was dropped or rejected; the batch is
+    /// abandoned and its reports are lost.
+    Lost,
+}
+
+/// The full accounting of one batch's send loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SendResult {
+    /// How the loop ended.
+    pub outcome: SendOutcome,
+    /// Attempts transmitted (including the successful one, if any).
+    pub attempts: u32,
+    /// Bytes put on the wire across all attempts.
+    pub bytes_sent: u64,
+    /// Backoff ticks accumulated between attempts.
+    pub backoff_ticks: u64,
+    /// Delivered-but-rejected attempts, in order; `true` marks a
+    /// stale-layout rejection.
+    pub rejections: Vec<bool>,
+}
+
+/// Runs the bounded-retry send loop for one spooled batch.
+///
+/// `batch_uid` must be globally unique (it seeds the per-attempt fault
+/// stream); `expected` is the server's current layout, against which
+/// each delivered attempt is validated exactly as the server's
+/// transactional ingest would.
+pub fn send_batch(
+    bytes: &[u8],
+    batch_uid: u64,
+    seed: u64,
+    channel: &ChannelSpec,
+    expected: ReportLayout,
+) -> SendResult {
+    let mut result = SendResult {
+        outcome: SendOutcome::Lost,
+        attempts: 0,
+        bytes_sent: 0,
+        backoff_ticks: 0,
+        rejections: Vec::new(),
+    };
+    for attempt in 0..=u64::from(channel.max_retries) {
+        let mut rng = Pcg32::with_stream(
+            seed,
+            CHANNEL_STREAM ^ (batch_uid.wrapping_mul(ATTEMPT_STRIDE) + attempt),
+        );
+        result.attempts += 1;
+        result.bytes_sent += bytes.len() as u64;
+        let verdict = match transmit(bytes, &mut rng, channel) {
+            Delivery::Dropped => None,
+            Delivery::Arrived(payload) => Some(decode_batch(&payload, Some(expected))),
+        };
+        match verdict {
+            Some(Ok((reports, _, consumed))) => {
+                result.outcome = SendOutcome::Accepted {
+                    reports,
+                    bytes: consumed,
+                };
+                return result;
+            }
+            Some(Err(rejected)) => {
+                let stale = matches!(rejected.error, WireError::LayoutHashMismatch { .. });
+                result.rejections.push(stale);
+                if stale {
+                    result.outcome = SendOutcome::Stale;
+                    return result;
+                }
+            }
+            None => {}
+        }
+        if attempt < u64::from(channel.max_retries) {
+            // Exponential backoff, shift-capped so ticks cannot overflow.
+            result.backoff_ticks += channel.backoff_base << attempt.min(16);
+        }
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbi_reports::wire::encode_reports;
+    use cbi_reports::Label;
+
+    fn layout() -> ReportLayout {
+        ReportLayout {
+            counters: 2,
+            layout_hash: 0xf1ee7,
+        }
+    }
+
+    fn batch(hash: u64) -> Vec<u8> {
+        let reports = vec![
+            Report::new(3, Label::Success, vec![1, 0]),
+            Report::new(7, Label::Failure, vec![0, 2]),
+        ];
+        encode_reports(&reports, hash, 2).unwrap()
+    }
+
+    #[test]
+    fn clean_channel_accepts_first_attempt() {
+        let bytes = batch(layout().layout_hash);
+        let r = send_batch(&bytes, 0, 1, &ChannelSpec::default(), layout());
+        assert_eq!(r.attempts, 1);
+        assert_eq!(r.bytes_sent, bytes.len() as u64);
+        assert!(r.rejections.is_empty());
+        match r.outcome {
+            SendOutcome::Accepted {
+                ref reports,
+                bytes: b,
+            } => {
+                assert_eq!(reports.len(), 2);
+                assert_eq!(b, bytes.len() as u64);
+            }
+            ref other => panic!("expected accept, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn total_loss_exhausts_retries_with_backoff() {
+        let channel = ChannelSpec {
+            drop: 1.0,
+            max_retries: 3,
+            backoff_base: 2,
+            ..ChannelSpec::default()
+        };
+        let bytes = batch(layout().layout_hash);
+        let r = send_batch(&bytes, 9, 1, &channel, layout());
+        assert_eq!(r.outcome, SendOutcome::Lost);
+        assert_eq!(r.attempts, 4, "initial + 3 retries");
+        assert_eq!(r.bytes_sent, 4 * bytes.len() as u64);
+        assert_eq!(r.backoff_ticks, 2 + 4 + 8, "2<<0 + 2<<1 + 2<<2");
+    }
+
+    #[test]
+    fn stale_layout_gives_up_after_one_rejection() {
+        let bytes = batch(layout().layout_hash ^ 0xff);
+        let channel = ChannelSpec {
+            max_retries: 5,
+            ..ChannelSpec::default()
+        };
+        let r = send_batch(&bytes, 2, 1, &channel, layout());
+        assert_eq!(r.outcome, SendOutcome::Stale);
+        assert_eq!(r.attempts, 1, "no point retrying a stale binary");
+        assert_eq!(r.rejections, vec![true]);
+    }
+
+    #[test]
+    fn corrupting_channel_is_deterministic() {
+        let channel = ChannelSpec::faulty(0.9);
+        let bytes = batch(layout().layout_hash);
+        for uid in 0..16 {
+            let a = send_batch(&bytes, uid, 77, &channel, layout());
+            let b = send_batch(&bytes, uid, 77, &channel, layout());
+            assert_eq!(a, b, "uid {uid}");
+        }
+    }
+
+    #[test]
+    fn truncation_rejections_allow_a_later_clean_attempt() {
+        // With heavy truncation but no drops, some uid eventually shows
+        // a rejected-then-accepted sequence — the retry path working.
+        let channel = ChannelSpec {
+            truncate: 0.6,
+            max_retries: 6,
+            ..ChannelSpec::default()
+        };
+        let bytes = batch(layout().layout_hash);
+        let recovered = (0..64)
+            .map(|uid| send_batch(&bytes, uid, 5, &channel, layout()))
+            .any(|r| !r.rejections.is_empty() && matches!(r.outcome, SendOutcome::Accepted { .. }));
+        assert!(recovered, "no batch recovered after a rejection");
+    }
+}

@@ -1,0 +1,124 @@
+//! Driving a fleet against corpus ground truth.
+//!
+//! A [`PlantedBug`] manifest records the mutated source, the true
+//! counter, and the layout hash that pins them together.  This module
+//! parses the source, regenerates an input population from the bug's
+//! workload distribution (sized for a community, not a trial list),
+//! verifies the layout has not drifted, and runs the fleet with the true
+//! counter as the detection target — so the epoch trajectory reports
+//! detection latency and rank *of a demonstrated bug*.
+
+use crate::sim::{run_fleet, FleetReport, FleetSpec};
+use crate::FleetError;
+use cbi_corpus::generate::{corpus_ccrypt_config, testgen_trials};
+use cbi_corpus::{CorpusEntry, PlantedBug, Workload};
+use cbi_instrument::{instrument, Scheme};
+use cbi_workloads::{bc_trials, ccrypt_trials, BcTrialConfig};
+
+/// Regenerates an input population for `bug`'s workload: the same
+/// distribution the corpus validated the bug against, but sized and
+/// seeded for a community pool rather than a fixed trial list.
+pub fn corpus_pool(bug: &PlantedBug, n: usize, seed: u64) -> Vec<Vec<i64>> {
+    match bug.workload {
+        Workload::Testgen => testgen_trials(n, seed),
+        Workload::Ccrypt => ccrypt_trials(n, seed, &corpus_ccrypt_config()),
+        Workload::Bc => bc_trials(n, seed, &BcTrialConfig::default()),
+    }
+}
+
+/// Runs a fleet against a corpus entry, drawing inputs from a pool of
+/// `pool_size` regenerated workload inputs and targeting the planted
+/// bug's true counter.
+///
+/// Corpus entries are instrumented with [`Scheme::Checks`] (the scheme
+/// their manifests were validated under); `spec.scheme` is overridden
+/// accordingly.
+///
+/// # Errors
+///
+/// Returns [`FleetError::Parse`] if the entry's source no longer
+/// parses, [`FleetError::LayoutDrift`] if the instrumented layout hash
+/// disagrees with the manifest (the recorded true counter would point at
+/// the wrong predicate), or any simulation error from [`run_fleet`].
+pub fn run_corpus_fleet(
+    entry: &CorpusEntry,
+    pool_size: usize,
+    spec: &FleetSpec,
+) -> Result<FleetReport, FleetError> {
+    let bug = &entry.bug;
+    let program = cbi_minic::parse(&entry.source)
+        .map_err(|e| FleetError::Parse(format!("{}: {e}", bug.id)))?;
+    let mut spec = spec.clone();
+    spec.scheme = Scheme::Checks;
+    let sites = instrument(&program, spec.scheme)?.sites;
+    if sites.layout_hash() != bug.layout_hash || sites.total_counters() != bug.counters {
+        return Err(FleetError::LayoutDrift {
+            expected: bug.layout_hash,
+            got: sites.layout_hash(),
+        });
+    }
+    let pool = corpus_pool(bug, pool_size, spec.seed ^ 0xc0_70_01);
+    run_fleet(&program, &pool, &spec, Some(bug.true_counter))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbi_corpus::{generate_corpus, GenerateConfig};
+
+    fn one_entry() -> CorpusEntry {
+        let cfg = GenerateConfig {
+            size: 2,
+            seed: 41,
+            trials: 48,
+        };
+        let corpus = generate_corpus(&cfg).expect("corpus generation");
+        corpus
+            .entries
+            .first()
+            .expect("at least one planted bug")
+            .clone()
+    }
+
+    #[test]
+    fn fleet_detects_a_planted_bug_and_scores_it() {
+        let entry = one_entry();
+        let mut spec = FleetSpec::new(16, 600);
+        spec.densities = vec![(5, 1.0)];
+        spec.batch_size = 10;
+        spec.epoch_len = 100;
+        let report = run_corpus_fleet(&entry, 64, &spec).unwrap();
+        assert_eq!(report.summary.runs, 600);
+        assert!(report.summary.failures > 0, "the planted bug must fire");
+        assert!(
+            report.summary.target_latency.is_some(),
+            "dense sampling over 600 runs must observe the true predicate"
+        );
+        assert!(report.target_rank.is_some());
+        // The epoch trajectory is monotone in runs.
+        let runs: Vec<u64> = report.epochs.iter().map(|e| e.runs).collect();
+        assert!(runs.windows(2).all(|w| w[0] < w[1]), "{runs:?}");
+    }
+
+    #[test]
+    fn drifted_layout_is_refused() {
+        let mut entry = one_entry();
+        entry.bug.layout_hash ^= 1;
+        let spec = FleetSpec::new(4, 20);
+        assert!(matches!(
+            run_corpus_fleet(&entry, 8, &spec),
+            Err(FleetError::LayoutDrift { .. })
+        ));
+    }
+
+    #[test]
+    fn unparsable_source_is_refused() {
+        let mut entry = one_entry();
+        entry.source = "fn main( {".to_string();
+        let spec = FleetSpec::new(4, 20);
+        assert!(matches!(
+            run_corpus_fleet(&entry, 8, &spec),
+            Err(FleetError::Parse(_))
+        ));
+    }
+}

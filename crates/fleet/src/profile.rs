@@ -1,0 +1,122 @@
+//! Client profiles: who is in the community and what do they run?
+//!
+//! §3.1.3 treats the community as the detection instrument, but a real
+//! community is heterogeneous: users run different workloads with
+//! Zipf-skewed popularity, different sampling densities (§3.1.1's
+//! density mix), different statically-selective instrumentation variants
+//! (§3.1.2), and different binary *versions* — some stale enough that
+//! the collection server must turn their reports away at the layout
+//! handshake.  A [`ClientProfile`] fixes all of that per client, drawn
+//! from seeded distributions so the whole community is reproducible.
+
+use crate::FleetSpec;
+use cbi_sampler::{Categorical, Pcg32, SamplingDensity};
+
+/// PRNG stream tag for profile drawing (one stream per client).
+const PROFILE_STREAM: u64 = 0x70_72_6f_66; // "prof"
+
+/// One simulated user: everything about their installation that shapes
+/// the reports they send.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClientProfile {
+    /// Client index in the community.
+    pub client: usize,
+    /// Sampling density their instrumented binary runs at.
+    pub density: SamplingDensity,
+    /// The density's denominator `d` (density `1/d`), for bucketing.
+    pub denominator: u64,
+    /// Index into the single-function variant list, or `None` for the
+    /// fully instrumented binary.
+    pub variant: Option<usize>,
+    /// A stale binary version: its report streams carry an outdated
+    /// layout fingerprint and are rejected at the server handshake.
+    pub stale: bool,
+}
+
+/// Draws the whole community's profiles from `spec`'s seeded
+/// distributions.  `variants` is how many single-function variants the
+/// instrumented program offers (0 forces everyone onto the full binary).
+///
+/// Each profile is a pure function of `(spec.seed, client index)`, so
+/// any sharding of the community reproduces the same population.
+///
+/// # Panics
+///
+/// Panics if `spec.densities` is empty or has non-positive weights (the
+/// spec constructor validates this).
+pub fn draw_profiles(spec: &FleetSpec, variants: usize) -> Vec<ClientProfile> {
+    let weights: Vec<f64> = spec.densities.iter().map(|&(_, w)| w).collect();
+    let mix = Categorical::new(&weights).expect("spec validated the density mix");
+    (0..spec.clients)
+        .map(|client| {
+            let mut rng = Pcg32::with_stream(spec.seed, PROFILE_STREAM ^ (client as u64));
+            let (denominator, _) = spec.densities[mix.sample(&mut rng)];
+            let variant = if variants > 0 && rng.next_f64() < spec.variant_fraction {
+                Some(rng.below(variants as u64) as usize)
+            } else {
+                None
+            };
+            let stale = rng.next_f64() < spec.stale_fraction;
+            ClientProfile {
+                client,
+                density: SamplingDensity::one_in(denominator),
+                denominator,
+                variant,
+                stale,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> FleetSpec {
+        let mut s = FleetSpec::new(64, 256);
+        s.densities = vec![(100, 3.0), (1000, 1.0)];
+        s.variant_fraction = 0.5;
+        s.stale_fraction = 0.25;
+        s
+    }
+
+    #[test]
+    fn profiles_are_deterministic_and_independent_of_sharding() {
+        let s = spec();
+        let all = draw_profiles(&s, 5);
+        let again = draw_profiles(&s, 5);
+        assert_eq!(all, again);
+        // Any single client's profile is reproducible in isolation.
+        let mut one = s.clone();
+        one.clients = 64;
+        assert_eq!(draw_profiles(&one, 5)[17], all[17]);
+    }
+
+    #[test]
+    fn density_mix_respects_weights() {
+        let s = spec();
+        let profiles = draw_profiles(&s, 0);
+        let dense = profiles.iter().filter(|p| p.denominator == 100).count();
+        let sparse = profiles.len() - dense;
+        assert!(dense > sparse, "3:1 weights: {dense} vs {sparse}");
+        assert!(sparse > 0, "minority density still occurs");
+    }
+
+    #[test]
+    fn variants_and_staleness_occur_at_roughly_spec_fractions() {
+        let mut s = spec();
+        s.clients = 400;
+        let profiles = draw_profiles(&s, 4);
+        let varied = profiles.iter().filter(|p| p.variant.is_some()).count();
+        let stale = profiles.iter().filter(|p| p.stale).count();
+        assert!((120..=280).contains(&varied), "variant count {varied}");
+        assert!((50..=150).contains(&stale), "stale count {stale}");
+        assert!(profiles.iter().filter_map(|p| p.variant).all(|v| v < 4));
+    }
+
+    #[test]
+    fn zero_variants_forces_full_binary() {
+        let profiles = draw_profiles(&spec(), 0);
+        assert!(profiles.iter().all(|p| p.variant.is_none()));
+    }
+}

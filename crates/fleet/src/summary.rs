@@ -1,0 +1,99 @@
+//! Text rendering of a fleet summary, built for golden-file diffing.
+//!
+//! Every line is derived from integer counts (runs, batches, bytes,
+//! latencies), never from floating-point aggregates, so the output is
+//! byte-stable across platforms, libm versions, and `--jobs` settings.
+
+use crate::sim::FleetSummary;
+use cbi::epoch::EpochSnapshot;
+use std::fmt::Write as _;
+
+/// Renders the operator's view of a fleet run: community composition,
+/// channel accounting, and the per-epoch detection trajectory.
+pub fn render_summary(summary: &FleetSummary, epochs: &[EpochSnapshot]) -> String {
+    let mut out = String::new();
+    let s = summary;
+    let _ = writeln!(
+        out,
+        "fleet: {} clients, {} runs ({} dropped)",
+        s.clients, s.runs, s.dropped_runs
+    );
+    let mix: Vec<String> = s
+        .density_clients
+        .iter()
+        .map(|&(d, n)| format!("1/{d}={n}"))
+        .collect();
+    let _ = writeln!(
+        out,
+        "community: densities [{}], {} variant, {} stale",
+        mix.join(" "),
+        s.variant_clients,
+        s.stale_clients
+    );
+    let _ = writeln!(
+        out,
+        "channel: {} batches, {} accepted, {} lost, {} stale-rejected, {} retries, {} backoff ticks",
+        s.batches, s.accepted_batches, s.lost_batches, s.stale_batches, s.retries, s.backoff_ticks
+    );
+    let _ = writeln!(
+        out,
+        "wire: {} bytes sent, {} bytes accepted, {} deliveries rejected ({} stale)",
+        s.bytes_sent, s.bytes_accepted, s.rejected_deliveries, s.stale_rejections
+    );
+    let _ = writeln!(
+        out,
+        "server: {} of {} spooled reports accepted, {} failures, {} of {} counters observed, {} survivors",
+        s.accepted_reports, s.spooled_reports, s.failures, s.observed_counters, s.counters, s.survivors
+    );
+    match s.target_latency {
+        Some(latency) => {
+            let _ = writeln!(out, "target: detected at community run {latency}");
+        }
+        None => {
+            let _ = writeln!(out, "target: not detected");
+        }
+    }
+    let _ = writeln!(
+        out,
+        "epoch     runs failures observed survivors  accepted  rejected     stale     bytes"
+    );
+    for e in epochs {
+        let _ = writeln!(
+            out,
+            "{:>5} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            e.epoch,
+            e.runs,
+            e.failures,
+            e.observed,
+            e.survivors,
+            e.batches,
+            e.rejected_batches,
+            e.stale_batches,
+            e.bytes
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::{run_fleet, FleetSpec};
+
+    #[test]
+    fn rendering_is_integer_only_and_stable() {
+        let program =
+            cbi_minic::parse("fn main() -> int { int v = read(); print(v); return 0; }").unwrap();
+        let pool: Vec<Vec<i64>> = (0..8).map(|i| vec![i]).collect();
+        let mut spec = FleetSpec::new(4, 40);
+        spec.densities = vec![(2, 1.0)];
+        spec.epoch_len = 16;
+        let report = run_fleet(&program, &pool, &spec, None).unwrap();
+        let a = render_summary(&report.summary, &report.epochs);
+        let b = render_summary(&report.summary, &report.epochs);
+        assert_eq!(a, b);
+        assert!(a.contains("fleet: 4 clients, 40 runs"));
+        assert!(a.contains("epoch"));
+        assert!(!a.contains('.'), "no floats in the golden surface:\n{a}");
+    }
+}

@@ -31,12 +31,14 @@
 #![warn(missing_docs)]
 
 pub mod collector;
+pub mod ingest;
 pub mod report;
 pub mod sink;
 pub mod suffstats;
 pub mod wire;
 
 pub use collector::{CollectError, Collector};
+pub use ingest::{decode_batch, BatchIngest, BatchRejected, BatchStats};
 pub use report::{Label, Report, ReportParseError};
 pub use sink::{ReportLayout, ReportSink, SinkError, SpoolSink, TransmitSink, WireSink};
 pub use suffstats::SufficientStats;

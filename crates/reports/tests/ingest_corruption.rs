@@ -1,0 +1,184 @@
+//! Property tests for transactional batch ingest under channel faults:
+//! seeded truncations and bit-flips must always yield a typed
+//! [`WireError`] (never a panic), a rejected batch must commit nothing,
+//! and the ingest loop must keep accepting clean batches afterwards.
+//!
+//! Driven by the in-tree PCG generator, so every failing case is
+//! reproducible from its seed.
+
+use cbi_reports::wire::{self, WireError};
+use cbi_reports::{decode_batch, BatchIngest, Collector, Label, Report, ReportLayout};
+use cbi_sampler::Pcg32;
+
+const LAYOUT_HASH: u64 = 0x51e5_7ab1_e000_cb01;
+
+fn random_reports(seed: u64, n: usize, counters: usize) -> Vec<Report> {
+    let mut rng = Pcg32::new(seed);
+    let mut run_id = 0u64;
+    (0..n)
+        .map(|_| {
+            run_id += 1 + rng.below(9);
+            let label = if rng.next_f64() < 0.3 {
+                Label::Failure
+            } else {
+                Label::Success
+            };
+            let values: Vec<u64> = (0..counters)
+                .map(|_| match rng.below(10) {
+                    0..=5 => 0,
+                    6 | 7 => rng.below(16),
+                    8 => rng.below(1 << 20),
+                    _ => u64::MAX - rng.below(1 << 30),
+                })
+                .collect();
+            Report::new(run_id, label, values)
+        })
+        .collect()
+}
+
+fn batch(seed: u64, n: usize, counters: usize) -> Vec<u8> {
+    let reports = random_reports(seed, n, counters);
+    wire::encode_reports(&reports, LAYOUT_HASH, counters).unwrap()
+}
+
+fn layout(counters: usize) -> ReportLayout {
+    ReportLayout {
+        counters,
+        layout_hash: LAYOUT_HASH,
+    }
+}
+
+#[test]
+fn truncation_at_every_length_is_typed_and_transactional() {
+    for seed in 0..8u64 {
+        let counters = 1 + (seed as usize * 5) % 24;
+        let bytes = batch(seed, 12, counters);
+        for cut in 0..bytes.len() {
+            let mut ingest = BatchIngest::new(Collector::default(), Some(layout(counters)));
+            match ingest.ingest(&bytes[..cut]) {
+                // A cut exactly on a frame boundary is a clean, shorter
+                // batch; anything else must reject without committing.
+                Ok(stats) => {
+                    assert_eq!(stats.bytes, cut as u64, "seed {seed} cut {cut}");
+                    assert_eq!(ingest.sink().len(), stats.reports);
+                }
+                Err(rejected) => {
+                    assert!(
+                        matches!(rejected.error, WireError::Truncated(_)),
+                        "seed {seed} cut {cut}: expected truncation, got {}",
+                        rejected.error
+                    );
+                    assert!(
+                        ingest.sink().is_empty(),
+                        "seed {seed} cut {cut}: partial prefix committed"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn bit_flips_never_panic_and_never_half_commit() {
+    for seed in 0..24u64 {
+        let counters = 2 + (seed as usize * 3) % 16;
+        let clean = batch(seed, 10, counters);
+        let expected_reports = decode_batch(&clean, Some(layout(counters)))
+            .unwrap()
+            .0
+            .len();
+
+        let mut fault = Pcg32::with_stream(seed, 0xf11b);
+        for _ in 0..64 {
+            let mut corrupt = clean.clone();
+            // 1..=3 seeded single-bit flips anywhere in the stream.
+            for _ in 0..=fault.below(2) {
+                let pos = fault.below(corrupt.len() as u64) as usize;
+                corrupt[pos] ^= 1 << fault.below(8);
+            }
+            let mut ingest = BatchIngest::new(Collector::default(), Some(layout(counters)));
+            match ingest.ingest(&corrupt) {
+                // Flips confined to counter payloads can still decode;
+                // such silently-corrupt data is the channel model's
+                // problem, not the codec's. The batch must be whole.
+                Ok(stats) => assert_eq!(
+                    stats.reports, expected_reports,
+                    "seed {seed}: decodable flip changed report count"
+                ),
+                Err(rejected) => {
+                    // The error is typed (we got a WireError, not a
+                    // panic) and the sink saw none of the batch.
+                    let _ = rejected.error.to_string();
+                    assert!(ingest.sink().is_empty(), "seed {seed}: partial commit");
+                    assert_eq!(ingest.rejected(), 1);
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn ingest_loop_survives_interleaved_garbage() {
+    let counters = 6;
+    let mut ingest = BatchIngest::new(Collector::default(), Some(layout(counters)));
+    let mut fault = Pcg32::with_stream(99, 0xbad);
+    let mut committed = 0usize;
+
+    for round in 0..40u64 {
+        let clean = batch(round, 5, counters);
+        // Corrupt every other batch: truncate or flip, seeded.
+        let malformed = round % 2 == 1;
+        let payload = if !malformed {
+            clean.clone()
+        } else if fault.below(2) == 0 {
+            clean[..fault.below(clean.len() as u64) as usize].to_vec()
+        } else {
+            let mut c = clean.clone();
+            let pos = fault.below(c.len().min(12) as u64) as usize;
+            c[pos] ^= 0xff; // smash the header region
+            c
+        };
+
+        match ingest.ingest(&payload) {
+            Ok(stats) => committed += stats.reports,
+            Err(rejected) => {
+                assert!(malformed, "round {round}: clean batch rejected: {rejected}");
+            }
+        }
+        // Clean batches must land regardless of earlier garbage.
+        if !malformed {
+            assert_eq!(
+                ingest.sink().len(),
+                committed,
+                "round {round}: loop did not continue after rejection"
+            );
+        }
+    }
+
+    assert_eq!(ingest.accepted() + ingest.rejected(), 40);
+    assert!(ingest.accepted() >= 20, "all clean batches accepted");
+    assert!(ingest.rejected() > 0, "faults actually exercised");
+    assert_eq!(ingest.sink().len(), committed);
+    ingest.finish().unwrap();
+}
+
+#[test]
+fn stale_layout_hash_is_counted_not_crashed() {
+    let counters = 4;
+    let reports = random_reports(5, 6, counters);
+    let stale = wire::encode_reports(&reports, LAYOUT_HASH ^ 0xff, counters).unwrap();
+    let mut ingest = BatchIngest::new(Collector::default(), Some(layout(counters)));
+
+    let rejected = ingest.ingest(&stale).unwrap_err();
+    assert!(matches!(
+        rejected.error,
+        WireError::LayoutHashMismatch { .. }
+    ));
+    assert_eq!(rejected.decoded, 0, "rejected at the header");
+    assert_eq!(ingest.layout_rejections(), 1);
+    assert!(ingest.sink().is_empty());
+
+    // A current-version client is unaffected.
+    ingest.ingest(&batch(5, 6, counters)).unwrap();
+    assert_eq!(ingest.sink().len(), 6);
+}

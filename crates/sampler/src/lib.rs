@@ -25,7 +25,10 @@
 //!   banks of 1024), cycling like the real deployment;
 //! * [`fairness`] — chi-square and moment checks used to demonstrate that
 //!   geometric countdowns realize a fair Bernoulli process while periodic
-//!   triggers do not.
+//!   triggers do not;
+//! * [`Categorical`] and [`Zipf`] — seeded discrete distributions used to
+//!   model heterogeneous user communities (density mixes, skewed
+//!   workload/input popularity) in the fleet simulator.
 //!
 //! # Example
 //!
@@ -45,10 +48,12 @@ pub mod countdown;
 pub mod fairness;
 pub mod geometric;
 pub mod rng;
+pub mod zipf;
 
 pub use countdown::{Bernoulli, CountdownBank, CountdownSource, Periodic, UniformInterval};
 pub use geometric::Geometric;
 pub use rng::Pcg32;
+pub use zipf::{Categorical, CategoricalError, Zipf};
 
 use std::error::Error;
 use std::fmt;

@@ -1,0 +1,113 @@
+//! Fleet determinism gate: byte-identical summaries at any `--jobs`,
+//! same seed — including under injected channel faults, stale clients,
+//! variant binaries, and a mixed density population.
+
+use cbi_fleet::{render_summary, run_fleet, ChannelSpec, FleetReport, FleetSpec};
+use cbi_instrument::{instrument, Scheme};
+
+const RARE: &str = "fn rare(int v) -> int { if (v % 12 == 0) { return 1; } return 0; }\n\
+     fn main() -> int { int v = read(); int hit = rare(v); print(hit); return 0; }";
+
+fn pool(n: usize) -> Vec<Vec<i64>> {
+    (0..n as i64).map(|i| vec![i * 7 + 1]).collect()
+}
+
+fn stormy_spec() -> FleetSpec {
+    let mut spec = FleetSpec::new(24, 800);
+    spec.densities = vec![(5, 2.0), (20, 1.0)];
+    spec.batch_size = 12;
+    spec.epoch_len = 128;
+    spec.zipf_exponent = 1.1;
+    spec.variant_fraction = 0.4;
+    spec.stale_fraction = 0.15;
+    spec.channel = ChannelSpec {
+        drop: 0.25,
+        truncate: 0.15,
+        bit_flip: 0.1,
+        max_retries: 3,
+        backoff_base: 2,
+    };
+    spec.seed = 0xf1ee7;
+    spec
+}
+
+fn target() -> usize {
+    let program = cbi_minic::parse(RARE).unwrap();
+    let sites = instrument(&program, Scheme::Returns).unwrap().sites;
+    (0..sites.total_counters())
+        .find(|&c| sites.predicate_name(c).contains("rare() > 0"))
+        .unwrap()
+}
+
+fn run_at(jobs: usize) -> FleetReport {
+    let program = cbi_minic::parse(RARE).unwrap();
+    run_fleet(
+        &program,
+        &pool(96),
+        &stormy_spec().with_jobs(jobs),
+        Some(target()),
+    )
+    .unwrap()
+}
+
+#[test]
+fn summaries_are_byte_identical_across_jobs_under_channel_faults() {
+    let serial = run_at(1);
+    let serial_text = render_summary(&serial.summary, &serial.epochs);
+    // Sanity: the storm actually exercised every fault path.
+    assert!(serial.summary.lost_batches > 0, "channel must lose batches");
+    assert!(serial.summary.retries > 0);
+    assert!(
+        serial.summary.stale_batches > 0,
+        "stale clients must appear"
+    );
+    assert!(serial.summary.rejected_deliveries > 0);
+    assert!(serial.summary.variant_clients > 0);
+    assert!(serial.summary.accepted_batches > 0);
+
+    for jobs in [2, 4, 7] {
+        let parallel = run_at(jobs);
+        assert_eq!(serial.summary, parallel.summary, "jobs {jobs}");
+        assert_eq!(serial.epochs, parallel.epochs, "jobs {jobs}");
+        assert_eq!(serial.target_rank, parallel.target_rank, "jobs {jobs}");
+        assert_eq!(
+            serial_text,
+            render_summary(&parallel.summary, &parallel.epochs),
+            "jobs {jobs}: summary text must be byte-identical"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_at_the_same_seed_are_identical() {
+    let a = run_at(4);
+    let b = run_at(4);
+    assert_eq!(a.summary, b.summary);
+    assert_eq!(a.epochs, b.epochs);
+    assert_eq!(a.profiles, b.profiles);
+}
+
+#[test]
+fn different_seeds_change_the_outcome() {
+    let a = run_at(1);
+    let mut spec = stormy_spec();
+    spec.seed ^= 0xdead_beef;
+    let program = cbi_minic::parse(RARE).unwrap();
+    let b = run_fleet(&program, &pool(96), &spec, Some(target())).unwrap();
+    // Same sizes, different coin flips: at least the wire accounting
+    // must differ under a 50% fault storm.
+    assert_eq!(a.summary.runs, b.summary.runs);
+    assert_ne!(
+        (
+            a.summary.bytes_accepted,
+            a.summary.retries,
+            a.summary.stale_clients
+        ),
+        (
+            b.summary.bytes_accepted,
+            b.summary.retries,
+            b.summary.stale_clients
+        ),
+        "a reseeded storm should not replay exactly"
+    );
+}
