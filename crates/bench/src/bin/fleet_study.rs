@@ -12,6 +12,7 @@
 //! 0xf1ee7); sweeps densities 1, 1/10, 1/100, 1/1000 with a mildly
 //! lossy channel.  Writes `BENCH_fleet.json` at the repository root.
 
+use cbi::{health_registry, HealthConfig, HealthMonitor};
 use cbi_corpus::{generate_corpus, GenerateConfig};
 use cbi_fleet::{run_corpus_fleet, ChannelSpec, FleetSpec};
 use std::time::Instant;
@@ -101,8 +102,54 @@ fn main() {
         ));
     }
 
+    // Monitor-path overhead: the same fleet with health monitoring off
+    // (plain run) versus on (health pass + deployment-metric registry +
+    // both exports rendered).  The monitor path budgets <2% overhead;
+    // the row records what it actually costs.
+    let mut spec = FleetSpec::new(clients, runs);
+    spec.densities = vec![(100, 1.0)];
+    spec.zipf_exponent = 1.0;
+    spec.batch_size = 16;
+    spec.epoch_len = (runs as u64 / 8).max(1);
+    spec.channel = ChannelSpec {
+        drop: 0.05,
+        truncate: 0.02,
+        bit_flip: 0.01,
+        max_retries: 3,
+        backoff_base: 1,
+    };
+    spec.seed = seed;
+    spec.jobs = JOBS;
+    const REPS: usize = 3;
+    let mut baseline_ms = f64::INFINITY;
+    let mut monitored_ms = f64::INFINITY;
+    for _ in 0..REPS {
+        let start = Instant::now();
+        let report = run_corpus_fleet(entry, POOL, &spec).expect("run fleet");
+        baseline_ms = baseline_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box(report.summary.accepted_reports);
+
+        let start = Instant::now();
+        let report = run_corpus_fleet(entry, POOL, &spec).expect("run fleet");
+        let mut monitor = HealthMonitor::new(HealthConfig::default(), true);
+        monitor.observe_all(&report.epochs);
+        let registry = health_registry(&report.aggregator, &monitor);
+        let mut prom = Vec::new();
+        cbi::telemetry::export::write_prometheus(&registry, &mut prom).expect("prometheus");
+        let mut timeline = Vec::new();
+        cbi::telemetry::export::write_timeline(&registry, &mut timeline).expect("timeline");
+        monitored_ms = monitored_ms.min(start.elapsed().as_secs_f64() * 1e3);
+        std::hint::black_box((prom.len(), timeline.len(), monitor.events().len()));
+    }
+    let overhead_pct = (monitored_ms / baseline_ms - 1.0) * 100.0;
+    println!();
+    println!(
+        "monitor path: baseline {baseline_ms:.0} ms, monitored {monitored_ms:.0} ms \
+         ({overhead_pct:+.2}% overhead, budget <2%)"
+    );
+
     let json = format!(
-        "{{\n  \"benchmark\": \"fleet\",\n  \"entry\": \"{}\",\n  \"clients\": {clients},\n  \"runs\": {runs},\n  \"pool\": {POOL},\n  \"seed\": {seed},\n  \"jobs\": {JOBS},\n  \"densities\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"benchmark\": \"fleet\",\n  \"entry\": \"{}\",\n  \"clients\": {clients},\n  \"runs\": {runs},\n  \"pool\": {POOL},\n  \"seed\": {seed},\n  \"jobs\": {JOBS},\n  \"densities\": [\n{}\n  ],\n  \"monitor_overhead\": {{\"baseline_ms\": {baseline_ms:.1}, \"monitored_ms\": {monitored_ms:.1}, \"overhead_pct\": {overhead_pct:.2}, \"budget_pct\": 2.0}}\n}}\n",
         entry.bug.id,
         rows.join(",\n"),
     );

@@ -36,8 +36,16 @@ usage:
                  [--zipf S] [--variant-fraction F] [--stale-fraction F]
                  [--drop F] [--truncate F] [--bit-flip F] [--max-retries N]
                  [--target PRED] [--seed N] [--jobs N] [--summary-out FILE]
+                 [--flight-cap N] [--prom-out FILE] [--timeline-out FILE]
                  [--metrics] [--metrics-out metrics.jsonl] [--trace-out trace.json]
   cbi fleet      --corpus <dir> [--entry ID] [--pool N] [same knobs]
+  cbi monitor    <file.mc> <inputs.txt> [same fleet knobs] [--warmup N]
+                 [--corruption-pm N] [--rejection-pm N] [--stale-pm N]
+                 [--stall-epochs N] [--flight-cap N] [--health-out FILE]
+                 [--prom-out FILE] [--timeline-out FILE]
+  cbi monitor    --corpus <dir> [--entry ID] [--pool N] [same knobs]
+  cbi monitor    --replay <spool.cbr> <file.mc> [--scheme S] [--epoch-len N]
+                 [--batch-size N] [same health knobs]
 
   --jobs N shards campaign trials over N worker threads (reports are
   bit-identical at any job count).  --metrics prints a telemetry summary,
@@ -72,7 +80,19 @@ usage:
   folds surviving batches into per-epoch aggregates (--epoch-len) and
   prints an integer-only summary that is byte-identical at any --jobs.
   With --corpus the fleet runs a generated corpus entry and tracks its
-  planted bug's detection latency and rank against ground truth.";
+  planted bug's detection latency and rank against ground truth.
+
+  Health monitoring: `cbi monitor` drives the same fleet (or replays a
+  binary spool with --replay) and watches the epoch stream with seeded
+  anomaly detectors — corruption spikes, rejection spikes, stale-version
+  surges, and detection stalls, thresholds in integer per-mille
+  (--corruption-pm etc.) after --warmup epochs.  It prints an
+  integer-only health table; when any event fires it also dumps the
+  server's flight recorder (the last --flight-cap ingest events).
+  --prom-out writes a Prometheus text exposition of the deployment
+  metrics and --timeline-out a JSONL epoch timeline; both flags also
+  work on `cbi fleet` directly.  Every surface is byte-identical at any
+  --jobs.";
 
 /// Valueless boolean switches accepted by the subcommands.
 const SWITCHES: &[&str] = &["global-countdown", "no-regions", "metrics"];
@@ -95,6 +115,7 @@ pub fn dispatch(raw: Vec<String>) -> Result<(), String> {
         Some("transmit") => cmd_transmit(&args),
         Some("corpus") => cmd_corpus(&args),
         Some("fleet") => cmd_fleet(&args),
+        Some("monitor") => cmd_monitor(&args),
         Some(other) => Err(format!("unknown subcommand `{other}`")),
         None => Err("missing subcommand".to_string()),
     }
@@ -888,14 +909,15 @@ fn fleet_spec(args: &Args) -> Result<cbi_fleet::FleetSpec, String> {
     };
     spec.seed = args.flag_or("seed", 0x5eedu64)?;
     spec.jobs = jobs_of(args)?;
+    spec.flight_recorder = args.flag_or("flight-cap", 64usize)?;
     Ok(spec)
 }
 
-fn cmd_fleet(args: &Args) -> Result<(), String> {
-    let telemetry = TelemetryOpts::from_args(args);
-    let recording = telemetry.begin();
-
-    let report = if let Some(dir) = args.flag("corpus") {
+/// Runs the fleet described by the shared fleet flags (program or
+/// `--corpus` mode).  Returns the report and whether a ground-truth
+/// target was tracked.
+fn fleet_report(args: &Args) -> Result<(cbi_fleet::FleetReport, bool), String> {
+    if let Some(dir) = args.flag("corpus") {
         let entries =
             cbi_corpus::load_corpus(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
         let entry = match args.flag("entry") {
@@ -913,10 +935,11 @@ fn cmd_fleet(args: &Args) -> Result<(), String> {
             "fleet vs corpus entry {} ({}, {})",
             entry.bug.id, entry.bug.operator, entry.bug.trigger
         );
-        cbi::telemetry::time("phase.fleet", || {
+        let report = cbi::telemetry::time("phase.fleet", || {
             cbi_fleet::run_corpus_fleet(entry, pool, &spec)
         })
-        .map_err(|e| e.to_string())?
+        .map_err(|e| e.to_string())?;
+        Ok((report, true))
     } else {
         let program = cbi::telemetry::time("phase.parse", || load_program(args, 1))?;
         let inputs_path = args
@@ -943,11 +966,20 @@ fn cmd_fleet(args: &Args) -> Result<(), String> {
             }
             None => None,
         };
-        cbi::telemetry::time("phase.fleet", || {
+        let tracked = target.is_some();
+        let report = cbi::telemetry::time("phase.fleet", || {
             cbi_fleet::run_fleet(&program, &pool, &spec, target)
         })
-        .map_err(|e| e.to_string())?
-    };
+        .map_err(|e| e.to_string())?;
+        Ok((report, tracked))
+    }
+}
+
+fn cmd_fleet(args: &Args) -> Result<(), String> {
+    let telemetry = TelemetryOpts::from_args(args);
+    let recording = telemetry.begin();
+
+    let (report, target_tracked) = fleet_report(args)?;
 
     if let Some(rank) = report.target_rank {
         eprintln!("target rank: {rank} (0-based, regression ordering)");
@@ -961,9 +993,162 @@ fn cmd_fleet(args: &Args) -> Result<(), String> {
         None => print!("{summary}"),
     }
 
+    // The deployment-metric exports ride along without the full monitor:
+    // a default-config health pass supplies the detector gauges.
+    if args.flag("prom-out").is_some() || args.flag("timeline-out").is_some() {
+        let mut monitor = cbi::HealthMonitor::new(health_config(args)?, target_tracked);
+        monitor.observe_all(&report.epochs);
+        let registry = cbi::health_registry(&report.aggregator, &monitor);
+        write_metric_exports(args, &registry)?;
+    }
+
     if recording {
         telemetry.finish()?;
     }
+    Ok(())
+}
+
+/// Builds a [`cbi::HealthConfig`] from the detector-threshold flags.
+fn health_config(args: &Args) -> Result<cbi::HealthConfig, String> {
+    let defaults = cbi::HealthConfig::default();
+    let config = cbi::HealthConfig {
+        warmup_epochs: args.flag_or("warmup", defaults.warmup_epochs)?,
+        corruption_spike_pm: args.flag_or("corruption-pm", defaults.corruption_spike_pm)?,
+        rejection_spike_pm: args.flag_or("rejection-pm", defaults.rejection_spike_pm)?,
+        stale_surge_pm: args.flag_or("stale-pm", defaults.stale_surge_pm)?,
+        stall_epochs: args.flag_or("stall-epochs", defaults.stall_epochs)?,
+        ..defaults
+    };
+    if config.stall_epochs == 0 {
+        return Err("--stall-epochs must be a positive integer (got 0)".to_string());
+    }
+    Ok(config)
+}
+
+/// Writes the `--prom-out` / `--timeline-out` exports of a registry.
+fn write_metric_exports(args: &Args, registry: &cbi::telemetry::Registry) -> Result<(), String> {
+    if let Some(path) = args.flag("prom-out") {
+        let mut buf = Vec::new();
+        cbi::telemetry::export::write_prometheus(registry, &mut buf).map_err(|e| e.to_string())?;
+        fs::write(path, buf).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("prometheus metrics written to {path}");
+    }
+    if let Some(path) = args.flag("timeline-out") {
+        let mut buf = Vec::new();
+        cbi::telemetry::export::write_timeline(registry, &mut buf).map_err(|e| e.to_string())?;
+        fs::write(path, buf).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("epoch timeline written to {path}");
+    }
+    Ok(())
+}
+
+/// Replays a binary spool through a fresh [`cbi::EpochAggregator`]: the
+/// stream's reports fold in spool order, and every `--batch-size`
+/// reports are accounted as one clean batch (spools carry no channel
+/// provenance, so the transport-side counters stay at their floor).
+fn replay_spool(args: &Args, path: &str) -> Result<cbi::EpochAggregator, String> {
+    use cbi::reports::{DecodeOutcome, Provenance};
+
+    let program = load_program(args, 1)?;
+    let inst = instrument(&program, scheme_of(args)?).map_err(|e| e.to_string())?;
+    let layout = ReportLayout {
+        counters: inst.sites.total_counters(),
+        layout_hash: inst.sites.layout_hash(),
+    };
+    let epoch_len: u64 = args.flag_or("epoch-len", 256u64)?;
+    if epoch_len == 0 {
+        return Err("--epoch-len must be a positive integer (got 0)".to_string());
+    }
+    let batch_size: u64 = args.flag_or("batch-size", 16u64)?;
+    if batch_size == 0 {
+        return Err("--batch-size must be a positive integer (got 0)".to_string());
+    }
+
+    let file = fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut reader =
+        wire::WireReader::new(std::io::BufReader::new(file)).map_err(|e| format!("{path}: {e}"))?;
+    reader
+        .expect_layout(layout.layout_hash, layout.counters)
+        .map_err(|e| format!("{path}: {e}"))?;
+
+    let mut aggregator = cbi::EpochAggregator::new(
+        inst.sites.clone(),
+        epoch_len,
+        StreamingConfig::default(),
+        None,
+    )
+    .with_flight_capacity(args.flag_or("flight-cap", 64usize)?);
+    aggregator.begin(layout).map_err(|e| e.to_string())?;
+
+    loop {
+        let mut group = Vec::new();
+        let before = reader.bytes_read();
+        while (group.len() as u64) < batch_size {
+            match reader.read_report().map_err(|e| format!("{path}: {e}"))? {
+                Some(report) => group.push(report),
+                None => break,
+            }
+        }
+        if group.is_empty() {
+            break;
+        }
+        // Batch accounting lands before its reports, mirroring the live
+        // ingest order (the server notes the delivery, then commits).
+        aggregator.note_batch(
+            &Provenance::new(0, 0),
+            DecodeOutcome::Clean,
+            reader.bytes_read() - before,
+        );
+        for report in group {
+            aggregator.accept(report).map_err(|e| e.to_string())?;
+        }
+    }
+    eprintln!(
+        "{} reports ({} bytes) replayed from {path}",
+        reader.reports_read(),
+        reader.bytes_read()
+    );
+    if aggregator
+        .snapshots()
+        .last()
+        .is_none_or(|s| s.runs != aggregator.runs())
+    {
+        aggregator.snapshot_now();
+    }
+    Ok(aggregator)
+}
+
+fn cmd_monitor(args: &Args) -> Result<(), String> {
+    let config = health_config(args)?;
+    let (epochs, aggregator, target_tracked) = match args.flag("replay") {
+        Some(path) => {
+            let aggregator = replay_spool(args, path)?;
+            (aggregator.snapshots().to_vec(), aggregator, false)
+        }
+        None => {
+            let (report, tracked) = fleet_report(args)?;
+            (report.epochs, report.aggregator, tracked)
+        }
+    };
+
+    let mut monitor = cbi::HealthMonitor::new(config, target_tracked);
+    let events = monitor.observe_all(&epochs);
+    let mut rendered = cbi::render_health(&monitor);
+    // Any anomaly gets the black box: the last ingest events the server
+    // saw, so the operator can inspect what led up to it.
+    if !events.is_empty() {
+        rendered.push_str(&aggregator.flight_recorder().render());
+    }
+    match args.flag("health-out") {
+        Some(path) => {
+            fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("health report written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+
+    let registry = cbi::health_registry(&aggregator, &monitor);
+    write_metric_exports(args, &registry)?;
     Ok(())
 }
 
@@ -1262,6 +1447,121 @@ mod tests {
         assert!(err.contains("no predicate"), "{err}");
         let err = dispatch_strs(&["fleet", p.to_str().unwrap()]).unwrap_err();
         assert!(err.contains("inputs"), "{err}");
+    }
+
+    #[test]
+    fn monitor_renders_health_and_writes_exports() {
+        let p = tmp("prog-mon.mc", PROG);
+        let inputs = tmp("inputs-mon.txt", "5\n4\n9\n2\n7\n");
+        let dir = std::env::temp_dir();
+        let health = dir.join("cbi-cli-test-mon-health.txt");
+        let prom = dir.join("cbi-cli-test-mon.prom");
+        let timeline = dir.join("cbi-cli-test-mon-timeline.jsonl");
+        dispatch_strs(&[
+            "monitor",
+            p.to_str().unwrap(),
+            inputs.to_str().unwrap(),
+            "--clients",
+            "6",
+            "--runs",
+            "200",
+            "--batch-size",
+            "8",
+            "--epoch-len",
+            "50",
+            "--bit-flip",
+            "0.2",
+            "--stale-fraction",
+            "0.2",
+            "--jobs",
+            "2",
+            "--health-out",
+            health.to_str().unwrap(),
+            "--prom-out",
+            prom.to_str().unwrap(),
+            "--timeline-out",
+            timeline.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = fs::read_to_string(&health).unwrap();
+        assert!(text.contains("epoch"), "{text}");
+        assert!(!text.contains('.'), "health table is integer-only:\n{text}");
+        let prom_text = fs::read_to_string(&prom).unwrap();
+        assert!(
+            prom_text.contains("# TYPE cbi_runs_total counter"),
+            "{prom_text}"
+        );
+        let tl = fs::read_to_string(&timeline).unwrap();
+        assert!(tl.lines().all(|l| l.starts_with("{\"epoch\":")), "{tl}");
+        for f in [&health, &prom, &timeline] {
+            fs::remove_file(f).ok();
+        }
+    }
+
+    #[test]
+    fn monitor_replays_a_spool() {
+        let p = tmp("prog-mon-replay.mc", PROG);
+        let inputs = tmp("inputs-mon-replay.txt", "5\n4\n\n3\n2\n1\n");
+        let spool = std::env::temp_dir().join("cbi-cli-test-mon-replay.cbr");
+        dispatch_strs(&[
+            "campaign",
+            p.to_str().unwrap(),
+            inputs.to_str().unwrap(),
+            "--scheme",
+            "returns",
+            "--density",
+            "1",
+            "--spool",
+            spool.to_str().unwrap(),
+        ])
+        .unwrap();
+        let health = std::env::temp_dir().join("cbi-cli-test-mon-replay-health.txt");
+        dispatch_strs(&[
+            "monitor",
+            "--replay",
+            spool.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "--scheme",
+            "returns",
+            "--epoch-len",
+            "2",
+            "--batch-size",
+            "2",
+            "--health-out",
+            health.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = fs::read_to_string(&health).unwrap();
+        assert!(text.contains("epoch"), "{text}");
+        // A mismatched scheme is rejected at the layout handshake.
+        let err = dispatch_strs(&[
+            "monitor",
+            "--replay",
+            spool.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "--scheme",
+            "branches",
+        ])
+        .unwrap_err();
+        assert!(err.contains("layout"), "{err}");
+        fs::remove_file(&spool).ok();
+        fs::remove_file(&health).ok();
+    }
+
+    #[test]
+    fn monitor_rejects_bad_arguments() {
+        let p = tmp("prog-mon-bad.mc", PROG);
+        let inputs = tmp("inputs-mon-bad.txt", "5\n");
+        let base = ["monitor", p.to_str().unwrap(), inputs.to_str().unwrap()];
+        let with = |extra: &[&str]| {
+            let mut a: Vec<&str> = base.to_vec();
+            a.extend_from_slice(extra);
+            dispatch_strs(&a)
+        };
+        let err = with(&["--stall-epochs", "0"]).unwrap_err();
+        assert!(err.contains("--stall-epochs"), "{err}");
+        let err = with(&["--warmup", "x"]).unwrap_err();
+        assert!(err.contains("--warmup"), "{err}");
     }
 
     #[test]

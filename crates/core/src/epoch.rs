@@ -17,7 +17,136 @@
 use crate::detection::FirstObservation;
 use crate::streaming::{StreamingAnalyzer, StreamingConfig};
 use cbi_instrument::SiteTable;
-use cbi_reports::{Label, Report, ReportLayout, ReportSink, SinkError};
+use cbi_reports::{
+    DecodeOutcome, Label, Provenance, Report, ReportLayout, ReportSink, SinkError, WireErrorKind,
+};
+use std::collections::{BTreeMap, VecDeque};
+
+/// Per-cohort ingest accounting: batches, bytes, corruption, rejection,
+/// and retry totals attributable to one client cohort (e.g.
+/// `"1/100+stale"`).  All fields are cumulative.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CohortStats {
+    /// Batches committed from this cohort.
+    pub batches: u64,
+    /// Wire bytes committed from this cohort.
+    pub bytes: u64,
+    /// Committed batches whose delivered bytes were altered in flight.
+    pub corrupt: u64,
+    /// Batches rejected (all kinds).
+    pub rejected: u64,
+    /// Rejections specifically from stale-version layout mismatches.
+    pub stale: u64,
+    /// Delivery retries attributed by the transport.
+    pub retries: u64,
+}
+
+/// One ingest event as seen by the flight recorder.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IngestEvent {
+    /// Monotonic sequence number across the whole stream (0-based).
+    pub seq: u64,
+    /// Transmitting client id.
+    pub client: u64,
+    /// Zero-based delivery attempt index.
+    pub attempt: u32,
+    /// Cohort label.
+    pub cohort: String,
+    /// How decoding went.
+    pub outcome: DecodeOutcome,
+    /// Delivered payload bytes.
+    pub bytes: u64,
+}
+
+/// A bounded ring buffer of the last N ingest events — the "flight
+/// recorder" dumped alongside any health event so an operator sees what
+/// the wire looked like just before an anomaly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlightRecorder {
+    cap: usize,
+    next_seq: u64,
+    events: VecDeque<IngestEvent>,
+}
+
+impl FlightRecorder {
+    /// A recorder keeping the most recent `cap` events (`cap = 0`
+    /// disables recording but still counts sequence numbers).
+    pub fn new(cap: usize) -> FlightRecorder {
+        FlightRecorder {
+            cap,
+            next_seq: 0,
+            events: VecDeque::with_capacity(cap.min(1024)),
+        }
+    }
+
+    /// Appends one event, evicting the oldest past capacity.
+    pub fn record(&mut self, prov: &Provenance, outcome: DecodeOutcome, bytes: u64) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        if self.cap == 0 {
+            return;
+        }
+        if self.events.len() == self.cap {
+            self.events.pop_front();
+        }
+        self.events.push_back(IngestEvent {
+            seq,
+            client: prov.client,
+            attempt: prov.attempt,
+            cohort: prov.cohort_label().to_string(),
+            outcome,
+            bytes,
+        });
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &IngestEvent> {
+        self.events.iter()
+    }
+
+    /// Total events ever recorded (retained or evicted).
+    pub fn seen(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// The retention capacity.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Renders the retained tail as an aligned, integer-only table.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "flight recorder: last {} of {} ingest events\n",
+            self.events.len(),
+            self.seen(),
+        ));
+        if self.events.is_empty() {
+            return out;
+        }
+        out.push_str("  seq      client  attempt  bytes    outcome                cohort\n");
+        for e in &self.events {
+            out.push_str(&format!(
+                "  {:<7}  {:<6}  {:<7}  {:<7}  {:<21}  {}\n",
+                e.seq,
+                e.client,
+                e.attempt,
+                e.bytes,
+                e.outcome.to_string(),
+                e.cohort,
+            ));
+        }
+        out
+    }
+}
+
+impl Default for FlightRecorder {
+    /// A recorder with the default 64-event window.
+    fn default() -> FlightRecorder {
+        FlightRecorder::new(64)
+    }
+}
 
 /// The integer-valued state of the community at one epoch boundary.
 ///
@@ -48,6 +177,15 @@ pub struct EpochSnapshot {
     pub rejected_batches: u64,
     /// Rejections specifically from stale-version layout mismatches.
     pub stale_batches: u64,
+    /// Committed batches whose delivered bytes were altered in flight.
+    pub corrupt_batches: u64,
+    /// Delivery retries attributed by the transport.
+    pub retries: u64,
+    /// Rejection totals by typed wire-error kind (absent kinds never
+    /// occurred).
+    pub rejected_by_kind: BTreeMap<WireErrorKind, u64>,
+    /// Per-cohort ingest accounting, keyed by cohort label.
+    pub cohorts: BTreeMap<String, CohortStats>,
 }
 
 /// A [`ReportSink`] that folds a community stream and snapshots the
@@ -65,6 +203,11 @@ pub struct EpochAggregator {
     batches: u64,
     rejected_batches: u64,
     stale_batches: u64,
+    corrupt_batches: u64,
+    retries: u64,
+    rejected_by_kind: BTreeMap<WireErrorKind, u64>,
+    cohorts: BTreeMap<String, CohortStats>,
+    flight: FlightRecorder,
     snapshots: Vec<EpochSnapshot>,
 }
 
@@ -97,23 +240,91 @@ impl EpochAggregator {
             batches: 0,
             rejected_batches: 0,
             stale_batches: 0,
+            corrupt_batches: 0,
+            retries: 0,
+            rejected_by_kind: BTreeMap::new(),
+            cohorts: BTreeMap::new(),
+            flight: FlightRecorder::default(),
             snapshots: Vec::new(),
         }
     }
 
+    /// Replaces the flight recorder with one retaining `cap` events.
+    #[must_use]
+    pub fn with_flight_capacity(mut self, cap: usize) -> Self {
+        self.flight = FlightRecorder::new(cap);
+        self
+    }
+
+    /// Records one delivered batch with full provenance: who sent it, on
+    /// which attempt, and how decoding went.  Accepted batches (clean or
+    /// corrupt-but-decodable) are attributed their wire bytes; rejected
+    /// ones land in the per-kind and stale tallies.  Everything is also
+    /// folded into the sender's cohort stats and the flight recorder.
+    pub fn note_batch(&mut self, prov: &Provenance, outcome: DecodeOutcome, bytes: u64) {
+        self.flight.record(prov, outcome, bytes);
+        let cohort = self
+            .cohorts
+            .entry(prov.cohort_label().to_string())
+            .or_default();
+        match outcome {
+            DecodeOutcome::Clean => {
+                self.batches += 1;
+                self.bytes += bytes;
+                cohort.batches += 1;
+                cohort.bytes += bytes;
+            }
+            DecodeOutcome::CorruptButDecodable => {
+                self.batches += 1;
+                self.bytes += bytes;
+                self.corrupt_batches += 1;
+                cohort.batches += 1;
+                cohort.bytes += bytes;
+                cohort.corrupt += 1;
+            }
+            DecodeOutcome::Rejected(kind) => {
+                self.rejected_batches += 1;
+                *self.rejected_by_kind.entry(kind).or_default() += 1;
+                cohort.rejected += 1;
+                if kind == WireErrorKind::LayoutHashMismatch {
+                    self.stale_batches += 1;
+                    cohort.stale += 1;
+                }
+            }
+        }
+    }
+
+    /// Attributes `n` delivery retries to a cohort (the transport calls
+    /// this once per batch with its extra attempts beyond the first).
+    pub fn note_retries(&mut self, cohort: &str, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.retries += n;
+        self.cohorts.entry(cohort.to_string()).or_default().retries += n;
+    }
+
     /// Attributes one accepted batch's wire bytes to the stream.
+    ///
+    /// Provenance-free convenience over [`note_batch`](Self::note_batch):
+    /// the batch lands in the `"unknown"` cohort as a clean decode.
     pub fn note_accepted_batch(&mut self, bytes: u64) {
-        self.batches += 1;
-        self.bytes += bytes;
+        self.note_batch(&Provenance::new(0, 0), DecodeOutcome::Clean, bytes);
     }
 
     /// Records one rejected batch; `stale` marks a layout-hash
     /// handshake rejection (a stale-version client).
+    ///
+    /// Provenance-free convenience over [`note_batch`](Self::note_batch):
+    /// a non-stale rejection is tallied as [`WireErrorKind::Truncated`],
+    /// the catch-all for malformed streams of unknown kind.
     pub fn note_rejected_batch(&mut self, stale: bool) {
-        self.rejected_batches += 1;
-        if stale {
-            self.stale_batches += 1;
-        }
+        let kind = if stale {
+            WireErrorKind::LayoutHashMismatch
+        } else {
+            WireErrorKind::Truncated
+        };
+        self.note_batch(&Provenance::new(0, 0), DecodeOutcome::Rejected(kind), 0);
     }
 
     /// Takes the current-state snapshot without waiting for an epoch
@@ -145,6 +356,10 @@ impl EpochAggregator {
             batches: self.batches,
             rejected_batches: self.rejected_batches,
             stale_batches: self.stale_batches,
+            corrupt_batches: self.corrupt_batches,
+            retries: self.retries,
+            rejected_by_kind: self.rejected_by_kind.clone(),
+            cohorts: self.cohorts.clone(),
         }
     }
 
@@ -187,6 +402,26 @@ impl EpochAggregator {
     /// Wire bytes attributed via [`note_accepted_batch`](Self::note_accepted_batch).
     pub fn bytes(&self) -> u64 {
         self.bytes
+    }
+
+    /// Committed batches whose delivered bytes were altered in flight.
+    pub fn corrupt_batches(&self) -> u64 {
+        self.corrupt_batches
+    }
+
+    /// Rejection totals by typed wire-error kind.
+    pub fn rejected_by_kind(&self) -> &BTreeMap<WireErrorKind, u64> {
+        &self.rejected_by_kind
+    }
+
+    /// Per-cohort ingest accounting, keyed by cohort label.
+    pub fn cohorts(&self) -> &BTreeMap<String, CohortStats> {
+        &self.cohorts
+    }
+
+    /// The bounded ring buffer of recent ingest events.
+    pub fn flight_recorder(&self) -> &FlightRecorder {
+        &self.flight
     }
 }
 
@@ -302,6 +537,91 @@ mod tests {
         assert_eq!(snap.batches, 1);
         assert_eq!(snap.rejected_batches, 2);
         assert_eq!(snap.stale_batches, 1);
+    }
+
+    #[test]
+    fn note_rejected_batch_stale_and_kind_accounting() {
+        let n = sites().total_counters();
+        let mut agg = aggregator(1, None);
+        agg.begin(ReportLayout {
+            counters: n,
+            layout_hash: sites().layout_hash(),
+        })
+        .unwrap();
+        // Legacy wrappers: stale maps to a layout-hash rejection, other
+        // to the truncation catch-all; neither commits bytes.
+        agg.note_rejected_batch(true);
+        agg.note_rejected_batch(true);
+        agg.note_rejected_batch(false);
+        agg.accept(report(0, false, 0, n)).unwrap();
+        let snap = &agg.snapshots()[0];
+        assert_eq!(snap.rejected_batches, 3);
+        assert_eq!(snap.stale_batches, 2);
+        assert_eq!(snap.corrupt_batches, 0);
+        assert_eq!(snap.bytes, 0);
+        assert_eq!(
+            snap.rejected_by_kind
+                .get(&WireErrorKind::LayoutHashMismatch),
+            Some(&2)
+        );
+        assert_eq!(
+            snap.rejected_by_kind.get(&WireErrorKind::Truncated),
+            Some(&1)
+        );
+        let total: u64 = snap.rejected_by_kind.values().sum();
+        assert_eq!(total, snap.rejected_batches);
+    }
+
+    #[test]
+    fn note_batch_attributes_corruption_and_cohorts() {
+        let n = sites().total_counters();
+        let mut agg = aggregator(1, None).with_flight_capacity(2);
+        agg.begin(ReportLayout {
+            counters: n,
+            layout_hash: sites().layout_hash(),
+        })
+        .unwrap();
+        let clean = Provenance::new(1, 0).with_cohort("1/100");
+        let noisy = Provenance::new(2, 1).with_cohort("1/1000+stale");
+        agg.note_batch(&clean, DecodeOutcome::Clean, 100);
+        agg.note_batch(&noisy, DecodeOutcome::CorruptButDecodable, 80);
+        agg.note_batch(
+            &noisy,
+            DecodeOutcome::Rejected(WireErrorKind::LayoutHashMismatch),
+            0,
+        );
+        agg.note_retries("1/1000+stale", 2);
+        agg.accept(report(0, false, 0, n)).unwrap();
+
+        let snap = &agg.snapshots()[0];
+        assert_eq!(snap.batches, 2, "clean + corrupt-but-decodable commit");
+        assert_eq!(snap.corrupt_batches, 1);
+        assert_eq!(snap.rejected_batches, 1);
+        assert_eq!(snap.stale_batches, 1);
+        assert_eq!(snap.bytes, 180);
+        assert_eq!(snap.retries, 2);
+
+        let c = snap.cohorts.get("1/100").unwrap();
+        assert_eq!((c.batches, c.bytes, c.corrupt), (1, 100, 0));
+        let s = snap.cohorts.get("1/1000+stale").unwrap();
+        assert_eq!(s.batches, 1);
+        assert_eq!(s.corrupt, 1);
+        assert_eq!(s.rejected, 1);
+        assert_eq!(s.stale, 1);
+        assert_eq!(s.retries, 2);
+
+        // Flight recorder kept only the last two of three events.
+        let flight = agg.flight_recorder();
+        assert_eq!(flight.seen(), 3);
+        let seqs: Vec<u64> = flight.events().map(|e| e.seq).collect();
+        assert_eq!(seqs, vec![1, 2]);
+        let rendered = flight.render();
+        assert!(rendered.contains("last 2 of 3"), "{rendered}");
+        assert!(
+            rendered.contains("rejected(layout_hash_mismatch)"),
+            "{rendered}"
+        );
+        assert!(!rendered.contains('.'), "integer-only: {rendered}");
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub mod coverage;
 pub mod deployment;
 pub mod detection;
 pub mod epoch;
+pub mod health;
 pub mod pipeline;
 pub mod remote;
 pub mod streaming;
@@ -72,7 +73,10 @@ pub use deployment::{
     simulate_deployment, simulate_variant_fleet, Deployment, FleetConfig, FleetOutcome,
 };
 pub use detection::FirstObservation;
-pub use epoch::{EpochAggregator, EpochSnapshot};
+pub use epoch::{CohortStats, EpochAggregator, EpochSnapshot, FlightRecorder, IngestEvent};
+pub use health::{
+    health_registry, render_health, EpochIndicators, HealthConfig, HealthEvent, HealthMonitor,
+};
 pub use pipeline::{
     eliminate, eliminate_stats, regress, EliminationReport, PipelineError, RegressionConfig,
     RegressionStudy,

@@ -9,7 +9,7 @@
 //! fault coin flips and the server's (deterministic) accept/reject
 //! verdict.
 
-use cbi_reports::{decode_batch, Report, ReportLayout, WireError};
+use cbi_reports::{decode_batch, Report, ReportLayout, WireErrorKind};
 use cbi_sampler::Pcg32;
 
 /// PRNG stream tag for channel faults (one stream per attempt).
@@ -97,6 +97,9 @@ pub enum SendOutcome {
         reports: Vec<Report>,
         /// Payload bytes of the accepted attempt.
         bytes: u64,
+        /// The delivered bytes differed from what the client sent: the
+        /// channel altered the stream but it still decoded.
+        corrupted: bool,
     },
     /// The server rejected the stream's layout fingerprint: a stale
     /// client.  The client gives up immediately (its binary will never
@@ -105,6 +108,22 @@ pub enum SendOutcome {
     /// Every allowed attempt was dropped or rejected; the batch is
     /// abandoned and its reports are lost.
     Lost,
+}
+
+/// One delivered-but-rejected attempt, with the server's typed verdict.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Rejection {
+    /// Zero-based attempt index the rejection happened on.
+    pub attempt: u32,
+    /// The typed wire-error kind the server rejected with.
+    pub kind: WireErrorKind,
+}
+
+impl Rejection {
+    /// Whether this was a stale-layout handshake rejection.
+    pub fn is_stale(&self) -> bool {
+        self.kind == WireErrorKind::LayoutHashMismatch
+    }
 }
 
 /// The full accounting of one batch's send loop.
@@ -118,9 +137,9 @@ pub struct SendResult {
     pub bytes_sent: u64,
     /// Backoff ticks accumulated between attempts.
     pub backoff_ticks: u64,
-    /// Delivered-but-rejected attempts, in order; `true` marks a
-    /// stale-layout rejection.
-    pub rejections: Vec<bool>,
+    /// Delivered-but-rejected attempts, in order, each carrying its
+    /// attempt index and the server's typed [`WireErrorKind`].
+    pub rejections: Vec<Rejection>,
 }
 
 /// Runs the bounded-retry send loop for one spooled batch.
@@ -152,20 +171,27 @@ pub fn send_batch(
         result.bytes_sent += bytes.len() as u64;
         let verdict = match transmit(bytes, &mut rng, channel) {
             Delivery::Dropped => None,
-            Delivery::Arrived(payload) => Some(decode_batch(&payload, Some(expected))),
+            Delivery::Arrived(payload) => {
+                let corrupted = payload != bytes;
+                Some((decode_batch(&payload, Some(expected)), corrupted))
+            }
         };
         match verdict {
-            Some(Ok((reports, _, consumed))) => {
+            Some((Ok((reports, _, consumed)), corrupted)) => {
                 result.outcome = SendOutcome::Accepted {
                     reports,
                     bytes: consumed,
+                    corrupted,
                 };
                 return result;
             }
-            Some(Err(rejected)) => {
-                let stale = matches!(rejected.error, WireError::LayoutHashMismatch { .. });
-                result.rejections.push(stale);
-                if stale {
+            Some((Err(rejected), _)) => {
+                let rejection = Rejection {
+                    attempt: attempt as u32,
+                    kind: rejected.error.kind(),
+                };
+                result.rejections.push(rejection);
+                if rejection.is_stale() {
                     result.outcome = SendOutcome::Stale;
                     return result;
                 }
@@ -212,9 +238,11 @@ mod tests {
             SendOutcome::Accepted {
                 ref reports,
                 bytes: b,
+                corrupted,
             } => {
                 assert_eq!(reports.len(), 2);
                 assert_eq!(b, bytes.len() as u64);
+                assert!(!corrupted, "a clean channel delivers verbatim");
             }
             ref other => panic!("expected accept, got {other:?}"),
         }
@@ -246,7 +274,14 @@ mod tests {
         let r = send_batch(&bytes, 2, 1, &channel, layout());
         assert_eq!(r.outcome, SendOutcome::Stale);
         assert_eq!(r.attempts, 1, "no point retrying a stale binary");
-        assert_eq!(r.rejections, vec![true]);
+        assert_eq!(
+            r.rejections,
+            vec![Rejection {
+                attempt: 0,
+                kind: WireErrorKind::LayoutHashMismatch
+            }]
+        );
+        assert!(r.rejections[0].is_stale());
     }
 
     #[test]
@@ -258,6 +293,49 @@ mod tests {
             let b = send_batch(&bytes, uid, 77, &channel, layout());
             assert_eq!(a, b, "uid {uid}");
         }
+    }
+
+    #[test]
+    fn decodable_bit_flips_are_flagged_corrupt() {
+        // Every attempt flips exactly one bit; flips landing in counter
+        // varints still decode — those must surface as corrupted, not
+        // silently pass for clean.
+        let channel = ChannelSpec {
+            bit_flip: 1.0,
+            max_retries: 0,
+            ..ChannelSpec::default()
+        };
+        let bytes = batch(layout().layout_hash);
+        let mut corrupt_accepts = 0;
+        for uid in 0..64 {
+            if let SendOutcome::Accepted { corrupted, .. } =
+                send_batch(&bytes, uid, 5, &channel, layout()).outcome
+            {
+                assert!(corrupted, "uid {uid}: delivered bytes were altered");
+                corrupt_accepts += 1;
+            }
+        }
+        assert!(corrupt_accepts > 0, "some flips land in benign positions");
+    }
+
+    #[test]
+    fn rejections_carry_ordered_attempt_indices_and_kinds() {
+        let channel = ChannelSpec {
+            truncate: 0.7,
+            max_retries: 6,
+            ..ChannelSpec::default()
+        };
+        let bytes = batch(layout().layout_hash);
+        let multi = (0..64)
+            .map(|uid| send_batch(&bytes, uid, 5, &channel, layout()))
+            .find(|r| r.rejections.len() >= 2)
+            .expect("heavy truncation rejects repeatedly");
+        let attempts: Vec<u32> = multi.rejections.iter().map(|r| r.attempt).collect();
+        let mut sorted = attempts.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(attempts, sorted, "attempt indices strictly increase");
+        assert!(multi.rejections.iter().all(|r| !r.is_stale()));
     }
 
     #[test]

@@ -54,7 +54,9 @@ pub mod profile;
 pub mod sim;
 pub mod summary;
 
-pub use channel::{send_batch, transmit, ChannelSpec, Delivery, SendOutcome, SendResult};
+pub use channel::{
+    send_batch, transmit, ChannelSpec, Delivery, Rejection, SendOutcome, SendResult,
+};
 pub use corpus::{corpus_pool, run_corpus_fleet};
 pub use profile::{draw_profiles, ClientProfile};
 pub use sim::{run_fleet, FleetReport, FleetSpec, FleetSummary};

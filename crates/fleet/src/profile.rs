@@ -33,6 +33,25 @@ pub struct ClientProfile {
     pub stale: bool,
 }
 
+impl ClientProfile {
+    /// The client's cohort label for server-side metric attribution:
+    /// the density bucket plus `+variant` / `+stale` markers, e.g.
+    /// `"1/100"`, `"1/1000+variant"`, `"1/100+variant+stale"`.
+    ///
+    /// A pure function of the profile, so every client in the same
+    /// bucket shares one label and the set of labels is deterministic.
+    pub fn cohort(&self) -> String {
+        let mut label = format!("1/{}", self.denominator);
+        if self.variant.is_some() {
+            label.push_str("+variant");
+        }
+        if self.stale {
+            label.push_str("+stale");
+        }
+        label
+    }
+}
+
 /// Draws the whole community's profiles from `spec`'s seeded
 /// distributions.  `variants` is how many single-function variants the
 /// instrumented program offers (0 forces everyone onto the full binary).
@@ -118,5 +137,23 @@ mod tests {
     fn zero_variants_forces_full_binary() {
         let profiles = draw_profiles(&spec(), 0);
         assert!(profiles.iter().all(|p| p.variant.is_none()));
+    }
+
+    #[test]
+    fn cohort_labels_name_density_variant_and_staleness() {
+        let mut p = ClientProfile {
+            client: 0,
+            density: SamplingDensity::one_in(100),
+            denominator: 100,
+            variant: None,
+            stale: false,
+        };
+        assert_eq!(p.cohort(), "1/100");
+        p.variant = Some(2);
+        assert_eq!(p.cohort(), "1/100+variant");
+        p.stale = true;
+        assert_eq!(p.cohort(), "1/100+variant+stale");
+        p.variant = None;
+        assert_eq!(p.cohort(), "1/100+stale");
     }
 }

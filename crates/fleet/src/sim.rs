@@ -24,7 +24,7 @@ use cbi_instrument::{
 use cbi_minic::slots::SlotProgram;
 use cbi_minic::Program;
 use cbi_reports::wire::encode_reports;
-use cbi_reports::{Label, Report, ReportLayout, ReportSink};
+use cbi_reports::{DecodeOutcome, Label, Provenance, Report, ReportLayout, ReportSink};
 use cbi_sampler::{CountdownBank, Pcg32, Zipf};
 use cbi_telemetry as telemetry;
 use cbi_vm::{RunOutcome, Vm};
@@ -73,6 +73,9 @@ pub struct FleetSpec {
     pub bank_size: usize,
     /// Streaming-analyzer hyper-parameters for the server.
     pub streaming: StreamingConfig,
+    /// Server-side flight-recorder capacity (last N ingest events kept
+    /// for anomaly dumps; `0` disables retention).
+    pub flight_recorder: usize,
 }
 
 impl FleetSpec {
@@ -97,6 +100,7 @@ impl FleetSpec {
             heap_slack: cbi_vm::heap::DEFAULT_SLACK,
             bank_size: 1024,
             streaming: StreamingConfig::default(),
+            flight_recorder: 64,
         }
     }
 
@@ -158,6 +162,9 @@ pub struct FleetSummary {
     pub batches: u64,
     /// Batches the server accepted.
     pub accepted_batches: u64,
+    /// Accepted batches whose delivered bytes were altered in flight
+    /// (bit flips that still decoded).
+    pub corrupt_batches: u64,
     /// Batches abandoned after exhausting retries.
     pub lost_batches: u64,
     /// Batches abandoned at the stale-layout handshake.
@@ -216,6 +223,7 @@ struct BatchPlan {
 /// spool accounting, keyed for the ordered merge.
 struct BatchOutcome {
     last_run: usize,
+    client: usize,
     dropped_runs: usize,
     spooled_reports: u64,
     send: SendResult,
@@ -325,27 +333,52 @@ pub fn run_fleet(
         spec.epoch_len,
         spec.streaming,
         target_counter,
-    );
+    )
+    .with_flight_capacity(spec.flight_recorder);
     aggregator.begin(layout)?;
 
     let mut summary = summary_skeleton(spec, &profiles, layout.counters);
     for batch in &batches {
+        let cohort = profiles[batch.client].cohort();
+        let provenance = |attempt: u32| {
+            Provenance::new(batch.client as u64, attempt).with_cohort(cohort.clone())
+        };
         summary.dropped_runs += batch.dropped_runs;
         summary.spooled_reports += batch.spooled_reports;
         summary.batches += 1;
-        summary.retries += u64::from(batch.send.attempts.saturating_sub(1));
+        let retries = u64::from(batch.send.attempts.saturating_sub(1));
+        summary.retries += retries;
+        aggregator.note_retries(&cohort, retries);
         summary.backoff_ticks += batch.send.backoff_ticks;
         summary.bytes_sent += batch.send.bytes_sent;
-        for &stale in &batch.send.rejections {
+        for rejection in &batch.send.rejections {
             summary.rejected_deliveries += 1;
-            summary.stale_rejections += u64::from(stale);
-            aggregator.note_rejected_batch(stale);
+            summary.stale_rejections += u64::from(rejection.is_stale());
+            aggregator.note_batch(
+                &provenance(rejection.attempt),
+                DecodeOutcome::Rejected(rejection.kind),
+                0,
+            );
         }
         match &batch.send.outcome {
-            SendOutcome::Accepted { reports, bytes } => {
+            SendOutcome::Accepted {
+                reports,
+                bytes,
+                corrupted,
+            } => {
                 summary.accepted_batches += 1;
+                summary.corrupt_batches += u64::from(*corrupted);
                 summary.bytes_accepted += bytes;
-                aggregator.note_accepted_batch(*bytes);
+                let outcome = if *corrupted {
+                    DecodeOutcome::CorruptButDecodable
+                } else {
+                    DecodeOutcome::Clean
+                };
+                aggregator.note_batch(
+                    &provenance(batch.send.attempts.saturating_sub(1)),
+                    outcome,
+                    *bytes,
+                );
                 for report in reports {
                     summary.accepted_reports += 1;
                     summary.failures += u64::from(report.label == Label::Failure);
@@ -482,6 +515,7 @@ fn run_batch(ctx: &WorkerCtx<'_>, plan: &BatchPlan) -> Result<BatchOutcome, Flee
         ctx.layout,
     );
     Ok(BatchOutcome {
+        client: plan.client,
         last_run,
         dropped_runs: dropped,
         spooled_reports: reports.len() as u64,
@@ -505,6 +539,7 @@ fn summary_skeleton(spec: &FleetSpec, profiles: &[ClientProfile], counters: usiz
         spooled_reports: 0,
         batches: 0,
         accepted_batches: 0,
+        corrupt_batches: 0,
         lost_batches: 0,
         stale_batches: 0,
         rejected_deliveries: 0,

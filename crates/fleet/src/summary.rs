@@ -32,8 +32,14 @@ pub fn render_summary(summary: &FleetSummary, epochs: &[EpochSnapshot]) -> Strin
     );
     let _ = writeln!(
         out,
-        "channel: {} batches, {} accepted, {} lost, {} stale-rejected, {} retries, {} backoff ticks",
-        s.batches, s.accepted_batches, s.lost_batches, s.stale_batches, s.retries, s.backoff_ticks
+        "channel: {} batches, {} accepted ({} corrupt), {} lost, {} stale-rejected, {} retries, {} backoff ticks",
+        s.batches,
+        s.accepted_batches,
+        s.corrupt_batches,
+        s.lost_batches,
+        s.stale_batches,
+        s.retries,
+        s.backoff_ticks
     );
     let _ = writeln!(
         out,
@@ -55,18 +61,19 @@ pub fn render_summary(summary: &FleetSummary, epochs: &[EpochSnapshot]) -> Strin
     }
     let _ = writeln!(
         out,
-        "epoch     runs failures observed survivors  accepted  rejected     stale     bytes"
+        "epoch     runs failures observed survivors  accepted   corrupt  rejected     stale     bytes"
     );
     for e in epochs {
         let _ = writeln!(
             out,
-            "{:>5} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9}",
+            "{:>5} {:>8} {:>8} {:>8} {:>9} {:>9} {:>9} {:>9} {:>9} {:>9}",
             e.epoch,
             e.runs,
             e.failures,
             e.observed,
             e.survivors,
             e.batches,
+            e.corrupt_batches,
             e.rejected_batches,
             e.stale_batches,
             e.bytes

@@ -14,9 +14,89 @@
 //! a server keeps ingesting subsequent batches after any malformed one.
 
 use crate::sink::{ReportLayout, ReportSink, SinkError};
-use crate::wire::{StreamHeader, WireError, WireReader};
+use crate::wire::{StreamHeader, WireError, WireErrorKind, WireReader};
 use crate::Report;
+use std::collections::BTreeMap;
 use std::fmt;
+
+/// Where a batch came from: the transmitting client and which delivery
+/// attempt this was (0 = first try).  Optionally tagged with the
+/// client's cohort label so server-side metrics can attribute bytes,
+/// retries, and corruption to density-mix / variant / stale cohorts.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Provenance {
+    /// Transmitting client id.
+    pub client: u64,
+    /// Zero-based delivery attempt index.
+    pub attempt: u32,
+    /// Cohort label (e.g. `"1/100+stale"`), when known.
+    pub cohort: Option<String>,
+}
+
+impl Provenance {
+    /// Provenance with no cohort attribution.
+    pub fn new(client: u64, attempt: u32) -> Provenance {
+        Provenance {
+            client,
+            attempt,
+            cohort: None,
+        }
+    }
+
+    /// Attaches a cohort label.
+    #[must_use]
+    pub fn with_cohort(mut self, cohort: impl Into<String>) -> Provenance {
+        self.cohort = Some(cohort.into());
+        self
+    }
+
+    /// The cohort label, or `"unknown"`.
+    pub fn cohort_label(&self) -> &str {
+        self.cohort.as_deref().unwrap_or("unknown")
+    }
+}
+
+/// How decoding one delivered batch went, as a provenance tag.
+///
+/// `Clean` and `CorruptButDecodable` both commit; the distinction is
+/// whether the delivered bytes differed from what the client sent (a
+/// lossy channel can flip bits that still parse).  `Rejected` carries
+/// the payload-free error kind so per-kind counters stay `Copy`/`Ord`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DecodeOutcome {
+    /// Decoded and committed; delivered bytes matched the original.
+    Clean,
+    /// Decoded and committed, but the delivered bytes were altered in
+    /// flight (detectable only when the sender's bytes are known).
+    CorruptButDecodable,
+    /// Rejected with the given typed error kind; nothing committed.
+    Rejected(WireErrorKind),
+}
+
+impl DecodeOutcome {
+    /// Whether the batch committed reports.
+    pub fn accepted(self) -> bool {
+        !matches!(self, DecodeOutcome::Rejected(_))
+    }
+
+    /// A stable snake_case name, suitable as a metric label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            DecodeOutcome::Clean => "clean",
+            DecodeOutcome::CorruptButDecodable => "corrupt_but_decodable",
+            DecodeOutcome::Rejected(_) => "rejected",
+        }
+    }
+}
+
+impl fmt::Display for DecodeOutcome {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeOutcome::Rejected(kind) => write!(f, "rejected({kind})"),
+            other => f.write_str(other.name()),
+        }
+    }
+}
 
 /// What one successfully ingested batch contained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -102,7 +182,7 @@ pub struct BatchIngest<S: ReportSink> {
     reports: u64,
     bytes: u64,
     rejected_bytes: u64,
-    layout_rejections: u64,
+    rejected_by_kind: BTreeMap<WireErrorKind, u64>,
 }
 
 impl<S: ReportSink> BatchIngest<S> {
@@ -117,7 +197,7 @@ impl<S: ReportSink> BatchIngest<S> {
             reports: 0,
             bytes: 0,
             rejected_bytes: 0,
-            layout_rejections: 0,
+            rejected_by_kind: BTreeMap::new(),
         }
     }
 
@@ -140,9 +220,7 @@ impl<S: ReportSink> BatchIngest<S> {
             Err(e) => {
                 self.rejected += 1;
                 self.rejected_bytes += bytes.len() as u64;
-                if matches!(e.error, WireError::LayoutHashMismatch { .. }) {
-                    self.layout_rejections += 1;
-                }
+                *self.rejected_by_kind.entry(e.error.kind()).or_default() += 1;
                 Err(e)
             }
         }
@@ -204,7 +282,18 @@ impl<S: ReportSink> BatchIngest<S> {
     /// Rejections specifically for a layout-hash/width mismatch — the
     /// stale-client signal.
     pub fn layout_rejections(&self) -> u64 {
-        self.layout_rejections
+        self.rejection_count(WireErrorKind::LayoutHashMismatch)
+    }
+
+    /// Rejection totals broken down by typed [`WireErrorKind`], sorted
+    /// by kind.  Kinds that never occurred are absent.
+    pub fn rejected_by_kind(&self) -> &BTreeMap<WireErrorKind, u64> {
+        &self.rejected_by_kind
+    }
+
+    /// Rejections of one specific kind (0 when never seen).
+    pub fn rejection_count(&self, kind: WireErrorKind) -> u64 {
+        self.rejected_by_kind.get(&kind).copied().unwrap_or(0)
     }
 
     /// Reports committed across all accepted batches.
@@ -292,6 +381,48 @@ mod tests {
         assert_eq!(err.decoded, 1, "one frame decoded, then the cut");
         assert!(ingest.sink().is_empty(), "no partial prefix may commit");
         assert_eq!(ingest.rejected_bytes(), cut.len() as u64);
+    }
+
+    #[test]
+    fn rejections_counted_per_kind() {
+        let mut ingest = BatchIngest::new(Collector::default(), Some(layout()));
+        // Two stale batches, one truncated, one garbage magic.
+        ingest.ingest(&batch(0xdead)).unwrap_err();
+        ingest.ingest(&batch(0xbeef)).unwrap_err();
+        let good = batch(0xabc);
+        ingest.ingest(&good[..good.len() - 1]).unwrap_err();
+        ingest.ingest(b"XXXXXXXX").unwrap_err();
+        assert_eq!(ingest.rejected(), 4);
+        assert_eq!(ingest.rejection_count(WireErrorKind::LayoutHashMismatch), 2);
+        assert_eq!(ingest.rejection_count(WireErrorKind::Truncated), 1);
+        assert_eq!(ingest.rejection_count(WireErrorKind::BadMagic), 1);
+        assert_eq!(ingest.rejection_count(WireErrorKind::VarintOverflow), 0);
+        assert_eq!(ingest.layout_rejections(), 2);
+        // Per-kind totals always sum to the aggregate.
+        let total: u64 = ingest.rejected_by_kind().values().sum();
+        assert_eq!(total, ingest.rejected());
+        // BTreeMap keys iterate in stable kind order.
+        let kinds: Vec<WireErrorKind> = ingest.rejected_by_kind().keys().copied().collect();
+        let mut sorted = kinds.clone();
+        sorted.sort();
+        assert_eq!(kinds, sorted);
+    }
+
+    #[test]
+    fn provenance_and_outcome_labels() {
+        let p = Provenance::new(7, 2).with_cohort("1/100+stale");
+        assert_eq!(p.client, 7);
+        assert_eq!(p.attempt, 2);
+        assert_eq!(p.cohort_label(), "1/100+stale");
+        assert_eq!(Provenance::new(0, 0).cohort_label(), "unknown");
+
+        assert!(DecodeOutcome::Clean.accepted());
+        assert!(DecodeOutcome::CorruptButDecodable.accepted());
+        let rej = DecodeOutcome::Rejected(WireErrorKind::Truncated);
+        assert!(!rej.accepted());
+        assert_eq!(rej.name(), "rejected");
+        assert_eq!(rej.to_string(), "rejected(truncated)");
+        assert_eq!(DecodeOutcome::Clean.to_string(), "clean");
     }
 
     #[test]

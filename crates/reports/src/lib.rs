@@ -38,8 +38,8 @@ pub mod suffstats;
 pub mod wire;
 
 pub use collector::{CollectError, Collector};
-pub use ingest::{decode_batch, BatchIngest, BatchRejected, BatchStats};
+pub use ingest::{decode_batch, BatchIngest, BatchRejected, BatchStats, DecodeOutcome, Provenance};
 pub use report::{Label, Report, ReportParseError};
 pub use sink::{ReportLayout, ReportSink, SinkError, SpoolSink, TransmitSink, WireSink};
 pub use suffstats::SufficientStats;
-pub use wire::{StreamHeader, WireError, WireReader, WireWriter};
+pub use wire::{StreamHeader, WireError, WireErrorKind, WireReader, WireWriter};

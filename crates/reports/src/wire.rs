@@ -87,6 +87,91 @@ pub enum WireError {
     },
 }
 
+/// Payload-free classification of a [`WireError`] — one variant per
+/// error shape, usable as a map key or metric label.
+///
+/// Ordering and [`name`](WireErrorKind::name) are stable: per-kind
+/// rejection counters keyed on this enum export deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum WireErrorKind {
+    /// [`WireError::Io`].
+    Io,
+    /// [`WireError::BadMagic`].
+    BadMagic,
+    /// [`WireError::UnsupportedVersion`].
+    UnsupportedVersion,
+    /// [`WireError::LayoutHashMismatch`].
+    LayoutHashMismatch,
+    /// [`WireError::CounterCountMismatch`].
+    CounterCountMismatch,
+    /// [`WireError::Truncated`].
+    Truncated,
+    /// [`WireError::BadLabel`].
+    BadLabel,
+    /// [`WireError::VarintOverflow`].
+    VarintOverflow,
+    /// [`WireError::FrameTooLarge`].
+    FrameTooLarge,
+    /// [`WireError::FrameLength`].
+    FrameLength,
+}
+
+impl WireErrorKind {
+    /// Every kind, in stable (declaration) order.
+    pub const ALL: [WireErrorKind; 10] = [
+        WireErrorKind::Io,
+        WireErrorKind::BadMagic,
+        WireErrorKind::UnsupportedVersion,
+        WireErrorKind::LayoutHashMismatch,
+        WireErrorKind::CounterCountMismatch,
+        WireErrorKind::Truncated,
+        WireErrorKind::BadLabel,
+        WireErrorKind::VarintOverflow,
+        WireErrorKind::FrameTooLarge,
+        WireErrorKind::FrameLength,
+    ];
+
+    /// A stable snake_case name, suitable as a metric label value.
+    pub fn name(self) -> &'static str {
+        match self {
+            WireErrorKind::Io => "io",
+            WireErrorKind::BadMagic => "bad_magic",
+            WireErrorKind::UnsupportedVersion => "unsupported_version",
+            WireErrorKind::LayoutHashMismatch => "layout_hash_mismatch",
+            WireErrorKind::CounterCountMismatch => "counter_count_mismatch",
+            WireErrorKind::Truncated => "truncated",
+            WireErrorKind::BadLabel => "bad_label",
+            WireErrorKind::VarintOverflow => "varint_overflow",
+            WireErrorKind::FrameTooLarge => "frame_too_large",
+            WireErrorKind::FrameLength => "frame_length",
+        }
+    }
+}
+
+impl fmt::Display for WireErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl WireError {
+    /// This error's payload-free [`WireErrorKind`].
+    pub fn kind(&self) -> WireErrorKind {
+        match self {
+            WireError::Io(_) => WireErrorKind::Io,
+            WireError::BadMagic(_) => WireErrorKind::BadMagic,
+            WireError::UnsupportedVersion(_) => WireErrorKind::UnsupportedVersion,
+            WireError::LayoutHashMismatch { .. } => WireErrorKind::LayoutHashMismatch,
+            WireError::CounterCountMismatch { .. } => WireErrorKind::CounterCountMismatch,
+            WireError::Truncated(_) => WireErrorKind::Truncated,
+            WireError::BadLabel(_) => WireErrorKind::BadLabel,
+            WireError::VarintOverflow => WireErrorKind::VarintOverflow,
+            WireError::FrameTooLarge { .. } => WireErrorKind::FrameTooLarge,
+            WireError::FrameLength { .. } => WireErrorKind::FrameLength,
+        }
+    }
+}
+
 impl fmt::Display for WireError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

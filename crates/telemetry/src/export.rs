@@ -1,15 +1,20 @@
-//! Exporters for [`Metrics`] snapshots.
+//! Exporters for [`Metrics`] snapshots and [`Registry`] series.
 //!
-//! Three formats, all hand-rolled (no serialization dependency):
+//! Five formats, all hand-rolled (no serialization dependency):
 //!
 //! * [`summary`] — an aligned, human-readable table for terminals;
 //! * [`write_jsonl`] — one JSON object per line (`counter`, `histogram`,
 //!   `span`), the machine-readable dump CI archives per PR;
 //! * [`write_chrome_trace`] — a Chrome trace-event JSON array of complete
 //!   (`"ph":"X"`) events, loadable in `chrome://tracing` or Perfetto,
-//!   with one lane per logical worker.
+//!   with one lane per logical worker;
+//! * [`write_prometheus`] — Prometheus text exposition of a registry's
+//!   latest points, integer-only so snapshots diff cleanly in CI;
+//! * [`write_timeline`] — a JSONL epoch timeline of a registry, one
+//!   object per epoch.
 
 use crate::metrics::Metrics;
+use crate::registry::{Registry, SeriesValue};
 use std::io::{self, Write};
 
 /// Renders an aligned human-readable summary of a snapshot.
@@ -172,6 +177,145 @@ pub fn write_chrome_trace<W: Write>(m: &Metrics, mut w: W) -> io::Result<()> {
     Ok(())
 }
 
+/// Writes a registry's **latest** point per series in the Prometheus
+/// text exposition format.
+///
+/// One `# TYPE` comment per metric name (first-encounter order over the
+/// id-sorted registry), then one sample line per series.  Histograms
+/// expand to cumulative `_bucket{le=...}` samples over the non-empty
+/// log₂ buckets plus `le="+Inf"`, and `_sum` / `_count` samples.  Every
+/// emitted value is an integer, so the output is a stable golden
+/// surface: byte-identical across `--jobs` whenever the underlying
+/// epoch snapshots are.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_prometheus<W: Write>(r: &Registry, mut w: W) -> io::Result<()> {
+    let mut last_name: Option<&str> = None;
+    for (id, series) in r.iter() {
+        let Some((_, value)) = series.latest() else {
+            continue;
+        };
+        if last_name != Some(id.name.as_str()) {
+            writeln!(w, "# TYPE {} {}", id.name, series.kind.prometheus_type())?;
+            last_name = Some(id.name.as_str());
+        }
+        match value {
+            SeriesValue::Counter(v) => writeln!(w, "{} {v}", id.render())?,
+            SeriesValue::Gauge(v) => writeln!(w, "{} {v}", id.render())?,
+            SeriesValue::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (i, &n) in h.buckets.iter().enumerate() {
+                    if n == 0 {
+                        continue;
+                    }
+                    cumulative += n;
+                    let le = crate::metrics::bucket_upper_edge(i).to_string();
+                    writeln!(
+                        w,
+                        "{} {cumulative}",
+                        with_label(&id.name, "_bucket", &id.labels, Some(("le", &le)))
+                    )?;
+                }
+                writeln!(
+                    w,
+                    "{} {}",
+                    with_label(&id.name, "_bucket", &id.labels, Some(("le", "+Inf"))),
+                    h.count
+                )?;
+                writeln!(
+                    w,
+                    "{} {}",
+                    with_label(&id.name, "_sum", &id.labels, None),
+                    h.sum
+                )?;
+                writeln!(
+                    w,
+                    "{} {}",
+                    with_label(&id.name, "_count", &id.labels, None),
+                    h.count
+                )?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Writes a registry as a JSONL epoch timeline: one JSON object per
+/// epoch, with every series that has a point at that epoch keyed by its
+/// rendered id (`name{k="v"}`).  Histogram points become nested
+/// `{"count","sum","min","max"}` objects.  Integer-only, id-sorted, and
+/// deterministic for deterministic inputs.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_timeline<W: Write>(r: &Registry, mut w: W) -> io::Result<()> {
+    for epoch in r.epochs() {
+        write!(w, "{{\"epoch\":{epoch}")?;
+        for (id, series) in r.iter() {
+            let Some(value) = series.at_epoch(epoch) else {
+                continue;
+            };
+            write!(w, ",{}:", json_str(&id.render()))?;
+            match value {
+                SeriesValue::Counter(v) => write!(w, "{v}")?,
+                SeriesValue::Gauge(v) => write!(w, "{v}")?,
+                SeriesValue::Histogram(h) => write!(
+                    w,
+                    "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{}}}",
+                    h.count,
+                    h.sum,
+                    if h.count == 0 { 0 } else { h.min },
+                    h.max
+                )?,
+            }
+        }
+        writeln!(w, "}}")?;
+    }
+    Ok(())
+}
+
+/// `name` + `suffix` with the series labels, plus an optional extra
+/// label appended last (Prometheus `le` convention).
+fn with_label(
+    name: &str,
+    suffix: &str,
+    labels: &[(String, String)],
+    extra: Option<(&str, &str)>,
+) -> String {
+    let mut out = String::new();
+    out.push_str(name);
+    out.push_str(suffix);
+    if labels.is_empty() && extra.is_none() {
+        return out;
+    }
+    out.push('{');
+    let mut first = true;
+    for (k, v) in labels {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    if let Some((k, v)) = extra {
+        if !first {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        out.push_str(v);
+        out.push('"');
+    }
+    out.push('}');
+    out
+}
+
 /// Human-facing name of a logical worker lane.
 pub fn worker_name(worker: u32) -> String {
     if worker == crate::MAIN_WORKER {
@@ -286,5 +430,71 @@ mod tests {
     #[test]
     fn json_str_escapes() {
         assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+    }
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::new();
+        r.record_counter("cbi_runs_total", &[], 1, 100);
+        r.record_counter("cbi_runs_total", &[], 2, 200);
+        r.record_counter("cbi_batches_total", &[("outcome", "accepted")], 2, 9);
+        r.record_counter("cbi_batches_total", &[("outcome", "rejected")], 2, 1);
+        r.record_gauge("cbi_survivors", &[], 2, 4);
+        let mut h = Histogram::default();
+        h.observe(3);
+        h.observe(700);
+        r.record_histogram("cbi_batch_bytes", &[], 2, h);
+        r
+    }
+
+    #[test]
+    fn prometheus_exposition_shape() {
+        let mut buf = Vec::new();
+        write_prometheus(&sample_registry(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.contains("# TYPE cbi_runs_total counter"), "{text}");
+        // Latest point only: epoch 2's value, not epoch 1's.
+        assert!(text.contains("cbi_runs_total 200"), "{text}");
+        assert!(!text.contains("cbi_runs_total 100"), "{text}");
+        assert!(
+            text.contains("cbi_batches_total{outcome=\"accepted\"} 9"),
+            "{text}"
+        );
+        assert!(text.contains("# TYPE cbi_survivors gauge"), "{text}");
+        assert!(
+            text.contains("cbi_batch_bytes_bucket{le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("cbi_batch_bytes_sum 703"), "{text}");
+        assert!(text.contains("cbi_batch_bytes_count 2"), "{text}");
+        // One TYPE line per metric name, not per series.
+        assert_eq!(
+            text.matches("# TYPE cbi_batches_total").count(),
+            1,
+            "{text}"
+        );
+        // Integer-only golden surface: no decimal points anywhere.
+        assert!(!text.contains('.'), "{text}");
+    }
+
+    #[test]
+    fn timeline_one_object_per_epoch() {
+        let mut buf = Vec::new();
+        write_timeline(&sample_registry(), &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2, "{text}");
+        assert!(lines[0].starts_with("{\"epoch\":1"), "{text}");
+        assert!(lines[1].starts_with("{\"epoch\":2"), "{text}");
+        // Epoch 1 has only the one series recorded there.
+        assert!(!lines[0].contains("cbi_survivors"), "{text}");
+        assert!(lines[1].contains("\"cbi_survivors\":4"), "{text}");
+        assert!(
+            lines[1]
+                .contains("\"cbi_batch_bytes\":{\"count\":2,\"sum\":703,\"min\":3,\"max\":700}"),
+            "{text}"
+        );
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
     }
 }

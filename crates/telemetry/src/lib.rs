@@ -53,8 +53,10 @@
 
 pub mod export;
 pub mod metrics;
+pub mod registry;
 
 pub use metrics::{Histogram, Metrics, SpanRecord};
+pub use registry::{Gauge, Registry, Series, SeriesId, SeriesKind, SeriesValue};
 
 use std::cell::RefCell;
 use std::sync::atomic::{AtomicBool, Ordering};

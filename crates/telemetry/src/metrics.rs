@@ -74,17 +74,27 @@ impl Histogram {
 
     /// Upper edge of the bucket containing the `q`-quantile
     /// (`0.0 ..= 1.0`), or 0 when empty.  Log₂ resolution: an estimate,
-    /// never an exact order statistic.
+    /// never an exact order statistic, except at the edges: `q <= 0.0`
+    /// returns the exact minimum and `q >= 1.0` the exact maximum.  A
+    /// NaN `q` is treated as 0.0.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
         }
-        let rank = ((self.count as f64) * q.clamp(0.0, 1.0)).ceil().max(1.0) as u64;
+        // NaN is treated the same as `q <= 0.0`, which `clamp` would
+        // instead propagate.
+        if q.is_nan() || q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 {
+            return self.max;
+        }
+        let rank = ((self.count as f64) * q).ceil().max(1.0) as u64;
         let mut seen = 0;
         for (i, &n) in self.buckets.iter().enumerate() {
             seen += n;
             if seen >= rank {
-                return bucket_upper_edge(i).min(self.max);
+                return bucket_upper_edge(i).min(self.max).max(self.min);
             }
         }
         self.max
@@ -99,7 +109,8 @@ fn bucket_of(value: u64) -> usize {
     }
 }
 
-fn bucket_upper_edge(i: usize) -> u64 {
+/// Largest value that falls in bucket `i`; see [`BUCKETS`].
+pub fn bucket_upper_edge(i: usize) -> u64 {
     if i == 0 {
         0
     } else if i >= 64 {
@@ -263,6 +274,64 @@ mod tests {
         assert_eq!(ab, ba);
         assert_eq!(ab.count, 4);
         assert_eq!(ab.max, 1 << 40);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        // Empty histogram: every quantile is 0.
+        let empty = Histogram::default();
+        assert_eq!(empty.quantile(0.0), 0);
+        assert_eq!(empty.quantile(0.5), 0);
+        assert_eq!(empty.quantile(1.0), 0);
+
+        let mut h = Histogram::default();
+        for v in [3, 17, 900] {
+            h.observe(v);
+        }
+        // q=0 is the exact min, q=1 the exact max; out-of-range clamps.
+        assert_eq!(h.quantile(0.0), 3);
+        assert_eq!(h.quantile(-0.5), 3);
+        assert_eq!(h.quantile(1.0), 900);
+        assert_eq!(h.quantile(2.0), 900);
+        assert_eq!(h.quantile(f64::NAN), 3);
+        // Interior quantiles never escape [min, max].
+        for q in [0.01, 0.25, 0.5, 0.75, 0.99] {
+            let v = h.quantile(q);
+            assert!((3..=900).contains(&v), "q={q} -> {v}");
+        }
+
+        // Single value: every quantile is that value.
+        let mut one = Histogram::default();
+        one.observe(42);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(one.quantile(q), 42);
+        }
+    }
+
+    #[test]
+    fn span_summary_orders_by_first_start() {
+        let span = |name: &str, worker: u32, start_ns: u64, seq: u64| SpanRecord {
+            name: name.to_string(),
+            worker,
+            start_ns,
+            dur_ns: 10,
+            seq,
+        };
+        let mut m = Metrics::default();
+        // Worker 1's "late" phase starts first; worker 0 repeats "early".
+        m.absorb(0, vec![], vec![], vec![span("early", 0, 50, 0)]);
+        m.absorb(
+            1,
+            vec![],
+            vec![],
+            vec![span("late", 1, 5, 0), span("early", 1, 60, 1)],
+        );
+        m.normalize();
+        let phases = m.span_summary();
+        let names: Vec<&str> = phases.iter().map(|(n, _, _)| n.as_str()).collect();
+        assert_eq!(names, vec!["late", "early"]);
+        assert_eq!(phases[1].1, 2, "repeat spans aggregate: {phases:?}");
+        assert_eq!(phases[1].2, 20);
     }
 
     #[test]

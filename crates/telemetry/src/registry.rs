@@ -1,0 +1,350 @@
+//! A named registry of typed metric series keyed by epoch.
+//!
+//! The thread-local buffers in the crate root capture *process*
+//! telemetry (wall-clock spans, per-worker counters); this module is the
+//! complementary *deployment* surface: a [`Registry`] holds named series
+//! of [`Counter`](SeriesValue::Counter) / [`Gauge`](SeriesValue::Gauge) /
+//! [`Histogram`](SeriesValue::Histogram) snapshots keyed by **epoch
+//! number**, never wall clocks, so two runs that close the same epochs
+//! export byte-identical series regardless of `--jobs` or scheduler
+//! interleaving.
+//!
+//! Gauges live here — and only here — on purpose: a last-write-wins
+//! gauge merged across racing thread buffers would be nondeterministic,
+//! while a gauge sampled once per closed epoch is a pure function of the
+//! epoch snapshot.
+//!
+//! Series are identified by `(name, labels)` like Prometheus time
+//! series; labels are sorted key/value pairs so identity is canonical.
+//! Exporters live in [`crate::export`]: Prometheus text exposition
+//! ([`crate::export::write_prometheus`]) and a JSONL epoch timeline
+//! ([`crate::export::write_timeline`]).
+
+use crate::metrics::Histogram;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// An instantaneous signed level, as opposed to a monotonic counter.
+///
+/// Deterministic by construction: a `Gauge` is set from epoch-snapshot
+/// state, not sampled from racing threads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Gauge {
+    value: i64,
+}
+
+impl Gauge {
+    /// A gauge holding `value`.
+    pub fn new(value: i64) -> Gauge {
+        Gauge { value }
+    }
+
+    /// Sets the level.
+    pub fn set(&mut self, value: i64) {
+        self.value = value;
+    }
+
+    /// Adds `delta` (may be negative), saturating at the `i64` range.
+    pub fn add(&mut self, delta: i64) {
+        self.value = self.value.saturating_add(delta);
+    }
+
+    /// The current level.
+    pub fn get(&self) -> i64 {
+        self.value
+    }
+}
+
+impl fmt::Display for Gauge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.value)
+    }
+}
+
+/// The type of a series; fixed at first record, mismatches panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SeriesKind {
+    /// Monotonically non-decreasing `u64` totals.
+    Counter,
+    /// Instantaneous signed levels.
+    Gauge,
+    /// Full [`Histogram`] snapshots.
+    Histogram,
+}
+
+impl SeriesKind {
+    /// The Prometheus `# TYPE` keyword for this kind.
+    pub fn prometheus_type(self) -> &'static str {
+        match self {
+            SeriesKind::Counter => "counter",
+            SeriesKind::Gauge => "gauge",
+            SeriesKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// Canonical series identity: a metric name plus sorted labels.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct SeriesId {
+    /// Metric name, e.g. `cbi_batches_total`.
+    pub name: String,
+    /// Label pairs, sorted by key (then value) at construction.
+    pub labels: Vec<(String, String)>,
+}
+
+impl SeriesId {
+    /// Builds an id, sorting labels into canonical order.
+    pub fn new(name: &str, labels: &[(&str, &str)]) -> SeriesId {
+        let mut labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        SeriesId {
+            name: name.to_string(),
+            labels,
+        }
+    }
+
+    /// Renders `name{k="v",...}`, or just `name` without labels.
+    pub fn render(&self) -> String {
+        if self.labels.is_empty() {
+            return self.name.clone();
+        }
+        let mut out = String::new();
+        out.push_str(&self.name);
+        out.push('{');
+        for (i, (k, v)) in self.labels.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(v);
+            out.push('"');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// One recorded point of a series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SeriesValue {
+    /// A counter total as of the epoch.
+    Counter(u64),
+    /// A gauge level as of the epoch.
+    Gauge(i64),
+    /// A histogram snapshot as of the epoch (boxed: a histogram is two
+    /// orders of magnitude larger than the scalar variants).
+    Histogram(Box<Histogram>),
+}
+
+impl SeriesValue {
+    /// The kind this value belongs to.
+    pub fn kind(&self) -> SeriesKind {
+        match self {
+            SeriesValue::Counter(_) => SeriesKind::Counter,
+            SeriesValue::Gauge(_) => SeriesKind::Gauge,
+            SeriesValue::Histogram(_) => SeriesKind::Histogram,
+        }
+    }
+}
+
+/// A typed series: epoch-ordered points of one kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Series {
+    /// The kind every point of this series carries.
+    pub kind: SeriesKind,
+    /// `(epoch, value)` points in strictly ascending epoch order.
+    pub points: Vec<(u64, SeriesValue)>,
+}
+
+impl Series {
+    /// The most recent point, if any.
+    pub fn latest(&self) -> Option<&(u64, SeriesValue)> {
+        self.points.last()
+    }
+
+    /// The point recorded at `epoch`, if any.
+    pub fn at_epoch(&self, epoch: u64) -> Option<&SeriesValue> {
+        self.points
+            .binary_search_by_key(&epoch, |(e, _)| *e)
+            .ok()
+            .map(|i| &self.points[i].1)
+    }
+
+    fn record(&mut self, epoch: u64, value: SeriesValue) {
+        debug_assert_eq!(self.kind, value.kind());
+        match self.points.binary_search_by_key(&epoch, |(e, _)| *e) {
+            Ok(i) => self.points[i].1 = value, // re-record replaces
+            Err(i) => self.points.insert(i, (epoch, value)),
+        }
+    }
+}
+
+/// A deterministic registry of named, epoch-keyed typed series.
+///
+/// Identity-ordered (`BTreeMap` over [`SeriesId`]) so iteration — and
+/// therefore every exporter — is stable.  Recording the same
+/// `(series, epoch)` twice replaces the point, which makes rebuilding a
+/// registry from cumulative epoch snapshots idempotent.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Registry {
+    series: BTreeMap<SeriesId, Series>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Records a counter total for `(name, labels)` at `epoch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series already exists with a different kind.
+    pub fn record_counter(&mut self, name: &str, labels: &[(&str, &str)], epoch: u64, value: u64) {
+        self.record(
+            SeriesId::new(name, labels),
+            epoch,
+            SeriesValue::Counter(value),
+        );
+    }
+
+    /// Records a gauge level for `(name, labels)` at `epoch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series already exists with a different kind.
+    pub fn record_gauge(&mut self, name: &str, labels: &[(&str, &str)], epoch: u64, value: i64) {
+        self.record(
+            SeriesId::new(name, labels),
+            epoch,
+            SeriesValue::Gauge(value),
+        );
+    }
+
+    /// Records a histogram snapshot for `(name, labels)` at `epoch`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series already exists with a different kind.
+    pub fn record_histogram(
+        &mut self,
+        name: &str,
+        labels: &[(&str, &str)],
+        epoch: u64,
+        value: Histogram,
+    ) {
+        self.record(
+            SeriesId::new(name, labels),
+            epoch,
+            SeriesValue::Histogram(Box::new(value)),
+        );
+    }
+
+    fn record(&mut self, id: SeriesId, epoch: u64, value: SeriesValue) {
+        let kind = value.kind();
+        let series = self.series.entry(id).or_insert_with(|| Series {
+            kind,
+            points: Vec::new(),
+        });
+        assert_eq!(
+            series.kind, kind,
+            "series recorded with conflicting kinds ({:?} vs {:?})",
+            series.kind, kind
+        );
+        series.record(epoch, value);
+    }
+
+    /// Looks up one series.
+    pub fn series(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Series> {
+        self.series.get(&SeriesId::new(name, labels))
+    }
+
+    /// Iterates all series in canonical (id-sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&SeriesId, &Series)> {
+        self.series.iter()
+    }
+
+    /// Number of series.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True when no series have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// All epochs that appear in any series, ascending and deduplicated.
+    pub fn epochs(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self
+            .series
+            .values()
+            .flat_map(|s| s.points.iter().map(|(e, _)| *e))
+            .collect();
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gauge_set_add_get() {
+        let mut g = Gauge::new(5);
+        g.add(-7);
+        assert_eq!(g.get(), -2);
+        g.set(10);
+        assert_eq!(g.get(), 10);
+        g.add(i64::MAX);
+        assert_eq!(g.get(), i64::MAX); // saturates
+        assert_eq!(Gauge::new(-3).to_string(), "-3");
+    }
+
+    #[test]
+    fn series_id_canonicalizes_labels() {
+        let a = SeriesId::new("m", &[("b", "2"), ("a", "1")]);
+        let b = SeriesId::new("m", &[("a", "1"), ("b", "2")]);
+        assert_eq!(a, b);
+        assert_eq!(a.render(), "m{a=\"1\",b=\"2\"}");
+        assert_eq!(SeriesId::new("m", &[]).render(), "m");
+    }
+
+    #[test]
+    fn registry_records_and_replaces() {
+        let mut r = Registry::new();
+        r.record_counter("runs", &[], 1, 10);
+        r.record_counter("runs", &[], 2, 20);
+        r.record_counter("runs", &[], 1, 11); // replace
+        let s = r.series("runs", &[]).unwrap();
+        assert_eq!(s.points.len(), 2);
+        assert_eq!(s.at_epoch(1), Some(&SeriesValue::Counter(11)));
+        assert_eq!(s.latest(), Some(&(2, SeriesValue::Counter(20))));
+        assert_eq!(r.epochs(), vec![1, 2]);
+    }
+
+    #[test]
+    fn registry_orders_out_of_order_epochs() {
+        let mut r = Registry::new();
+        r.record_gauge("level", &[], 5, 50);
+        r.record_gauge("level", &[], 2, 20);
+        let s = r.series("level", &[]).unwrap();
+        let epochs: Vec<u64> = s.points.iter().map(|(e, _)| *e).collect();
+        assert_eq!(epochs, vec![2, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "conflicting kinds")]
+    fn kind_mismatch_panics() {
+        let mut r = Registry::new();
+        r.record_counter("m", &[], 1, 1);
+        r.record_gauge("m", &[], 2, 1);
+    }
+}

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Deployment health-monitoring smoke test.
+#
+# Generates a small ground-truth corpus, drives a corrupt-channel fleet
+# against one entry with the Prometheus/timeline exports on, and diffs
+# the Prometheus snapshot against the checked-in golden file.  The same
+# storm is replayed at --jobs 1 and --jobs 4 and every monitor surface —
+# metrics exposition, epoch timeline, and the `cbi monitor` health
+# table — must be byte-identical; the exposition must also stay
+# integer-only so the diff is platform-stable.
+#
+# Usage: scripts/monitor_smoke.sh [path-to-cbi-binary]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+CBI="${1:-target/release/cbi}"
+OUT="${SMOKE_OUT:-smoke-artifacts}"
+GOLDEN=tests/golden/monitor_smoke_prom.txt
+mkdir -p "$OUT"
+
+"$CBI" corpus generate "$OUT/monitor-corpus" --size 5 --seed 11 --trials 24
+
+fleet_args=(
+  --corpus "$OUT/monitor-corpus" --pool 64
+  --clients 10 --runs 500 --batch-size 8 --epoch-len 125
+  --densities 5:1 --stale-fraction 0.2
+  --drop 0.1 --truncate 0.1 --bit-flip 0.3
+  --seed 99
+)
+
+"$CBI" fleet "${fleet_args[@]}" --jobs 4 \
+  --summary-out "$OUT/monitor_fleet_summary.txt" \
+  --prom-out "$OUT/monitor_fleet.prom" \
+  --timeline-out "$OUT/monitor_fleet_timeline.jsonl"
+
+echo "--- prometheus snapshot vs golden ---"
+diff -u "$GOLDEN" "$OUT/monitor_fleet.prom"
+
+if grep -q '\.' "$OUT/monitor_fleet.prom"; then
+  echo "FAIL: prometheus snapshot is not integer-only" >&2
+  exit 1
+fi
+
+# The same storm sharded differently must not change a byte.
+"$CBI" fleet "${fleet_args[@]}" --jobs 1 \
+  --summary-out "$OUT/monitor_fleet_summary_serial.txt" \
+  --prom-out "$OUT/monitor_fleet_serial.prom" \
+  --timeline-out "$OUT/monitor_fleet_timeline_serial.jsonl" 2>/dev/null
+diff -u "$OUT/monitor_fleet.prom" "$OUT/monitor_fleet_serial.prom"
+diff -u "$OUT/monitor_fleet_timeline.jsonl" "$OUT/monitor_fleet_timeline_serial.jsonl"
+
+# The monitor's health table over the same storm: identical across
+# --jobs, and the bit-flip storm must trip the corruption detector.
+"$CBI" monitor "${fleet_args[@]}" --jobs 4 --health-out "$OUT/monitor_health.txt"
+"$CBI" monitor "${fleet_args[@]}" --jobs 1 --health-out "$OUT/monitor_health_serial.txt" 2>/dev/null
+diff -u "$OUT/monitor_health.txt" "$OUT/monitor_health_serial.txt"
+grep -q "corruption spike" "$OUT/monitor_health.txt"
+
+echo "PASS: monitor surfaces match the golden snapshot at jobs 1 and 4"

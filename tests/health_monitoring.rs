@@ -1,0 +1,174 @@
+//! Health-monitoring gate: the fleet fault storm raises the expected
+//! anomaly events deterministically, and every monitor surface — the
+//! health table, the Prometheus exposition, the epoch timeline, and the
+//! emitted events — is byte-identical at any `--jobs`.
+
+use cbi::{health_registry, render_health, HealthConfig, HealthEvent, HealthMonitor};
+use cbi_fleet::{run_fleet, ChannelSpec, FleetReport, FleetSpec};
+
+const RARE: &str = "fn rare(int v) -> int { if (v % 12 == 0) { return 1; } return 0; }\n\
+     fn main() -> int { int v = read(); int hit = rare(v); print(hit); return 0; }";
+
+fn pool(n: usize) -> Vec<Vec<i64>> {
+    (0..n as i64).map(|i| vec![i * 7 + 1]).collect()
+}
+
+/// A corruption-heavy storm: enough bit flips to push the
+/// corrupt-but-decodable share over the default 150‰ threshold, plus
+/// stale clients feeding the rejection detectors.
+fn storm_spec() -> FleetSpec {
+    let mut spec = FleetSpec::new(16, 600);
+    spec.densities = vec![(5, 1.0)];
+    spec.batch_size = 10;
+    spec.epoch_len = 100;
+    spec.stale_fraction = 0.25;
+    spec.channel = ChannelSpec {
+        drop: 0.1,
+        truncate: 0.05,
+        bit_flip: 0.5,
+        max_retries: 3,
+        backoff_base: 1,
+    };
+    spec.seed = 0x0057_0121;
+    spec
+}
+
+fn run_at(jobs: usize) -> FleetReport {
+    let program = cbi_minic::parse(RARE).unwrap();
+    run_fleet(&program, &pool(64), &storm_spec().with_jobs(jobs), None).unwrap()
+}
+
+fn monitor_of(report: &FleetReport) -> HealthMonitor {
+    let mut monitor = HealthMonitor::new(HealthConfig::default(), false);
+    monitor.observe_all(&report.epochs);
+    monitor
+}
+
+#[test]
+fn fault_storm_raises_exactly_one_corruption_spike() {
+    let report = run_at(1);
+    assert!(
+        report.summary.corrupt_batches > 0,
+        "the bit-flip storm must corrupt accepted batches"
+    );
+    assert!(report.summary.stale_batches > 0);
+
+    let monitor = monitor_of(&report);
+    let spikes: Vec<_> = monitor
+        .events()
+        .iter()
+        .filter(|e| matches!(e, HealthEvent::CorruptionSpike { .. }))
+        .collect();
+    // The storm is sustained from epoch 0, so the edge-triggered
+    // detector fires exactly once — at the first armed epoch — and
+    // stays latched for the rest of the run.
+    assert_eq!(
+        spikes.len(),
+        1,
+        "sustained storm fires one spike: {:?}",
+        monitor.events()
+    );
+    assert_eq!(
+        spikes[0].epoch(),
+        HealthConfig::default().warmup_epochs,
+        "the spike lands at the first post-warmup epoch"
+    );
+}
+
+#[test]
+fn monitor_surfaces_are_byte_identical_across_jobs() {
+    let serial = run_at(1);
+    let serial_monitor = monitor_of(&serial);
+    let serial_table = render_health(&serial_monitor);
+    let serial_flight = serial.aggregator.flight_recorder().render();
+    let registry = health_registry(&serial.aggregator, &serial_monitor);
+    let mut serial_prom = Vec::new();
+    cbi_telemetry::export::write_prometheus(&registry, &mut serial_prom).unwrap();
+    let mut serial_timeline = Vec::new();
+    cbi_telemetry::export::write_timeline(&registry, &mut serial_timeline).unwrap();
+    assert!(!serial_table.contains('.'), "integer-only:\n{serial_table}");
+    assert!(
+        !String::from_utf8(serial_prom.clone())
+            .unwrap()
+            .contains('.'),
+        "prometheus export is integer-only"
+    );
+
+    for jobs in [2, 4] {
+        let parallel = run_at(jobs);
+        let monitor = monitor_of(&parallel);
+        assert_eq!(
+            serial_monitor.events(),
+            monitor.events(),
+            "jobs {jobs}: emitted events"
+        );
+        assert_eq!(
+            serial_monitor.indicators(),
+            monitor.indicators(),
+            "jobs {jobs}: indicators"
+        );
+        assert_eq!(
+            serial_table,
+            render_health(&monitor),
+            "jobs {jobs}: health table"
+        );
+        assert_eq!(
+            serial_flight,
+            parallel.aggregator.flight_recorder().render(),
+            "jobs {jobs}: flight recorder"
+        );
+        let registry = health_registry(&parallel.aggregator, &monitor);
+        let mut prom = Vec::new();
+        cbi_telemetry::export::write_prometheus(&registry, &mut prom).unwrap();
+        assert_eq!(serial_prom, prom, "jobs {jobs}: prometheus exposition");
+        let mut timeline = Vec::new();
+        cbi_telemetry::export::write_timeline(&registry, &mut timeline).unwrap();
+        assert_eq!(serial_timeline, timeline, "jobs {jobs}: epoch timeline");
+    }
+}
+
+#[test]
+fn calm_fleet_raises_no_traffic_anomalies() {
+    let program = cbi_minic::parse(RARE).unwrap();
+    let mut spec = FleetSpec::new(8, 400);
+    spec.densities = vec![(5, 1.0)];
+    spec.batch_size = 10;
+    spec.epoch_len = 100;
+    let report = run_fleet(&program, &pool(64), &spec, None).unwrap();
+    let monitor = monitor_of(&report);
+    assert!(
+        monitor.events().iter().all(|e| matches!(
+            e,
+            // A clean, quickly-converging stream may legitimately stall
+            // on detection progress; the traffic detectors must stay
+            // silent.
+            HealthEvent::DetectionStalled { .. }
+        )),
+        "clean channel raises no traffic anomalies: {:?}",
+        monitor.events()
+    );
+}
+
+#[test]
+fn cohort_accounting_separates_stale_clients() {
+    let report = run_at(1);
+    let cohorts = report.aggregator.cohorts();
+    let stale_cohorts: Vec<_> = cohorts
+        .iter()
+        .filter(|(label, _)| label.ends_with("+stale"))
+        .collect();
+    assert!(
+        !stale_cohorts.is_empty(),
+        "25% stale clients must form cohorts: {cohorts:?}"
+    );
+    // A stale binary never survives the handshake: its cohorts reject
+    // everything and commit nothing.  (The converse is not an
+    // invariant — a fresh batch whose header hash catches a bit flip
+    // is also a layout mismatch, and a stale batch the channel
+    // truncates rejects as truncation before the handshake.)
+    for (label, stats) in &stale_cohorts {
+        assert_eq!(stats.batches, 0, "{label} committed batches");
+        assert!(stats.stale > 0, "{label} saw no handshake rejections");
+        assert!(stats.stale <= stats.rejected, "{label} accounting");
+    }
+}
