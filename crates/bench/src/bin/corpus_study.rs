@@ -61,6 +61,7 @@ fn main() {
         &EvalConfig {
             densities: DENSITIES.to_vec(),
             jobs: JOBS,
+            ..EvalConfig::default()
         },
     )
     .expect("evaluate corpus");

@@ -12,15 +12,17 @@ pub const USAGE: &str = "\
 usage:
   cbi instrument <file.mc> [--scheme checks|returns|scalar-pairs|branches]
   cbi transform  <file.mc> [--scheme S] [--global-countdown] [--no-regions]
+  cbi disasm     <file.mc> [--stage source|instrument|sample] [--scheme S]
+                 [--global-countdown] [--no-regions]
   cbi run        <file.mc> [--scheme S] [--density D] [--seed N] [--input \"1 2 3\"]
-                 [--global-countdown] [--no-regions] [--metrics]
+                 [--engine E] [--global-countdown] [--no-regions] [--metrics]
                  [--metrics-out metrics.jsonl] [--trace-out trace.json]
   cbi campaign   <file.mc> <inputs.txt> [--scheme S] [--density D] [--seed N]
-                 [--jobs N] [--out reports.jsonl] [--spool reports.cbr]
+                 [--jobs N] [--engine E] [--out reports.jsonl] [--spool reports.cbr]
                  [--transmit HOST:PORT] [--metrics]
                  [--metrics-out metrics.jsonl] [--trace-out trace.json]
   cbi profile    <file.mc> <inputs.txt> [--scheme S] [--density D] [--seed N]
-                 [--jobs N] [--analyze eliminate|regress|none]
+                 [--jobs N] [--engine E] [--analyze eliminate|regress|none]
                  [--metrics-out metrics.jsonl] [--trace-out trace.json]
   cbi analyze    <reports.jsonl|.cbr> <file.mc> [--scheme S]
                  [--mode eliminate|regress]
@@ -29,13 +31,13 @@ usage:
                  [--metrics] [--metrics-out metrics.jsonl]
   cbi transmit   <reports.jsonl|.cbr> --to HOST:PORT [<file.mc>] [--scheme S]
   cbi corpus     generate <dir> [--size N] [--seed N] [--trials N]
-  cbi corpus     evaluate <dir> [--densities 1,10,100,1000] [--jobs N]
+  cbi corpus     evaluate <dir> [--densities 1,10,100,1000] [--jobs N] [--engine E]
                  [--out report.txt] [--summary-out summary.txt]
   cbi fleet      <file.mc> <inputs.txt> [--scheme S] [--clients N] [--runs N]
                  [--batch-size N] [--epoch-len N] [--densities 100:1,1000:3]
                  [--zipf S] [--variant-fraction F] [--stale-fraction F]
                  [--drop F] [--truncate F] [--bit-flip F] [--max-retries N]
-                 [--target PRED] [--seed N] [--jobs N] [--summary-out FILE]
+                 [--target PRED] [--seed N] [--jobs N] [--engine E] [--summary-out FILE]
                  [--flight-cap N] [--prom-out FILE] [--timeline-out FILE]
                  [--metrics] [--metrics-out metrics.jsonl] [--trace-out trace.json]
   cbi fleet      --corpus <dir> [--entry ID] [--pool N] [same knobs]
@@ -46,6 +48,16 @@ usage:
   cbi monitor    --corpus <dir> [--entry ID] [--pool N] [same knobs]
   cbi monitor    --replay <spool.cbr> <file.mc> [--scheme S] [--epoch-len N]
                  [--batch-size N] [same health knobs]
+
+  --engine E picks the interpreter: `bytecode` (default — programs are
+  compiled once to flat instructions and dispatched by a straight-line
+  loop), `slot` (the slot-resolved tree walker), or `namemap` (the
+  name-map reference walker).  Every engine produces bit-identical
+  output; the flag is a throughput knob.  `cbi disasm` prints the
+  bytecode listing of a program — raw (--stage source), after
+  unconditional instrumentation (--stage instrument), or after the
+  sampling transformation (--stage sample), where the fast/slow region
+  clones and fused countdown ops are visible.
 
   --jobs N shards campaign trials over N worker threads (reports are
   bit-identical at any job count).  --metrics prints a telemetry summary,
@@ -107,6 +119,7 @@ pub fn dispatch(raw: Vec<String>) -> Result<(), String> {
     match args.positional(0) {
         Some("instrument") => cmd_instrument(&args),
         Some("transform") => cmd_transform(&args),
+        Some("disasm") => cmd_disasm(&args),
         Some("run") => cmd_run(&args),
         Some("campaign") => cmd_campaign(&args),
         Some("profile") => cmd_profile(&args),
@@ -185,6 +198,44 @@ fn cmd_transform(args: &Args) -> Result<(), String> {
         stats.avg_threshold_weight()
     );
     println!("{}", pretty(&sampled));
+    Ok(())
+}
+
+/// Parses `--engine` (default: the bytecode dispatch engine).
+fn engine_of(args: &Args) -> Result<Engine, String> {
+    match args.flag("engine") {
+        None => Ok(Engine::Bytecode),
+        Some(name) => Engine::parse(name).ok_or_else(|| {
+            format!("unknown engine `{name}` (expected bytecode, slot, or namemap)")
+        }),
+    }
+}
+
+/// `cbi disasm`: print the deterministic bytecode listing of a program,
+/// optionally after instrumentation or the full sampling transformation.
+fn cmd_disasm(args: &Args) -> Result<(), String> {
+    let program = load_program(args, 1)?;
+    let stage = args.flag("stage").unwrap_or("source");
+    let lowered = match stage {
+        "source" => cbi::minic::lower(&program),
+        "instrument" => {
+            let inst = instrument(&program, scheme_of(args)?).map_err(|e| e.to_string())?;
+            cbi::minic::lower(&inst.program)
+        }
+        "sample" => {
+            let inst = instrument(&program, scheme_of(args)?).map_err(|e| e.to_string())?;
+            let (sampled, _) = apply_sampling(&inst.program, &transform_options(args))
+                .map_err(|e| e.to_string())?;
+            cbi::minic::lower(&sampled)
+        }
+        other => {
+            return Err(format!(
+                "unknown --stage `{other}` (expected source, instrument, or sample)"
+            ))
+        }
+    };
+    let bc = cbi::vm::bytecode::compile(&lowered);
+    print!("{}", cbi::vm::bytecode::disassemble(&bc));
     Ok(())
 }
 
@@ -271,6 +322,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         let scheme = scheme_of(args)?;
         let density: u64 = args.flag_or("density", 100)?;
         let seed: u64 = args.flag_or("seed", 42)?;
+        let engine = engine_of(args)?;
         let input = parse_input(args.flag("input").unwrap_or(""))?;
 
         let inst = cbi::telemetry::time("phase.instrument", || instrument(&program, scheme))
@@ -282,6 +334,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         let bank = CountdownBank::generate(SamplingDensity::one_in(density), 1024, seed);
         let result = cbi::telemetry::time("phase.execute", || {
             Vm::new(&sampled)
+                .with_engine(engine)
                 .with_sites(&inst.sites)
                 .with_sampling(Box::new(bank))
                 .with_input(input)
@@ -325,8 +378,9 @@ fn campaign_setup(args: &Args) -> Result<(Program, Vec<Vec<i64>>, CampaignConfig
         .map(parse_input)
         .collect::<Result<_, _>>()?;
 
-    let mut config =
-        CampaignConfig::sampled(scheme, SamplingDensity::one_in(density)).with_jobs(jobs);
+    let mut config = CampaignConfig::sampled(scheme, SamplingDensity::one_in(density))
+        .with_jobs(jobs)
+        .with_engine(engine_of(args)?);
     config.seed = seed;
     Ok((program, trials, config))
 }
@@ -829,6 +883,7 @@ fn cmd_corpus_evaluate(args: &Args) -> Result<(), String> {
     let config = cbi_corpus::EvalConfig {
         densities,
         jobs: jobs_of(args)?,
+        engine: engine_of(args)?,
     };
     let entries = cbi_corpus::load_corpus(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
     eprintln!("evaluating {} entries from {dir}", entries.len());
@@ -910,6 +965,7 @@ fn fleet_spec(args: &Args) -> Result<cbi_fleet::FleetSpec, String> {
     spec.seed = args.flag_or("seed", 0x5eedu64)?;
     spec.jobs = jobs_of(args)?;
     spec.flight_recorder = args.flag_or("flight-cap", 64usize)?;
+    spec.engine = engine_of(args)?;
     Ok(spec)
 }
 
@@ -1223,6 +1279,44 @@ mod tests {
         ])
         .unwrap_err();
         assert!(err.contains("--analyze"), "{err}");
+    }
+
+    #[test]
+    fn disasm_prints_a_listing_at_every_stage() {
+        let p = tmp("prog-disasm.mc", PROG);
+        dispatch_strs(&["disasm", p.to_str().unwrap()]).unwrap();
+        dispatch_strs(&[
+            "disasm",
+            p.to_str().unwrap(),
+            "--stage",
+            "instrument",
+            "--scheme",
+            "returns",
+        ])
+        .unwrap();
+        dispatch_strs(&["disasm", p.to_str().unwrap(), "--stage", "sample"]).unwrap();
+        let err = dispatch_strs(&["disasm", p.to_str().unwrap(), "--stage", "bogus"]).unwrap_err();
+        assert!(err.contains("--stage"), "{err}");
+    }
+
+    #[test]
+    fn engine_flag_is_accepted_and_validated() {
+        let p = tmp("prog-engine.mc", PROG);
+        let inputs = tmp("inputs-engine.txt", "5\n4\n");
+        for engine in ["bytecode", "slot", "namemap"] {
+            dispatch_strs(&[
+                "campaign",
+                p.to_str().unwrap(),
+                inputs.to_str().unwrap(),
+                "--engine",
+                engine,
+                "--out",
+                "/dev/null",
+            ])
+            .unwrap();
+        }
+        let err = dispatch_strs(&["run", p.to_str().unwrap(), "--engine", "bogus"]).unwrap_err();
+        assert!(err.contains("engine"), "{err}");
     }
 
     #[test]

@@ -7,9 +7,16 @@
 //! cbi transform <file.mc> [--scheme S] [--global-countdown] [--no-regions]
 //!     Print the sampling-transformed program.
 //!
+//! cbi disasm <file.mc> [--stage source|instrument|sample] [--scheme S]
+//!     Print the deterministic bytecode listing — raw, instrumented, or
+//!     after the sampling transformation (fast/slow clones and fused
+//!     countdown ops visible).
+//!
 //! cbi run <file.mc> [--scheme S] [--density D] [--seed N] [--input "1 2 3"]
+//!         [--engine bytecode|slot|namemap]
 //!     Run one sampled execution; print outcome, ops, output, and the
-//!     nonzero counters.
+//!     nonzero counters.  Every engine gives bit-identical results; the
+//!     bytecode dispatch loop is the default.
 //!
 //! cbi campaign <file.mc> <inputs.txt> [--scheme S] [--density D] [--seed N]
 //!              [--jobs N] [--out reports.jsonl] [--spool reports.cbr]

@@ -38,6 +38,9 @@ pub struct EvalConfig {
     pub densities: Vec<u64>,
     /// Campaign worker threads (scores are identical at any value).
     pub jobs: usize,
+    /// Interpreter engine for every campaign (scores are identical on
+    /// every engine; bytecode is the throughput default).
+    pub engine: cbi_vm::Engine,
 }
 
 impl Default for EvalConfig {
@@ -45,6 +48,7 @@ impl Default for EvalConfig {
         EvalConfig {
             densities: vec![1, 10, 100, 1000],
             jobs: 1,
+            engine: cbi_vm::Engine::Bytecode,
         }
     }
 }
@@ -125,7 +129,8 @@ pub fn evaluate(entries: &[CorpusEntry], cfg: &EvalConfig) -> Result<EvalReport,
         let trials = trials_for(bug);
         for &density in &cfg.densities {
             let config = CampaignConfig::sampled(Scheme::Checks, SamplingDensity::one_in(density))
-                .with_jobs(cfg.jobs.max(1));
+                .with_jobs(cfg.jobs.max(1))
+                .with_engine(cfg.engine);
             let mut analyzer = StreamingAnalyzer::new(StreamingConfig::default());
             let run =
                 run_campaign_into(&program, &trials, &config, &mut analyzer).map_err(|e| {
@@ -365,6 +370,7 @@ mod tests {
         let cfg = EvalConfig {
             densities: vec![1, 100],
             jobs: 1,
+            ..EvalConfig::default()
         };
         let a = evaluate(&entries, &cfg).unwrap();
         for s in a.scores.iter().filter(|s| s.density == 1) {
@@ -381,6 +387,7 @@ mod tests {
             &EvalConfig {
                 densities: vec![1, 100],
                 jobs: 3,
+                ..EvalConfig::default()
             },
         )
         .unwrap();
@@ -403,6 +410,7 @@ mod tests {
             &EvalConfig {
                 densities: vec![1],
                 jobs: 1,
+                ..EvalConfig::default()
             },
         )
         .unwrap_err();

@@ -27,7 +27,7 @@ use cbi_reports::wire::encode_reports;
 use cbi_reports::{DecodeOutcome, Label, Provenance, Report, ReportLayout, ReportSink};
 use cbi_sampler::{CountdownBank, Pcg32, Zipf};
 use cbi_telemetry as telemetry;
-use cbi_vm::{RunOutcome, Vm};
+use cbi_vm::{bytecode::BcProgram, Engine, RunOutcome, Vm};
 
 /// PRNG stream tag for per-run input selection.
 const RUN_STREAM: u64 = 0x72_75_6e_73; // "runs"
@@ -76,6 +76,11 @@ pub struct FleetSpec {
     /// Server-side flight-recorder capacity (last N ingest events kept
     /// for anomaly dumps; `0` disables retention).
     pub flight_recorder: usize,
+    /// Interpreter engine every client binary runs on.  The default is
+    /// [`Engine::Bytecode`]: each binary (the full build and every
+    /// variant) is compiled to flat instructions once at setup.  All
+    /// engines produce bit-identical fleet reports.
+    pub engine: Engine,
 }
 
 impl FleetSpec {
@@ -101,6 +106,7 @@ impl FleetSpec {
             bank_size: 1024,
             streaming: StreamingConfig::default(),
             flight_recorder: 64,
+            engine: Engine::Bytecode,
         }
     }
 
@@ -264,19 +270,16 @@ pub fn run_fleet(
         layout_hash: sites.layout_hash(),
     };
     let (full, _) = apply_sampling(&inst.program, &TransformOptions::default())?;
-    let full_slots = cbi_minic::lower(&full);
-    let variant_slots: Vec<SlotProgram> = if spec.variant_fraction > 0.0 {
+    let variants: Vec<Program> = if spec.variant_fraction > 0.0 {
         single_function_variants(&inst)
             .iter()
-            .map(|v| {
-                apply_sampling(&v.program, &TransformOptions::default())
-                    .map(|(p, _)| cbi_minic::lower(&p))
-            })
+            .map(|v| apply_sampling(&v.program, &TransformOptions::default()).map(|(p, _)| p))
             .collect::<Result<_, _>>()?
     } else {
         Vec::new()
     };
-    let profiles = draw_profiles(spec, variant_slots.len());
+    let exe = FleetExe::build(spec.engine, full, variants);
+    let profiles = draw_profiles(spec, exe.n_variants());
     let zipf = Zipf::new(pool.len(), spec.zipf_exponent)
         .map_err(|e| FleetError::Config(format!("input-pool popularity: {e}")))?;
     let plans = plan_batches(spec);
@@ -300,8 +303,7 @@ pub fn run_fleet(
                         zipf: &zipf,
                         sites,
                         layout,
-                        full_slots: &full_slots,
-                        variant_slots: &variant_slots,
+                        exe: &exe,
                         profiles: &profiles,
                     };
                     s.spawn(move || {
@@ -434,9 +436,73 @@ struct WorkerCtx<'a> {
     zipf: &'a Zipf,
     sites: &'a SiteTable,
     layout: ReportLayout,
-    full_slots: &'a SlotProgram,
-    variant_slots: &'a [SlotProgram],
+    exe: &'a FleetExe,
     profiles: &'a [ClientProfile],
+}
+
+/// Every binary the fleet runs — the full build plus each variant —
+/// compiled once at setup for the configured engine and shared
+/// (immutably) by all workers.
+// One value per fleet run, so the size spread between engine payloads
+// is irrelevant.
+#[allow(clippy::large_enum_variant)]
+enum FleetExe {
+    Ast {
+        full: Program,
+        variants: Vec<Program>,
+    },
+    Slots {
+        full: SlotProgram,
+        variants: Vec<SlotProgram>,
+    },
+    Bytecode {
+        full: BcProgram,
+        variants: Vec<BcProgram>,
+    },
+}
+
+impl FleetExe {
+    fn build(engine: Engine, full: Program, variants: Vec<Program>) -> FleetExe {
+        match engine {
+            Engine::NameMap => FleetExe::Ast { full, variants },
+            Engine::Slots => FleetExe::Slots {
+                full: cbi_minic::lower(&full),
+                variants: variants.iter().map(cbi_minic::lower).collect(),
+            },
+            Engine::Bytecode => FleetExe::Bytecode {
+                full: cbi_vm::bytecode::compile(&cbi_minic::lower(&full)),
+                variants: variants
+                    .iter()
+                    .map(|v| cbi_vm::bytecode::compile(&cbi_minic::lower(v)))
+                    .collect(),
+            },
+        }
+    }
+
+    fn n_variants(&self) -> usize {
+        match self {
+            FleetExe::Ast { variants, .. } => variants.len(),
+            FleetExe::Slots { variants, .. } => variants.len(),
+            FleetExe::Bytecode { variants, .. } => variants.len(),
+        }
+    }
+
+    /// A VM for the client's binary: the full build, or `variants[v]`.
+    fn vm(&self, variant: Option<usize>) -> Vm<'_> {
+        match self {
+            FleetExe::Ast { full, variants } => {
+                let mut vm = Vm::new(variant.map_or(full, |v| &variants[v]));
+                vm.with_engine(Engine::NameMap);
+                vm
+            }
+            FleetExe::Slots { full, variants } => {
+                Vm::from_slots(variant.map_or(full, |v| &variants[v]))
+            }
+            FleetExe::Bytecode { full, variants } => {
+                Vm::from_bytecode(variant.map_or(full, |v| &variants[v]))
+            }
+        }
+    }
 }
 
 /// Deals runs round-robin over clients and chunks each client's run
@@ -463,10 +529,6 @@ fn plan_batches(spec: &FleetSpec) -> Vec<BatchPlan> {
 fn run_batch(ctx: &WorkerCtx<'_>, plan: &BatchPlan) -> Result<BatchOutcome, FleetError> {
     let spec = ctx.spec;
     let profile = &ctx.profiles[plan.client];
-    let slots = match profile.variant {
-        Some(v) => &ctx.variant_slots[v],
-        None => ctx.full_slots,
-    };
     let mut reports = Vec::with_capacity(plan.runs.len());
     let mut dropped = 0usize;
     let mut bank = CountdownBank::generate(
@@ -480,7 +542,7 @@ fn run_batch(ctx: &WorkerCtx<'_>, plan: &BatchPlan) -> Result<BatchOutcome, Flee
         if i > 0 {
             bank.reseed(profile.density, spec.seed.wrapping_add(run as u64));
         }
-        let mut vm = Vm::from_slots(slots);
+        let mut vm = ctx.exe.vm(profile.variant);
         vm.with_sites(ctx.sites)
             .with_input(&input[..])
             .with_op_limit(spec.op_limit)
@@ -686,6 +748,35 @@ mod tests {
             run_fleet(&program, &[], &spec(), None),
             Err(FleetError::Config(_))
         ));
+    }
+
+    #[test]
+    fn fleet_summary_identical_across_engines_and_jobs() {
+        // Variants, stale clients, and a mildly lossy channel together:
+        // the summary must not depend on which engine ran the clients,
+        // nor on the job count.
+        let program = cbi_minic::parse(RARE).unwrap();
+        let mut base = spec();
+        base.variant_fraction = 0.3;
+        base.stale_fraction = 0.1;
+        base.channel.drop = 0.05;
+        let with = |engine: Engine, jobs: usize| {
+            let mut s = base.clone();
+            s.engine = engine;
+            s.jobs = jobs;
+            run_fleet(&program, &pool(48), &s, None).unwrap().summary
+        };
+        let reference = with(Engine::Slots, 1);
+        for engine in [Engine::Bytecode, Engine::NameMap] {
+            for jobs in [1usize, 2, 4] {
+                assert_eq!(
+                    reference,
+                    with(engine, jobs),
+                    "{} jobs={jobs}: fleet summary diverged",
+                    engine.name()
+                );
+            }
+        }
     }
 
     #[test]

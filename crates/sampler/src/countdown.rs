@@ -118,6 +118,67 @@ impl CountdownSource for CountdownBank {
     }
 }
 
+/// A [`CountdownBank`] that draws its values on first use instead of up
+/// front.
+///
+/// The countdown sequence is identical to an eagerly generated bank of the
+/// same density, capacity, and seed — the first `cap` refills come from the
+/// same [`Geometric`] stream, and the bank cycles after that — but a run
+/// that consumes only a handful of refills (the common case at 1/100
+/// sampling) never pays for the draws it doesn't use.  Campaign workers
+/// recycle one `LazyBank` across thousands of trials via [`reseed`].
+///
+/// [`reseed`]: LazyBank::reseed
+#[derive(Debug, Clone)]
+pub struct LazyBank {
+    gen: Geometric,
+    values: Vec<u64>,
+    cap: usize,
+    cursor: usize,
+}
+
+impl LazyBank {
+    /// Creates a lazy bank of (up to) `cap` geometric countdowns,
+    /// equivalent to `CountdownBank::generate(density, cap, seed)`.
+    pub fn new(density: SamplingDensity, cap: usize, seed: u64) -> Self {
+        LazyBank {
+            gen: Geometric::new(density, seed),
+            values: Vec::new(),
+            cap: cap.max(1),
+            cursor: 0,
+        }
+    }
+
+    /// Restarts this bank from a fresh seed, reusing the value buffer;
+    /// equivalent to [`CountdownBank::reseed`] on an eager bank.
+    pub fn reseed(&mut self, density: SamplingDensity, seed: u64) {
+        cbi_telemetry::count("sampler.bank_reseeds", 1);
+        self.gen = Geometric::new(density, seed);
+        self.values.clear();
+        self.cursor = 0;
+    }
+}
+
+impl CountdownSource for LazyBank {
+    fn next_countdown(&mut self) -> u64 {
+        cbi_telemetry::count("sampler.refills", 1);
+        let v = if self.cursor < self.values.len() {
+            self.values[self.cursor]
+        } else {
+            // `Geometric::draw` is telemetry-free, so the refill count
+            // matches the eager bank draw for draw.
+            let v = self.gen.draw();
+            self.values.push(v);
+            v
+        };
+        self.cursor += 1;
+        if self.cursor == self.cap {
+            self.cursor = 0;
+        }
+        v
+    }
+}
+
 /// Strictly periodic countdowns: exactly one sample per `period`
 /// opportunities, in the style of Arnold–Ryder counter-based sampling.
 ///

@@ -50,7 +50,9 @@ pub mod geometric;
 pub mod rng;
 pub mod zipf;
 
-pub use countdown::{Bernoulli, CountdownBank, CountdownSource, Periodic, UniformInterval};
+pub use countdown::{
+    Bernoulli, CountdownBank, CountdownSource, LazyBank, Periodic, UniformInterval,
+};
 pub use geometric::Geometric;
 pub use rng::Pcg32;
 pub use zipf::{Categorical, CategoricalError, Zipf};

@@ -12,17 +12,22 @@
 //!   `__gcd` global is seeded at startup;
 //! * op-cost accounting per [`CostModel`] for the overhead experiments.
 //!
-//! Two engines share this front end: the slot-resolved hot path
-//! ([`crate::slot_interp`], the default) executing pre-lowered
-//! [`SlotProgram`]s with `Vec`-indexed frames, and the original name-map
-//! tree walker in this module, kept as the reference implementation for
-//! differential testing and benchmarking.
+//! Three engines share this front end: the bytecode dispatch loop
+//! ([`crate::bytecode_interp`]) executing compiled [`BcProgram`]s, the
+//! slot-resolved tree walker ([`crate::slot_interp`], the default)
+//! executing pre-lowered [`SlotProgram`]s with `Vec`-indexed frames, and
+//! the original name-map tree walker in this module, kept as the
+//! reference implementation for differential testing and benchmarking.
+//! All three share the engine-independent run state and value semantics
+//! in [`crate::runtime`].
 
 use crate::cost::CostModel;
-use crate::heap::{Heap, DEFAULT_SLACK};
+use crate::heap::DEFAULT_SLACK;
 use crate::outcome::{CrashKind, RunOutcome};
+use crate::runtime::{saturating_i64, Flow, RunCore, Trap};
 use crate::slot_interp::SlotExec;
-use crate::value::{PtrVal, Value};
+use crate::value::Value;
+use cbi_bytecode::BcProgram;
 use cbi_instrument::SiteTable;
 use cbi_minic::ast::*;
 use cbi_minic::builtins::GLOBAL_COUNTDOWN;
@@ -30,7 +35,6 @@ use cbi_minic::slots::{self, SlotProgram};
 use cbi_minic::Builtin;
 use cbi_sampler::CountdownSource;
 use std::borrow::Cow;
-use std::cmp::Ordering;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -48,7 +52,7 @@ pub struct VmError {
 }
 
 impl VmError {
-    fn new(message: impl Into<String>) -> Self {
+    pub(crate) fn new(message: impl Into<String>) -> Self {
         VmError {
             message: message.into(),
         }
@@ -92,14 +96,39 @@ pub struct RunResult {
 /// Which interpreter engine a [`Vm`] executes with.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum Engine {
-    /// Slot-resolved execution (the default): names are lowered to dense
-    /// indices once, frames are `Vec`-backed — no string hashing on the
-    /// execution path.
+    /// Slot-resolved tree walking (the default): names are lowered to
+    /// dense indices once, frames are `Vec`-backed — no string hashing on
+    /// the execution path.
     #[default]
     Slots,
     /// The original name-map tree walker (`HashMap` frames).  Kept as the
     /// reference engine for differential tests and overhead baselines.
     NameMap,
+    /// The bytecode dispatch loop: the slot-resolved program is compiled
+    /// to flat instructions with resolved jumps and fused countdown ops,
+    /// then executed by a `loop { match op }` engine — the fastest path.
+    Bytecode,
+}
+
+impl Engine {
+    /// Parses an engine name as accepted by the CLI `--engine` flag.
+    pub fn parse(name: &str) -> Option<Engine> {
+        match name {
+            "slot" | "slots" => Some(Engine::Slots),
+            "namemap" | "name-map" => Some(Engine::NameMap),
+            "bytecode" | "bc" => Some(Engine::Bytecode),
+            _ => None,
+        }
+    }
+
+    /// The canonical CLI name of this engine.
+    pub fn name(self) -> &'static str {
+        match self {
+            Engine::Slots => "slot",
+            Engine::NameMap => "namemap",
+            Engine::Bytecode => "bytecode",
+        }
+    }
 }
 
 /// The program representation a [`Vm`] was constructed from.
@@ -107,6 +136,7 @@ pub enum Engine {
 enum ProgramSrc<'a> {
     Ast(&'a Program),
     Slots(&'a SlotProgram),
+    Bytecode(&'a BcProgram),
 }
 
 /// The countdown source, owned or borrowed.  Borrowing lets a campaign
@@ -148,7 +178,7 @@ impl Sampling<'_> {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 ///
-/// On a hot path, lower once and share the borrowed pieces across runs:
+/// On a hot path, compile once and share the borrowed pieces across runs:
 ///
 /// ```
 /// use cbi_vm::Vm;
@@ -157,9 +187,10 @@ impl Sampling<'_> {
 ///     "fn main() -> int { return read(); }",
 /// )?;
 /// let slots = cbi_minic::lower(&program);
+/// let bc = cbi_bytecode::compile(&slots);
 /// let input = vec![7];
 /// for _ in 0..3 {
-///     let r = Vm::from_slots(&slots).with_input(&input[..]).run()?;
+///     let r = Vm::from_bytecode(&bc).with_input(&input[..]).run()?;
 ///     assert_eq!(r.outcome, cbi_vm::RunOutcome::Success(7));
 /// }
 /// # Ok::<(), Box<dyn std::error::Error>>(())
@@ -182,6 +213,7 @@ impl fmt::Debug for Vm<'_> {
         let functions = match self.program {
             ProgramSrc::Ast(p) => p.functions.len(),
             ProgramSrc::Slots(p) => p.functions.len(),
+            ProgramSrc::Bytecode(p) => p.functions.len(),
         };
         f.debug_struct("Vm")
             .field("functions", &functions)
@@ -206,6 +238,18 @@ impl<'a> Vm<'a> {
     /// [`SlotProgram`] amortizes name resolution across a whole campaign.
     pub fn from_slots(program: &'a SlotProgram) -> Self {
         Vm::with_src(ProgramSrc::Slots(program))
+    }
+
+    /// Creates a VM for a compiled bytecode program (see
+    /// [`cbi_bytecode::compile`]) and selects the bytecode engine.
+    ///
+    /// Compiling once and constructing per-run VMs from the shared
+    /// [`BcProgram`] amortizes both name resolution and code generation
+    /// across a whole campaign — the fastest configuration.
+    pub fn from_bytecode(program: &'a BcProgram) -> Self {
+        let mut vm = Vm::with_src(ProgramSrc::Bytecode(program));
+        vm.engine = Engine::Bytecode;
+        vm
     }
 
     fn with_src(program: ProgramSrc<'a>) -> Self {
@@ -316,7 +360,7 @@ impl<'a> Vm<'a> {
             (Engine::NameMap, ProgramSrc::Ast(program)) => {
                 self.run_namemap(program, counter_layout, total_counters)
             }
-            (Engine::NameMap, ProgramSrc::Slots(_)) => Err(VmError::new(
+            (Engine::NameMap, _) => Err(VmError::new(
                 "name-map engine requires an AST program (construct with Vm::new)",
             )),
             (Engine::Slots, ProgramSrc::Slots(program)) => {
@@ -328,7 +372,38 @@ impl<'a> Vm<'a> {
                 let lowered = slots::lower(program);
                 self.run_slots(&lowered, counter_layout, total_counters)
             }
+            (Engine::Slots, ProgramSrc::Bytecode(_)) => Err(VmError::new(
+                "slot engine requires an AST or slot program (construct with Vm::new or Vm::from_slots)",
+            )),
+            (Engine::Bytecode, ProgramSrc::Bytecode(program)) => {
+                self.run_bytecode(program, counter_layout, total_counters)
+            }
+            (Engine::Bytecode, ProgramSrc::Slots(program)) => {
+                // One-shot convenience path: compile, then run.  Hot loops
+                // compile once and use `Vm::from_bytecode` instead.
+                let compiled = cbi_bytecode::compile(program);
+                self.run_bytecode(&compiled, counter_layout, total_counters)
+            }
+            (Engine::Bytecode, ProgramSrc::Ast(program)) => {
+                let lowered = slots::lower(program);
+                let compiled = cbi_bytecode::compile(&lowered);
+                self.run_bytecode(&compiled, counter_layout, total_counters)
+            }
         }
+    }
+
+    fn core(&mut self, counter_layout: Vec<(usize, usize)>, total_counters: usize) -> RunCore<'_> {
+        RunCore::new(
+            self.heap_slack,
+            self.input.as_ref(),
+            total_counters,
+            counter_layout,
+            self.sampling.get(),
+            self.op_limit,
+            self.costs,
+            self.max_depth,
+            self.trace_limit,
+        )
     }
 
     fn run_slots(
@@ -356,30 +431,15 @@ impl<'a> Vm<'a> {
 
         let mut exec = SlotExec {
             prog: program,
-            free_depth: 0,
+            core: self.core(counter_layout, total_counters),
             globals,
-            heap: Heap::with_slack(self.heap_slack),
-            input: self.input.as_ref(),
-            input_pos: 0,
-            output: Vec::new(),
-            counters: vec![0; total_counters],
-            counter_layout,
-            sampling: self.sampling.get(),
-            ops: 0,
-            op_limit: self.op_limit,
-            costs: self.costs,
-            depth: 0,
-            max_depth: self.max_depth,
-            trace_limit: self.trace_limit,
-            trace: std::collections::VecDeque::new(),
             stack: Vec::with_capacity(64),
-            tm: TmCounters::new(),
         };
 
         // Seed the global countdown before the first instruction (§2.1):
         // the instrumented program starts with a fresh next-sample distance.
         if let Some(g) = program.gcd_global {
-            let seed = match exec.sampling.as_deref_mut() {
+            let seed = match exec.core.sampling.as_deref_mut() {
                 Some(src) => saturating_i64(src.next_countdown()),
                 None => {
                     return Err(VmError::new(
@@ -390,25 +450,18 @@ impl<'a> Vm<'a> {
             exec.globals[g as usize] = Value::Int(seed);
         }
 
-        let outcome = match exec.call_function(main, &[]) {
-            Ok(v) => RunOutcome::Success(match v {
-                Some(Value::Int(code)) => code,
-                _ => 0,
-            }),
-            Err(Trap::Crash(kind)) => RunOutcome::Crash(kind),
-            Err(Trap::Assertion(site)) => RunOutcome::AssertionFailure(site),
-            Err(Trap::Exit(code)) => RunOutcome::Success(code),
-            Err(Trap::OpLimit) => RunOutcome::OpLimit,
-        };
+        let outcome = RunCore::outcome_of(exec.call_function(main, &[]));
+        Ok(exec.core.finish(outcome))
+    }
 
-        exec.tm.flush(exec.ops);
-        Ok(RunResult {
-            outcome,
-            ops: exec.ops,
-            counters: exec.counters,
-            output: exec.output,
-            trace: exec.trace.into_iter().collect(),
-        })
+    fn run_bytecode(
+        &mut self,
+        program: &BcProgram,
+        counter_layout: Vec<(usize, usize)>,
+        total_counters: usize,
+    ) -> Result<RunResult, VmError> {
+        let core = self.core(counter_layout, total_counters);
+        crate::bytecode_interp::run(program, core)
     }
 
     fn run_namemap(
@@ -440,29 +493,14 @@ impl<'a> Vm<'a> {
 
         let mut exec = Exec {
             funcs,
-            free_depth: 0,
+            core: self.core(counter_layout, total_counters),
             globals,
-            heap: Heap::with_slack(self.heap_slack),
-            input: self.input.as_ref(),
-            input_pos: 0,
-            output: Vec::new(),
-            counters: vec![0; total_counters],
-            counter_layout,
-            sampling: self.sampling.get(),
-            ops: 0,
-            op_limit: self.op_limit,
-            costs: self.costs,
-            depth: 0,
-            max_depth: self.max_depth,
-            trace_limit: self.trace_limit,
-            trace: std::collections::VecDeque::new(),
-            tm: TmCounters::new(),
         };
 
         // Seed the global countdown before the first instruction (§2.1):
         // the instrumented program starts with a fresh next-sample distance.
         if exec.globals.contains_key(GLOBAL_COUNTDOWN) {
-            let seed = match exec.sampling.as_deref_mut() {
+            let seed = match exec.core.sampling.as_deref_mut() {
                 Some(src) => saturating_i64(src.next_countdown()),
                 None => {
                     return Err(VmError::new(
@@ -474,189 +512,43 @@ impl<'a> Vm<'a> {
                 .insert(GLOBAL_COUNTDOWN.to_string(), Value::Int(seed));
         }
 
-        let outcome = match exec.call_function(main, Vec::new()) {
-            Ok(v) => RunOutcome::Success(match v {
-                Some(Value::Int(code)) => code,
-                _ => 0,
-            }),
-            Err(Trap::Crash(kind)) => RunOutcome::Crash(kind),
-            Err(Trap::Assertion(site)) => RunOutcome::AssertionFailure(site),
-            Err(Trap::Exit(code)) => RunOutcome::Success(code),
-            Err(Trap::OpLimit) => RunOutcome::OpLimit,
-        };
-
-        exec.tm.flush(exec.ops);
-        Ok(RunResult {
-            outcome,
-            ops: exec.ops,
-            counters: exec.counters,
-            output: exec.output,
-            trace: exec.trace.into_iter().collect(),
-        })
+        let outcome = RunCore::outcome_of(exec.call_function(main, Vec::new()));
+        Ok(exec.core.finish(outcome))
     }
-}
-
-pub(crate) fn saturating_i64(v: u64) -> i64 {
-    i64::try_from(v).unwrap_or(i64::MAX)
-}
-
-/// Per-run telemetry accumulators, shared by both engines.
-///
-/// Values accumulate in plain locals on the execution path — when
-/// telemetry is disabled the only cost is one predictable branch per
-/// statement — and flush to `cbi_telemetry` once per run, so hot loops
-/// never touch thread-local or atomic state.
-pub(crate) struct TmCounters {
-    pub(crate) on: bool,
-    pub(crate) steps: u64,
-    pub(crate) fast: u64,
-    pub(crate) slow: u64,
-    pub(crate) samples: u64,
-}
-
-impl TmCounters {
-    pub(crate) fn new() -> Self {
-        TmCounters {
-            on: cbi_telemetry::enabled(),
-            steps: 0,
-            fast: 0,
-            slow: 0,
-            samples: 0,
-        }
-    }
-
-    /// Classifies one executed synthesized conditional by its comparison
-    /// operator: the transformation emits `cd > w` threshold checks whose
-    /// taken arm is the instrumentation-free fast path, and `cd == 0`
-    /// slow-path guards whose taken arm records a sample.
-    #[inline]
-    pub(crate) fn synthesized_if(&mut self, op: BinOp, taken: bool) {
-        match op {
-            BinOp::Gt => {
-                if taken {
-                    self.fast += 1;
-                } else {
-                    self.slow += 1;
-                }
-            }
-            BinOp::Eq if taken => self.samples += 1,
-            _ => {}
-        }
-    }
-
-    pub(crate) fn flush(&self, ops: u64) {
-        if !self.on {
-            return;
-        }
-        cbi_telemetry::count("vm.runs", 1);
-        cbi_telemetry::count("vm.steps", self.steps);
-        cbi_telemetry::count("vm.ops", ops);
-        cbi_telemetry::count("vm.region.fast_entries", self.fast);
-        cbi_telemetry::count("vm.region.slow_entries", self.slow);
-        cbi_telemetry::count("vm.samples_taken", self.samples);
-        cbi_telemetry::record("vm.ops_per_run", ops);
-        cbi_telemetry::record("vm.steps_per_run", self.steps);
-    }
-}
-
-pub(crate) enum Trap {
-    Crash(CrashKind),
-    Assertion(u32),
-    Exit(i64),
-    OpLimit,
-}
-
-pub(crate) enum Flow {
-    Normal,
-    Break,
-    Continue,
-    Return(Option<Value>),
 }
 
 type Frame = HashMap<String, Value>;
 
 struct Exec<'a> {
     funcs: HashMap<&'a str, &'a Function>,
-    /// When nonzero, per-node charges are suspended (inside synthesized
-    /// countdown bookkeeping, which is charged flat instead).
-    free_depth: u32,
+    core: RunCore<'a>,
     globals: HashMap<String, Value>,
-    heap: Heap,
-    input: &'a [i64],
-    input_pos: usize,
-    output: Vec<i64>,
-    counters: Vec<u64>,
-    counter_layout: Vec<(usize, usize)>,
-    sampling: Option<&'a mut (dyn CountdownSource + 'static)>,
-    ops: u64,
-    op_limit: u64,
-    costs: CostModel,
-    depth: usize,
-    max_depth: usize,
-    trace_limit: usize,
-    trace: std::collections::VecDeque<(usize, bool)>,
-    tm: TmCounters,
 }
 
 impl Exec<'_> {
-    fn record_trace(&mut self, site: i64, which: usize, truth: bool) {
-        if self.trace_limit == 0 {
-            return;
-        }
-        if self.trace.len() == self.trace_limit {
-            self.trace.pop_front();
-        }
-        let base = self
-            .counter_layout
-            .get(site as usize)
-            .map(|&(b, _)| b)
-            .unwrap_or(0);
-        self.trace.push_back((base + which, truth));
-    }
-
-    fn charge(&mut self, units: u64) -> Result<(), Trap> {
-        if self.free_depth > 0 {
-            return Ok(());
-        }
-        self.charge_always(units)
-    }
-
-    fn charge_always(&mut self, units: u64) -> Result<(), Trap> {
-        self.ops += units;
-        if self.ops > self.op_limit {
-            Err(Trap::OpLimit)
-        } else {
-            Ok(())
-        }
-    }
-
     /// Evaluates countdown-arithmetic expressions of synthesized
     /// statements without per-node charges (they model register ops); a
     /// flat bookkeeping charge is applied by the caller.
     fn eval_uncharged(&mut self, e: &Expr, frame: &mut Frame) -> Result<Value, Trap> {
-        self.free_depth += 1;
+        self.core.free_depth += 1;
         let r = self.eval(e, frame);
-        self.free_depth -= 1;
+        self.core.free_depth -= 1;
         r
     }
 
-    fn type_error(&self, msg: impl Into<String>) -> Trap {
-        Trap::Crash(CrashKind::TypeError(msg.into().into_boxed_str()))
-    }
-
     fn call_function(&mut self, f: &Function, args: Vec<Value>) -> Result<Option<Value>, Trap> {
-        if self.depth >= self.max_depth {
+        if self.core.depth >= self.core.max_depth {
             return Err(Trap::Crash(CrashKind::StackOverflow));
         }
-        self.depth += 1;
-        self.charge(self.costs.call)?;
+        self.core.depth += 1;
+        self.core.charge(self.core.costs.call)?;
         let mut frame: Frame = HashMap::with_capacity(f.params.len() + 8);
         debug_assert_eq!(args.len(), f.params.len());
         for (p, v) in f.params.iter().zip(args) {
             frame.insert(p.name.clone(), v);
         }
         let flow = self.exec_block(&f.body, &mut frame)?;
-        self.depth -= 1;
+        self.core.depth -= 1;
         match flow {
             Flow::Return(v) => Ok(v),
             // Falling off the end returns the zero value for the declared
@@ -680,13 +572,13 @@ impl Exec<'_> {
         // imports/exports) costs a flat unit: in a native build these are
         // register operations (§2.4).  Branch bodies of synthesized
         // conditionals still charge normally — they contain real code.
-        if self.tm.on {
-            self.tm.steps += 1;
+        if self.core.tm.on {
+            self.core.tm.steps += 1;
         }
         if s.span().is_synthesized() {
             match s {
                 Stmt::Decl { ty, name, init, .. } => {
-                    self.charge(self.costs.bookkeeping)?;
+                    self.core.charge(self.core.costs.bookkeeping)?;
                     let v = match init {
                         Some(e) => self.eval_uncharged(e, frame)?,
                         None => Value::zero_of(*ty),
@@ -695,7 +587,7 @@ impl Exec<'_> {
                     return Ok(Flow::Normal);
                 }
                 Stmt::Assign { name, value, .. } => {
-                    self.charge(self.costs.bookkeeping)?;
+                    self.core.charge(self.core.costs.bookkeeping)?;
                     let v = self.eval_uncharged(value, frame)?;
                     self.assign(name, v, frame)?;
                     return Ok(Flow::Normal);
@@ -706,17 +598,18 @@ impl Exec<'_> {
                     else_block,
                     ..
                 } => {
-                    self.charge(self.costs.bookkeeping)?;
+                    self.core.charge(self.core.costs.bookkeeping)?;
                     let taken = match self.eval_uncharged(cond, frame)? {
                         Value::Int(v) => v != 0,
                         other => {
                             return Err(self
+                                .core
                                 .type_error(format!("synthesized condition evaluated to {other}")))
                         }
                     };
-                    if self.tm.on {
+                    if self.core.tm.on {
                         if let Expr::Binary { op, .. } = cond {
-                            self.tm.synthesized_if(*op, taken);
+                            self.core.tm.synthesized_if(*op, taken);
                         }
                     }
                     if taken {
@@ -729,7 +622,7 @@ impl Exec<'_> {
                 _ => {}
             }
         }
-        self.charge(self.costs.stmt)?;
+        self.core.charge(self.core.costs.stmt)?;
         match s {
             Stmt::Decl { ty, name, init, .. } => {
                 let v = match init {
@@ -755,13 +648,14 @@ impl Exec<'_> {
                     Value::Null => return Err(Trap::Crash(CrashKind::NullDeref)),
                     other => {
                         return Err(self
+                            .core
                             .type_error(format!("store through non-pointer `{target}` = {other}")))
                     }
                 };
                 let idx = self.eval_int(index, frame)?;
                 let v = self.eval(value, frame)?;
-                self.charge(self.costs.mem)?;
-                self.heap.store(ptr, idx, v).map_err(Trap::Crash)?;
+                self.core.charge(self.core.costs.mem)?;
+                self.core.heap.store(ptr, idx, v).map_err(Trap::Crash)?;
                 Ok(Flow::Normal)
             }
             Stmt::If {
@@ -814,7 +708,7 @@ impl Exec<'_> {
         if let Some(v) = self.globals.get(name) {
             return Ok(*v);
         }
-        Err(self.type_error(format!("undefined variable `{name}`")))
+        Err(self.core.type_error(format!("undefined variable `{name}`")))
     }
 
     fn assign(&mut self, name: &str, v: Value, frame: &mut Frame) -> Result<(), Trap> {
@@ -826,13 +720,17 @@ impl Exec<'_> {
             *slot = v;
             return Ok(());
         }
-        Err(self.type_error(format!("assignment to undefined variable `{name}`")))
+        Err(self
+            .core
+            .type_error(format!("assignment to undefined variable `{name}`")))
     }
 
     fn eval_int(&mut self, e: &Expr, frame: &mut Frame) -> Result<i64, Trap> {
         match self.eval(e, frame)? {
             Value::Int(v) => Ok(v),
-            other => Err(self.type_error(format!("expected integer, got {other}"))),
+            other => Err(self
+                .core
+                .type_error(format!("expected integer, got {other}"))),
         }
     }
 
@@ -841,7 +739,7 @@ impl Exec<'_> {
     }
 
     fn eval(&mut self, e: &Expr, frame: &mut Frame) -> Result<Value, Trap> {
-        self.charge(self.costs.expr)?;
+        self.core.charge(self.core.costs.expr)?;
         match e {
             Expr::Int { value, .. } => Ok(Value::Int(*value)),
             Expr::Null { .. } => Ok(Value::Null),
@@ -851,20 +749,19 @@ impl Exec<'_> {
                     Value::Ptr(p) => p,
                     Value::Null => return Err(Trap::Crash(CrashKind::NullDeref)),
                     other => {
-                        return Err(self.type_error(format!("indexing non-pointer value {other}")))
+                        return Err(self
+                            .core
+                            .type_error(format!("indexing non-pointer value {other}")))
                     }
                 };
                 let idx = self.eval_int(index, frame)?;
-                self.charge(self.costs.mem)?;
-                self.heap.load(p, idx).map_err(Trap::Crash)
+                self.core.charge(self.core.costs.mem)?;
+                self.core.heap.load(p, idx).map_err(Trap::Crash)
             }
             Expr::Call { name, args, .. } => self.eval_call(name, args, frame),
             Expr::Unary { op, expr, .. } => {
                 let v = self.eval_int(expr, frame)?;
-                Ok(Value::Int(match op {
-                    UnOp::Neg => v.wrapping_neg(),
-                    UnOp::Not => i64::from(v == 0),
-                }))
+                Ok(Value::Int(RunCore::unary_value(*op, v)))
             }
             Expr::Binary { op, lhs, rhs, .. } => self.eval_binary(*op, lhs, rhs, frame),
         }
@@ -891,64 +788,17 @@ impl Exec<'_> {
 
         let a = self.eval(lhs, frame)?;
         let b = self.eval(rhs, frame)?;
-
-        if op.is_comparison() {
-            let ord = a
-                .compare(b)
-                .ok_or_else(|| self.type_error(format!("comparing {a} with {b}")))?;
-            let truth = match op {
-                BinOp::Eq => ord == Ordering::Equal,
-                BinOp::Ne => ord != Ordering::Equal,
-                BinOp::Lt => ord == Ordering::Less,
-                BinOp::Le => ord != Ordering::Greater,
-                BinOp::Gt => ord == Ordering::Greater,
-                BinOp::Ge => ord != Ordering::Less,
-                _ => unreachable!(),
-            };
-            return Ok(Value::Int(i64::from(truth)));
-        }
-
-        match (op, a, b) {
-            (BinOp::Add, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_add(y))),
-            (BinOp::Sub, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_sub(y))),
-            (BinOp::Mul, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_mul(y))),
-            (BinOp::Div, Value::Int(x), Value::Int(y)) => {
-                if y == 0 {
-                    Err(Trap::Crash(CrashKind::DivideByZero))
-                } else {
-                    Ok(Value::Int(x.wrapping_div(y)))
-                }
-            }
-            (BinOp::Mod, Value::Int(x), Value::Int(y)) => {
-                if y == 0 {
-                    Err(Trap::Crash(CrashKind::DivideByZero))
-                } else {
-                    Ok(Value::Int(x.wrapping_rem(y)))
-                }
-            }
-            (BinOp::Add, Value::Ptr(p), Value::Int(d)) => Ok(Value::Ptr(PtrVal {
-                block: p.block,
-                offset: p.offset + d,
-            })),
-            (BinOp::Sub, Value::Ptr(p), Value::Int(d)) => Ok(Value::Ptr(PtrVal {
-                block: p.block,
-                offset: p.offset - d,
-            })),
-            (BinOp::Sub, Value::Ptr(p), Value::Ptr(q)) if p.block == q.block => {
-                Ok(Value::Int(p.offset - q.offset))
-            }
-            (op, a, b) => Err(self.type_error(format!("invalid operands {a} {op} {b}"))),
-        }
+        self.core.binary_values(op, a, b)
     }
 
     fn eval_call(&mut self, name: &str, args: &[Expr], frame: &mut Frame) -> Result<Value, Trap> {
         if let Some(b) = Builtin::from_name(name) {
             return self.eval_builtin(b, args, frame);
         }
-        let f = *self
-            .funcs
-            .get(name)
-            .ok_or_else(|| self.type_error(format!("call to undefined function `{name}`")))?;
+        let f = *self.funcs.get(name).ok_or_else(|| {
+            self.core
+                .type_error(format!("call to undefined function `{name}`"))
+        })?;
         let mut vals = Vec::with_capacity(args.len());
         for a in args {
             vals.push(self.eval(a, frame)?);
@@ -957,20 +807,6 @@ impl Exec<'_> {
         // Procedure results are only legal in statement position; the
         // resolver guarantees the value is never consumed.
         Ok(ret.unwrap_or(Value::Int(0)))
-    }
-
-    fn counter_slot(&mut self, site: i64, which: usize) -> Result<(), Trap> {
-        let (base, arity) = *self
-            .counter_layout
-            .get(site as usize)
-            .ok_or_else(|| self.type_error(format!("unknown site id {site}")))?;
-        if which >= arity {
-            return Err(self.type_error(format!(
-                "site {site} counter {which} out of range (arity {arity})"
-            )));
-        }
-        self.counters[base + which] += 1;
-        Ok(())
     }
 
     fn eval_builtin(
@@ -982,42 +818,21 @@ impl Exec<'_> {
         match b {
             Builtin::Alloc => {
                 let n = self.eval_int(&args[0], frame)?;
-                self.charge(self.costs.mem)?;
-                self.heap.alloc(n).map_err(Trap::Crash)
+                self.core.alloc_value(n)
             }
             Builtin::Free => {
                 let v = self.eval(&args[0], frame)?;
-                match v {
-                    // free(null) is a no-op, as in C.
-                    Value::Null => Ok(Value::Int(0)),
-                    Value::Ptr(p) => {
-                        self.charge(self.costs.mem)?;
-                        self.heap.free(p).map_err(Trap::Crash)?;
-                        Ok(Value::Int(0))
-                    }
-                    other => Err(self.type_error(format!("free of non-pointer {other}"))),
-                }
+                self.core.free_value(v)
             }
             Builtin::Len => {
                 let v = self.eval(&args[0], frame)?;
-                match v {
-                    Value::Null => Err(Trap::Crash(CrashKind::NullDeref)),
-                    Value::Ptr(p) => Ok(Value::Int(self.heap.len(p).map_err(Trap::Crash)?)),
-                    other => Err(self.type_error(format!("len of non-pointer {other}"))),
-                }
+                self.core.len_value(v)
             }
-            Builtin::Read => {
-                let v = self.input.get(self.input_pos).copied().unwrap_or(0);
-                if self.input_pos < self.input.len() {
-                    self.input_pos += 1;
-                }
-                Ok(Value::Int(v))
-            }
-            Builtin::HasInput => Ok(Value::Int(i64::from(self.input_pos < self.input.len()))),
+            Builtin::Read => Ok(self.core.read_value()),
+            Builtin::HasInput => Ok(self.core.has_input_value()),
             Builtin::Print => {
                 let v = self.eval_int(&args[0], frame)?;
-                self.output.push(v);
-                Ok(Value::Int(0))
+                Ok(self.core.print_value(v))
             }
             Builtin::Exit => {
                 let code = self.eval_int(&args[0], frame)?;
@@ -1026,59 +841,31 @@ impl Exec<'_> {
             Builtin::ObsCheck => {
                 let site = self.eval_int(&args[0], frame)?;
                 let ok = self.eval_bool(&args[1], frame)?;
-                self.charge(self.costs.observe)?;
-                self.counter_slot(site, usize::from(ok))?;
-                self.record_trace(site, usize::from(ok), !ok);
-                if ok {
-                    Ok(Value::Int(0))
-                } else {
-                    Err(Trap::Assertion(site as u32))
-                }
+                self.core.obs_check(site, ok)
             }
             Builtin::ObsCmp => {
                 // A three-way compare plus one counter bump is a handful of
                 // native instructions; charge it flat (unlike `__check`,
                 // which evaluates a real predicate).
-                self.charge(self.costs.observe)?;
-                self.free_depth += 1;
+                self.core.charge(self.core.costs.observe)?;
+                self.core.free_depth += 1;
                 let site = self.eval_int(&args[0], frame);
                 let a = self.eval(&args[1], frame);
                 let b = self.eval(&args[2], frame);
-                self.free_depth -= 1;
+                self.core.free_depth -= 1;
                 let (site, a, b) = (site?, a?, b?);
-                let ord = a
-                    .compare(b)
-                    .ok_or_else(|| self.type_error(format!("__cmp of {a} and {b}")))?;
-                let which = match ord {
-                    Ordering::Less => 0,
-                    Ordering::Equal => 1,
-                    Ordering::Greater => 2,
-                };
-                self.counter_slot(site, which)?;
-                self.record_trace(site, which, true);
-                Ok(Value::Int(0))
+                self.core.obs_cmp(site, a, b)
             }
             Builtin::ObsSign => {
-                self.charge(self.costs.observe)?;
-                self.free_depth += 1;
+                self.core.charge(self.core.costs.observe)?;
+                self.core.free_depth += 1;
                 let site = self.eval_int(&args[0], frame);
                 let v = self.eval(&args[1], frame);
-                self.free_depth -= 1;
+                self.core.free_depth -= 1;
                 let (site, v) = (site?, v?);
-                let class = v.sign_class();
-                self.counter_slot(site, class)?;
-                self.record_trace(site, class, true);
-                Ok(Value::Int(0))
+                self.core.obs_sign(site, v)
             }
-            Builtin::NextCountdown => {
-                self.charge_always(self.costs.refill)?;
-                match self.sampling.as_deref_mut() {
-                    Some(src) => Ok(Value::Int(saturating_i64(src.next_countdown()))),
-                    None => Err(self.type_error(
-                        "program called __next_cd() but no countdown source is configured",
-                    )),
-                }
-            }
+            Builtin::NextCountdown => self.core.next_countdown_value(),
         }
     }
 }

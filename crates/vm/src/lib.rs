@@ -34,13 +34,16 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod bytecode_interp;
 pub mod cost;
 pub mod heap;
 pub mod interp;
 pub mod outcome;
+mod runtime;
 mod slot_interp;
 pub mod value;
 
+pub use cbi_bytecode as bytecode;
 pub use cost::CostModel;
 pub use heap::Heap;
 pub use interp::{Engine, RunResult, Vm, VmError, DEFAULT_MAX_DEPTH, DEFAULT_OP_LIMIT};

@@ -1,4 +1,4 @@
-//! The slot-resolved interpreter — the VM's hot path.
+//! The slot-resolved interpreter — the tree-walking hot path.
 //!
 //! Executes [`SlotProgram`]s produced by [`cbi_minic::slots::lower`]:
 //! frames are windows of a shared `Vec<Option<Value>>` stack indexed by
@@ -11,88 +11,31 @@
 //! same order with exactly the same message, so `RunResult`s (outcome,
 //! ops, counters, output, trace) are bit-identical across engines — a
 //! property the `differential_slot_engine` test enforces over random
-//! programs.  An unbound slot is `None`, which reproduces the dynamic
-//! name-lookup semantics (use-before-declaration traps, locals falling
-//! back to a same-named global until their declaration executes) on
-//! unchecked programs.
+//! programs, and `tests/engine_reference_gate.rs` pins against both the
+//! name-map walker and the bytecode dispatch engine.  All observable
+//! effects go through the shared [`RunCore`]; this module owns only the
+//! evaluation order.  An unbound slot is `None`, which reproduces the
+//! dynamic name-lookup semantics (use-before-declaration traps, locals
+//! falling back to a same-named global until their declaration executes)
+//! on unchecked programs.
 
-use crate::cost::CostModel;
-use crate::heap::Heap;
-use crate::interp::{saturating_i64, Flow, Trap};
 use crate::outcome::CrashKind;
-use crate::value::{PtrVal, Value};
-use cbi_minic::ast::{BinOp, UnOp};
+use crate::runtime::{Flow, RunCore, Trap};
+use crate::value::Value;
+use cbi_minic::ast::BinOp;
 use cbi_minic::slots::{Callee, SlotExpr, SlotFunction, SlotProgram, SlotRef, SlotStmt};
 use cbi_minic::Builtin;
-use cbi_sampler::CountdownSource;
-use std::cmp::Ordering;
 
 pub(crate) struct SlotExec<'a> {
     pub(crate) prog: &'a SlotProgram,
-    /// When nonzero, per-node charges are suspended (inside synthesized
-    /// countdown bookkeeping, which is charged flat instead).
-    pub(crate) free_depth: u32,
+    pub(crate) core: RunCore<'a>,
     pub(crate) globals: Vec<Value>,
-    pub(crate) heap: Heap,
-    pub(crate) input: &'a [i64],
-    pub(crate) input_pos: usize,
-    pub(crate) output: Vec<i64>,
-    pub(crate) counters: Vec<u64>,
-    pub(crate) counter_layout: Vec<(usize, usize)>,
-    pub(crate) sampling: Option<&'a mut (dyn CountdownSource + 'static)>,
-    pub(crate) ops: u64,
-    pub(crate) op_limit: u64,
-    pub(crate) costs: CostModel,
-    pub(crate) depth: usize,
-    pub(crate) max_depth: usize,
-    pub(crate) trace_limit: usize,
-    pub(crate) trace: std::collections::VecDeque<(usize, bool)>,
     /// All live frames, concatenated; each call sees the window starting
     /// at its `base`.  `None` = slot not yet bound by its declaration.
     pub(crate) stack: Vec<Option<Value>>,
-    /// Per-run telemetry accumulators (flushed by the driver in
-    /// [`crate::interp::Vm::run`]).
-    pub(crate) tm: crate::interp::TmCounters,
 }
 
 impl<'a> SlotExec<'a> {
-    fn record_trace(&mut self, site: i64, which: usize, truth: bool) {
-        if self.trace_limit == 0 {
-            return;
-        }
-        if self.trace.len() == self.trace_limit {
-            self.trace.pop_front();
-        }
-        let base = self
-            .counter_layout
-            .get(site as usize)
-            .map(|&(b, _)| b)
-            .unwrap_or(0);
-        self.trace.push_back((base + which, truth));
-    }
-
-    #[inline]
-    fn charge(&mut self, units: u64) -> Result<(), Trap> {
-        if self.free_depth > 0 {
-            return Ok(());
-        }
-        self.charge_always(units)
-    }
-
-    #[inline]
-    fn charge_always(&mut self, units: u64) -> Result<(), Trap> {
-        self.ops += units;
-        if self.ops > self.op_limit {
-            Err(Trap::OpLimit)
-        } else {
-            Ok(())
-        }
-    }
-
-    fn type_error(&self, msg: impl Into<String>) -> Trap {
-        Trap::Crash(CrashKind::TypeError(msg.into().into_boxed_str()))
-    }
-
     fn ref_name(&self, f: &SlotFunction, r: &SlotRef) -> String {
         self.prog.ref_name(f, r).to_string()
     }
@@ -102,11 +45,11 @@ impl<'a> SlotExec<'a> {
         f: &'a SlotFunction,
         args: &[Value],
     ) -> Result<Option<Value>, Trap> {
-        if self.depth >= self.max_depth {
+        if self.core.depth >= self.core.max_depth {
             return Err(Trap::Crash(CrashKind::StackOverflow));
         }
-        self.depth += 1;
-        self.charge(self.costs.call)?;
+        self.core.depth += 1;
+        self.core.charge(self.core.costs.call)?;
         let base = self.stack.len();
         self.stack.resize(base + f.n_slots as usize, None);
         // Arity mismatches only occur in unchecked programs; binding the
@@ -115,7 +58,7 @@ impl<'a> SlotExec<'a> {
             self.stack[base + i] = Some(v);
         }
         let flow = self.exec_block(&f.body, f, base)?;
-        self.depth -= 1;
+        self.core.depth -= 1;
         self.stack.truncate(base);
         match flow {
             Flow::Return(v) => Ok(v),
@@ -150,8 +93,8 @@ impl<'a> SlotExec<'a> {
         // imports/exports) costs a flat unit: in a native build these are
         // register operations (§2.4).  Branch bodies of synthesized
         // conditionals still charge normally — they contain real code.
-        if self.tm.on {
-            self.tm.steps += 1;
+        if self.core.tm.on {
+            self.core.tm.steps += 1;
         }
         match s {
             SlotStmt::Decl {
@@ -161,13 +104,13 @@ impl<'a> SlotExec<'a> {
                 synthesized,
             } => {
                 let v = if *synthesized {
-                    self.charge(self.costs.bookkeeping)?;
+                    self.core.charge(self.core.costs.bookkeeping)?;
                     match init {
                         Some(e) => self.eval_uncharged(e, f, base)?,
                         None => Value::zero_of(*ty),
                     }
                 } else {
-                    self.charge(self.costs.stmt)?;
+                    self.core.charge(self.core.costs.stmt)?;
                     match init {
                         Some(e) => self.eval(e, f, base)?,
                         None => Value::zero_of(*ty),
@@ -182,10 +125,10 @@ impl<'a> SlotExec<'a> {
                 synthesized,
             } => {
                 let v = if *synthesized {
-                    self.charge(self.costs.bookkeeping)?;
+                    self.core.charge(self.core.costs.bookkeeping)?;
                     self.eval_uncharged(value, f, base)?
                 } else {
-                    self.charge(self.costs.stmt)?;
+                    self.core.charge(self.core.costs.stmt)?;
                     self.eval(value, f, base)?
                 };
                 self.assign(target, v, f, base)?;
@@ -198,21 +141,22 @@ impl<'a> SlotExec<'a> {
                 synthesized,
             } => {
                 let taken = if *synthesized {
-                    self.charge(self.costs.bookkeeping)?;
+                    self.core.charge(self.core.costs.bookkeeping)?;
                     match self.eval_uncharged(cond, f, base)? {
                         Value::Int(v) => v != 0,
                         other => {
                             return Err(self
+                                .core
                                 .type_error(format!("synthesized condition evaluated to {other}")))
                         }
                     }
                 } else {
-                    self.charge(self.costs.stmt)?;
+                    self.core.charge(self.core.costs.stmt)?;
                     self.eval_bool(cond, f, base)?
                 };
-                if self.tm.on && *synthesized {
+                if self.core.tm.on && *synthesized {
                     if let SlotExpr::Binary { op, .. } = cond {
-                        self.tm.synthesized_if(*op, taken);
+                        self.core.tm.synthesized_if(*op, taken);
                     }
                 }
                 if taken {
@@ -228,24 +172,25 @@ impl<'a> SlotExec<'a> {
                 index,
                 value,
             } => {
-                self.charge(self.costs.stmt)?;
+                self.core.charge(self.core.costs.stmt)?;
                 let ptr = match self.lookup(target, f, base)? {
                     Value::Ptr(p) => p,
                     Value::Null => return Err(Trap::Crash(CrashKind::NullDeref)),
                     other => {
                         let name = self.ref_name(f, target);
                         return Err(self
+                            .core
                             .type_error(format!("store through non-pointer `{name}` = {other}")));
                     }
                 };
                 let idx = self.eval_int(index, f, base)?;
                 let v = self.eval(value, f, base)?;
-                self.charge(self.costs.mem)?;
-                self.heap.store(ptr, idx, v).map_err(Trap::Crash)?;
+                self.core.charge(self.core.costs.mem)?;
+                self.core.heap.store(ptr, idx, v).map_err(Trap::Crash)?;
                 Ok(Flow::Normal)
             }
             SlotStmt::While { cond, body } => {
-                self.charge(self.costs.stmt)?;
+                self.core.charge(self.core.costs.stmt)?;
                 while self.eval_bool(cond, f, base)? {
                     match self.exec_block(body, f, base)? {
                         Flow::Normal | Flow::Continue => {}
@@ -256,7 +201,7 @@ impl<'a> SlotExec<'a> {
                 Ok(Flow::Normal)
             }
             SlotStmt::Return { value } => {
-                self.charge(self.costs.stmt)?;
+                self.core.charge(self.core.costs.stmt)?;
                 let v = match value {
                     Some(e) => Some(self.eval(e, f, base)?),
                     None => None,
@@ -264,21 +209,21 @@ impl<'a> SlotExec<'a> {
                 Ok(Flow::Return(v))
             }
             SlotStmt::Break => {
-                self.charge(self.costs.stmt)?;
+                self.core.charge(self.core.costs.stmt)?;
                 Ok(Flow::Break)
             }
             SlotStmt::Continue => {
-                self.charge(self.costs.stmt)?;
+                self.core.charge(self.core.costs.stmt)?;
                 Ok(Flow::Continue)
             }
             // Un-lowered assertion markers are inert: only the `checks`
             // scheme turns them into real observations.
             SlotStmt::Check => {
-                self.charge(self.costs.stmt)?;
+                self.core.charge(self.core.costs.stmt)?;
                 Ok(Flow::Normal)
             }
             SlotStmt::Expr { expr } => {
-                self.charge(self.costs.stmt)?;
+                self.core.charge(self.core.costs.stmt)?;
                 self.eval(expr, f, base)?;
                 Ok(Flow::Normal)
             }
@@ -321,9 +266,9 @@ impl<'a> SlotExec<'a> {
                 }
             }
         }
-        self.free_depth += 1;
+        self.core.free_depth += 1;
         let r = self.eval(e, f, base);
-        self.free_depth -= 1;
+        self.core.free_depth -= 1;
         r
     }
 
@@ -331,7 +276,7 @@ impl<'a> SlotExec<'a> {
     fn lookup(&self, r: &SlotRef, f: &SlotFunction, base: usize) -> Result<Value, Trap> {
         match r {
             SlotRef::Local(s) => self.stack[base + *s as usize].ok_or_else(|| {
-                self.type_error(format!(
+                self.core.type_error(format!(
                     "undefined variable `{}`",
                     f.slot_names[*s as usize]
                 ))
@@ -341,7 +286,7 @@ impl<'a> SlotExec<'a> {
                 Ok(self.stack[base + *s as usize].unwrap_or(self.globals[*g as usize]))
             }
             SlotRef::Undefined(name) => {
-                Err(self.type_error(format!("undefined variable `{name}`")))
+                Err(self.core.type_error(format!("undefined variable `{name}`")))
             }
         }
     }
@@ -355,7 +300,7 @@ impl<'a> SlotExec<'a> {
                     *slot = Some(v);
                     Ok(())
                 } else {
-                    Err(self.type_error(format!(
+                    Err(self.core.type_error(format!(
                         "assignment to undefined variable `{}`",
                         f.slot_names[*s as usize]
                     )))
@@ -374,9 +319,9 @@ impl<'a> SlotExec<'a> {
                 }
                 Ok(())
             }
-            SlotRef::Undefined(name) => {
-                Err(self.type_error(format!("assignment to undefined variable `{name}`")))
-            }
+            SlotRef::Undefined(name) => Err(self
+                .core
+                .type_error(format!("assignment to undefined variable `{name}`"))),
         }
     }
 
@@ -384,7 +329,9 @@ impl<'a> SlotExec<'a> {
     fn eval_int(&mut self, e: &'a SlotExpr, f: &'a SlotFunction, base: usize) -> Result<i64, Trap> {
         match self.eval_operand(e, f, base)? {
             Value::Int(v) => Ok(v),
-            other => Err(self.type_error(format!("expected integer, got {other}"))),
+            other => Err(self
+                .core
+                .type_error(format!("expected integer, got {other}"))),
         }
     }
 
@@ -409,11 +356,11 @@ impl<'a> SlotExec<'a> {
     ) -> Result<Value, Trap> {
         match e {
             SlotExpr::Int(value) => {
-                self.charge(self.costs.expr)?;
+                self.core.charge(self.core.costs.expr)?;
                 Ok(Value::Int(*value))
             }
             SlotExpr::Var(r) => {
-                self.charge(self.costs.expr)?;
+                self.core.charge(self.core.costs.expr)?;
                 self.lookup(r, f, base)
             }
             other => self.eval(other, f, base),
@@ -421,7 +368,7 @@ impl<'a> SlotExec<'a> {
     }
 
     fn eval(&mut self, e: &'a SlotExpr, f: &'a SlotFunction, base: usize) -> Result<Value, Trap> {
-        self.charge(self.costs.expr)?;
+        self.core.charge(self.core.costs.expr)?;
         match e {
             SlotExpr::Int(value) => Ok(Value::Int(*value)),
             SlotExpr::Null => Ok(Value::Null),
@@ -431,12 +378,14 @@ impl<'a> SlotExec<'a> {
                     Value::Ptr(p) => p,
                     Value::Null => return Err(Trap::Crash(CrashKind::NullDeref)),
                     other => {
-                        return Err(self.type_error(format!("indexing non-pointer value {other}")))
+                        return Err(self
+                            .core
+                            .type_error(format!("indexing non-pointer value {other}")))
                     }
                 };
                 let idx = self.eval_int(index, f, base)?;
-                self.charge(self.costs.mem)?;
-                self.heap.load(p, idx).map_err(Trap::Crash)
+                self.core.charge(self.core.costs.mem)?;
+                self.core.heap.load(p, idx).map_err(Trap::Crash)
             }
             SlotExpr::Call { callee, args } => match callee {
                 Callee::Builtin(b) => self.eval_builtin(*b, args, f, base),
@@ -462,16 +411,13 @@ impl<'a> SlotExec<'a> {
                     // consumed.
                     Ok(ret.unwrap_or(Value::Int(0)))
                 }
-                Callee::Undefined(name) => {
-                    Err(self.type_error(format!("call to undefined function `{name}`")))
-                }
+                Callee::Undefined(name) => Err(self
+                    .core
+                    .type_error(format!("call to undefined function `{name}`"))),
             },
             SlotExpr::Unary { op, expr } => {
                 let v = self.eval_int(expr, f, base)?;
-                Ok(Value::Int(match op {
-                    UnOp::Neg => v.wrapping_neg(),
-                    UnOp::Not => i64::from(v == 0),
-                }))
+                Ok(Value::Int(RunCore::unary_value(*op, v)))
             }
             SlotExpr::Binary { op, lhs, rhs } => self.eval_binary(*op, lhs, rhs, f, base),
         }
@@ -499,68 +445,7 @@ impl<'a> SlotExec<'a> {
 
         let a = self.eval_operand(lhs, f, base)?;
         let b = self.eval_operand(rhs, f, base)?;
-
-        if op.is_comparison() {
-            let ord = a
-                .compare(b)
-                .ok_or_else(|| self.type_error(format!("comparing {a} with {b}")))?;
-            let truth = match op {
-                BinOp::Eq => ord == Ordering::Equal,
-                BinOp::Ne => ord != Ordering::Equal,
-                BinOp::Lt => ord == Ordering::Less,
-                BinOp::Le => ord != Ordering::Greater,
-                BinOp::Gt => ord == Ordering::Greater,
-                BinOp::Ge => ord != Ordering::Less,
-                _ => unreachable!(),
-            };
-            return Ok(Value::Int(i64::from(truth)));
-        }
-
-        match (op, a, b) {
-            (BinOp::Add, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_add(y))),
-            (BinOp::Sub, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_sub(y))),
-            (BinOp::Mul, Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_mul(y))),
-            (BinOp::Div, Value::Int(x), Value::Int(y)) => {
-                if y == 0 {
-                    Err(Trap::Crash(CrashKind::DivideByZero))
-                } else {
-                    Ok(Value::Int(x.wrapping_div(y)))
-                }
-            }
-            (BinOp::Mod, Value::Int(x), Value::Int(y)) => {
-                if y == 0 {
-                    Err(Trap::Crash(CrashKind::DivideByZero))
-                } else {
-                    Ok(Value::Int(x.wrapping_rem(y)))
-                }
-            }
-            (BinOp::Add, Value::Ptr(p), Value::Int(d)) => Ok(Value::Ptr(PtrVal {
-                block: p.block,
-                offset: p.offset + d,
-            })),
-            (BinOp::Sub, Value::Ptr(p), Value::Int(d)) => Ok(Value::Ptr(PtrVal {
-                block: p.block,
-                offset: p.offset - d,
-            })),
-            (BinOp::Sub, Value::Ptr(p), Value::Ptr(q)) if p.block == q.block => {
-                Ok(Value::Int(p.offset - q.offset))
-            }
-            (op, a, b) => Err(self.type_error(format!("invalid operands {a} {op} {b}"))),
-        }
-    }
-
-    fn counter_slot(&mut self, site: i64, which: usize) -> Result<(), Trap> {
-        let (base, arity) = *self
-            .counter_layout
-            .get(site as usize)
-            .ok_or_else(|| self.type_error(format!("unknown site id {site}")))?;
-        if which >= arity {
-            return Err(self.type_error(format!(
-                "site {site} counter {which} out of range (arity {arity})"
-            )));
-        }
-        self.counters[base + which] += 1;
-        Ok(())
+        self.core.binary_values(op, a, b)
     }
 
     fn eval_builtin(
@@ -573,42 +458,21 @@ impl<'a> SlotExec<'a> {
         match b {
             Builtin::Alloc => {
                 let n = self.eval_int(&args[0], f, base)?;
-                self.charge(self.costs.mem)?;
-                self.heap.alloc(n).map_err(Trap::Crash)
+                self.core.alloc_value(n)
             }
             Builtin::Free => {
                 let v = self.eval(&args[0], f, base)?;
-                match v {
-                    // free(null) is a no-op, as in C.
-                    Value::Null => Ok(Value::Int(0)),
-                    Value::Ptr(p) => {
-                        self.charge(self.costs.mem)?;
-                        self.heap.free(p).map_err(Trap::Crash)?;
-                        Ok(Value::Int(0))
-                    }
-                    other => Err(self.type_error(format!("free of non-pointer {other}"))),
-                }
+                self.core.free_value(v)
             }
             Builtin::Len => {
                 let v = self.eval(&args[0], f, base)?;
-                match v {
-                    Value::Null => Err(Trap::Crash(CrashKind::NullDeref)),
-                    Value::Ptr(p) => Ok(Value::Int(self.heap.len(p).map_err(Trap::Crash)?)),
-                    other => Err(self.type_error(format!("len of non-pointer {other}"))),
-                }
+                self.core.len_value(v)
             }
-            Builtin::Read => {
-                let v = self.input.get(self.input_pos).copied().unwrap_or(0);
-                if self.input_pos < self.input.len() {
-                    self.input_pos += 1;
-                }
-                Ok(Value::Int(v))
-            }
-            Builtin::HasInput => Ok(Value::Int(i64::from(self.input_pos < self.input.len()))),
+            Builtin::Read => Ok(self.core.read_value()),
+            Builtin::HasInput => Ok(self.core.has_input_value()),
             Builtin::Print => {
                 let v = self.eval_int(&args[0], f, base)?;
-                self.output.push(v);
-                Ok(Value::Int(0))
+                Ok(self.core.print_value(v))
             }
             Builtin::Exit => {
                 let code = self.eval_int(&args[0], f, base)?;
@@ -617,59 +481,31 @@ impl<'a> SlotExec<'a> {
             Builtin::ObsCheck => {
                 let site = self.eval_int(&args[0], f, base)?;
                 let ok = self.eval_bool(&args[1], f, base)?;
-                self.charge(self.costs.observe)?;
-                self.counter_slot(site, usize::from(ok))?;
-                self.record_trace(site, usize::from(ok), !ok);
-                if ok {
-                    Ok(Value::Int(0))
-                } else {
-                    Err(Trap::Assertion(site as u32))
-                }
+                self.core.obs_check(site, ok)
             }
             Builtin::ObsCmp => {
                 // A three-way compare plus one counter bump is a handful of
                 // native instructions; charge it flat (unlike `__check`,
                 // which evaluates a real predicate).
-                self.charge(self.costs.observe)?;
-                self.free_depth += 1;
+                self.core.charge(self.core.costs.observe)?;
+                self.core.free_depth += 1;
                 let site = self.eval_int(&args[0], f, base);
                 let a = self.eval(&args[1], f, base);
                 let b = self.eval(&args[2], f, base);
-                self.free_depth -= 1;
+                self.core.free_depth -= 1;
                 let (site, a, b) = (site?, a?, b?);
-                let ord = a
-                    .compare(b)
-                    .ok_or_else(|| self.type_error(format!("__cmp of {a} and {b}")))?;
-                let which = match ord {
-                    Ordering::Less => 0,
-                    Ordering::Equal => 1,
-                    Ordering::Greater => 2,
-                };
-                self.counter_slot(site, which)?;
-                self.record_trace(site, which, true);
-                Ok(Value::Int(0))
+                self.core.obs_cmp(site, a, b)
             }
             Builtin::ObsSign => {
-                self.charge(self.costs.observe)?;
-                self.free_depth += 1;
+                self.core.charge(self.core.costs.observe)?;
+                self.core.free_depth += 1;
                 let site = self.eval_int(&args[0], f, base);
                 let v = self.eval(&args[1], f, base);
-                self.free_depth -= 1;
+                self.core.free_depth -= 1;
                 let (site, v) = (site?, v?);
-                let class = v.sign_class();
-                self.counter_slot(site, class)?;
-                self.record_trace(site, class, true);
-                Ok(Value::Int(0))
+                self.core.obs_sign(site, v)
             }
-            Builtin::NextCountdown => {
-                self.charge_always(self.costs.refill)?;
-                match self.sampling.as_deref_mut() {
-                    Some(src) => Ok(Value::Int(saturating_i64(src.next_countdown()))),
-                    None => Err(self.type_error(
-                        "program called __next_cd() but no countdown source is configured",
-                    )),
-                }
-            }
+            Builtin::NextCountdown => self.core.next_countdown_value(),
         }
     }
 }

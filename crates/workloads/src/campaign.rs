@@ -24,9 +24,9 @@ use cbi_instrument::{
 use cbi_minic::slots::SlotProgram;
 use cbi_minic::Program;
 use cbi_reports::{Collector, Label, Report, ReportLayout, ReportSink};
-use cbi_sampler::{CountdownBank, SamplingDensity};
+use cbi_sampler::{LazyBank, SamplingDensity};
 use cbi_telemetry as telemetry;
-use cbi_vm::{RunOutcome, Vm};
+use cbi_vm::{bytecode::BcProgram, Engine, RunOutcome, Vm};
 use std::borrow::Cow;
 
 /// Configuration of one report-collection campaign.
@@ -49,6 +49,11 @@ pub struct CampaignConfig {
     /// Worker threads to shard trials over (`0` and `1` both mean
     /// serial).  Any value produces bit-identical results.
     pub jobs: usize,
+    /// Interpreter engine for every trial.  The default is
+    /// [`Engine::Bytecode`] — the program is compiled once and every run
+    /// executes straight-line instructions; all engines produce
+    /// bit-identical reports, so this is purely a throughput knob.
+    pub engine: Engine,
 }
 
 impl CampaignConfig {
@@ -63,12 +68,18 @@ impl CampaignConfig {
             op_limit: cbi_vm::DEFAULT_OP_LIMIT,
             heap_slack: cbi_vm::heap::DEFAULT_SLACK,
             jobs: 1,
+            engine: Engine::Bytecode,
         }
     }
 
     /// The same campaign sharded over `jobs` worker threads.
     pub fn with_jobs(self, jobs: usize) -> Self {
         CampaignConfig { jobs, ..self }
+    }
+
+    /// The same campaign executed by `engine`.
+    pub fn with_engine(self, engine: Engine) -> Self {
+        CampaignConfig { engine, ..self }
     }
 
     /// An unconditional-instrumentation campaign.
@@ -189,8 +200,17 @@ pub fn run_campaign_into<S: ReportSink>(
         ),
         None => Cow::Borrowed(&instrumented.program),
     };
-    // Lower once; every trial indexes the shared slot program.
+    // Lower once; every trial indexes the shared slot program.  Under the
+    // bytecode engine, compile once more to flat instructions — the
+    // campaign then never touches the AST on the execution path.
     let slots = telemetry::time("campaign.lower", || cbi_minic::lower(&executable));
+    let bytecode = (config.engine == Engine::Bytecode)
+        .then(|| telemetry::time("campaign.compile", || cbi_vm::bytecode::compile(&slots)));
+    let exe = match config.engine {
+        Engine::NameMap => Exe::Ast(&executable),
+        Engine::Slots => Exe::Slots(&slots),
+        Engine::Bytecode => Exe::Bytecode(bytecode.as_ref().expect("compiled above")),
+    };
 
     sink.begin(ReportLayout {
         counters: instrumented.sites.total_counters(),
@@ -203,7 +223,7 @@ pub fn run_campaign_into<S: ReportSink>(
 
     if jobs <= 1 {
         let _execute = telemetry::span("campaign.execute");
-        dropped = run_shard(&slots, &instrumented.sites, trials, 0, config, &mut |r| {
+        dropped = run_shard(exe, &instrumented.sites, trials, 0, config, &mut |r| {
             emitted += 1;
             sink.accept(r).map_err(WorkloadError::from)
         })?;
@@ -217,7 +237,6 @@ pub fn run_campaign_into<S: ReportSink>(
                     .chunks(chunk)
                     .enumerate()
                     .map(|(w, shard)| {
-                        let slots = &slots;
                         let sites = &instrumented.sites;
                         // Spawn-to-start latency per worker: how long a
                         // shard waited for the scheduler ("queue wait").
@@ -235,7 +254,7 @@ pub fn run_campaign_into<S: ReportSink>(
                             let _shard_span = telemetry::span("campaign.shard");
                             let mut reports = Vec::with_capacity(shard.len());
                             let dropped =
-                                run_shard(slots, sites, shard, w * chunk, config, &mut |r| {
+                                run_shard(exe, sites, shard, w * chunk, config, &mut |r| {
                                     reports.push(r);
                                     Ok(())
                                 })?;
@@ -270,10 +289,33 @@ pub fn run_campaign_into<S: ReportSink>(
     })
 }
 
+/// The shared executable form every trial runs: compiled once per
+/// campaign for the configured engine, borrowed by every worker.
+#[derive(Clone, Copy)]
+enum Exe<'a> {
+    Ast(&'a Program),
+    Slots(&'a SlotProgram),
+    Bytecode(&'a BcProgram),
+}
+
+impl<'a> Exe<'a> {
+    fn vm(self) -> Vm<'a> {
+        match self {
+            Exe::Ast(p) => {
+                let mut vm = Vm::new(p);
+                vm.with_engine(Engine::NameMap);
+                vm
+            }
+            Exe::Slots(p) => Vm::from_slots(p),
+            Exe::Bytecode(p) => Vm::from_bytecode(p),
+        }
+    }
+}
+
 /// Runs trials `base..base + shard.len()`, passing each surviving report
 /// to `emit` in run-id order; returns the dropped-run count.
 fn run_shard(
-    slots: &SlotProgram,
+    exe: Exe<'_>,
     sites: &SiteTable,
     shard: &[Vec<i64>],
     base: usize,
@@ -281,15 +323,16 @@ fn run_shard(
     emit: &mut dyn FnMut(Report) -> Result<(), WorkloadError>,
 ) -> Result<usize, WorkloadError> {
     let mut dropped = 0;
-    // One bank per worker, reseeded per trial: `reseed(d, seed + i)` draws
-    // the same countdowns `generate(d, n, seed + i)` would, without the
-    // per-trial allocation.
-    let mut bank = config.density.map(|d| {
-        CountdownBank::generate(d, config.bank_size, config.seed.wrapping_add(base as u64))
-    });
+    // One lazy bank per worker, reseeded per trial: the countdown sequence
+    // is identical to `CountdownBank::generate(d, n, seed + i)`, but draws
+    // happen on demand, so a trial with few refills skips most of the
+    // generation cost.
+    let mut bank = config
+        .density
+        .map(|d| LazyBank::new(d, config.bank_size, config.seed.wrapping_add(base as u64)));
     for (offset, input) in shard.iter().enumerate() {
         let i = base + offset;
-        let mut vm = Vm::from_slots(slots);
+        let mut vm = exe.vm();
         vm.with_sites(sites)
             .with_input(&input[..])
             .with_op_limit(config.op_limit)

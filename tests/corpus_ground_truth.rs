@@ -42,6 +42,7 @@ fn hundred_entry_corpus_evaluates_deterministically_and_truth_survives() {
             &EvalConfig {
                 densities: vec![1, 100],
                 jobs,
+                ..EvalConfig::default()
             },
         )
         .unwrap()

@@ -1,0 +1,78 @@
+//! Golden-file test for the bytecode disassembler: the listing of every
+//! `examples/*.mc` program (plain, and sampled under the `checks`
+//! scheme) must match the checked-in text byte for byte.  Regenerate
+//! with `UPDATE_GOLDEN=1 cargo test --test disasm_golden` after an
+//! intentional compiler or disassembler change.
+
+use cbi::prelude::*;
+
+fn golden_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden/disasm")
+}
+
+fn examples() -> Vec<(String, String)> {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../examples");
+    let mut entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("examples directory")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "mc"))
+        .collect();
+    entries.sort();
+    assert!(!entries.is_empty(), "examples corpus must not be empty");
+    entries
+        .into_iter()
+        .map(|p| {
+            let stem = p.file_stem().unwrap().to_string_lossy().into_owned();
+            let src = std::fs::read_to_string(&p).expect("read example");
+            (stem, src)
+        })
+        .collect()
+}
+
+fn check(name: &str, listing: &str) {
+    let path = golden_dir().join(format!("{name}.txt"));
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, listing).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("missing golden {} ({e}); run with UPDATE_GOLDEN=1", name));
+    assert_eq!(
+        listing, expected,
+        "{name}: listing drifted from golden file (UPDATE_GOLDEN=1 to regenerate)"
+    );
+}
+
+#[test]
+fn example_listings_match_goldens() {
+    for (name, src) in examples() {
+        let program = parse(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let plain = cbi_vm::bytecode::compile(&cbi::minic::lower(&program));
+        check(&name, &cbi_vm::bytecode::disassemble(&plain));
+
+        let inst = instrument(&program, Scheme::Checks).expect("instrument");
+        let (sampled, _) =
+            apply_sampling(&inst.program, &TransformOptions::default()).expect("transform");
+        let bc = cbi_vm::bytecode::compile(&cbi::minic::lower(&sampled));
+        check(
+            &format!("{name}.sampled"),
+            &cbi_vm::bytecode::disassemble(&bc),
+        );
+    }
+}
+
+#[test]
+fn listing_is_deterministic() {
+    for (name, src) in examples() {
+        let program = parse(&src).unwrap_or_else(|e| panic!("{name}: {e}"));
+        let inst = instrument(&program, Scheme::Branches).expect("instrument");
+        let (sampled, _) =
+            apply_sampling(&inst.program, &TransformOptions::default()).expect("transform");
+        let a =
+            cbi_vm::bytecode::disassemble(&cbi_vm::bytecode::compile(&cbi::minic::lower(&sampled)));
+        let b =
+            cbi_vm::bytecode::disassemble(&cbi_vm::bytecode::compile(&cbi::minic::lower(&sampled)));
+        assert_eq!(a, b, "{name}: listing not deterministic");
+    }
+}
