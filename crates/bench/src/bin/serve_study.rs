@@ -1,0 +1,309 @@
+//! Serve study — production ingest throughput, latency, and recovery.
+//!
+//! The paper's central server must absorb feedback from an entire user
+//! community ("230,258 runs every nineteen minutes", §3.1.3).  This
+//! study drives the `cbi-serve` TCP ingest server at community scale
+//! with pre-encoded report batches: ~100k simulated clients worth of
+//! envelopes multiplexed over a fixed set of connections, 10M+ reports
+//! in total.  It measures, per shard count, reports/sec ingested and
+//! the client-observed ingest latency distribution (integer µs
+//! buckets), asserts the folded analysis is byte-identical at shards
+//! 1/2/4, and runs a recovery-after-kill pass: ingest half the batches
+//! into a journal, tear the final record, resume, retransmit
+//! everything, and pin the resumed analysis byte-identical to an
+//! uninterrupted run.
+//!
+//! Usage: `serve_study [clients] [reports] [seed]` (defaults 100000 /
+//! 10000000 / 0x5e12e).  Writes `BENCH_serve.json` at the repository
+//! root.
+
+use cbi::prelude::*;
+use cbi::reports::frame::read_ack;
+use cbi::reports::{wire, AckVerdict, BatchEnvelope};
+use cbi_serve::{
+    render_analysis, FsyncPolicy, IngestCore, ServeConfig, ServerOptions, TcpIngestServer,
+};
+use std::io::Write as _;
+use std::net::TcpStream;
+use std::time::Instant;
+
+const RARE: &str = "fn rare(int v) -> int { if (v % 12 == 0) { return 1; } return 0; }\n\
+     fn main() -> int { int v = read(); int hit = rare(v); print(hit); return 0; }";
+
+const BATCH_SIZE: usize = 16;
+const PAYLOAD_VARIANTS: usize = 64;
+const CONNECTIONS: usize = 16;
+const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+
+/// Pre-encodes a cycle of distinct batch payloads so the hot loop only
+/// clones bytes: the study measures the server, not the simulator.
+fn payloads(layout_hash: u64, counters: usize, seed: u64) -> Vec<Vec<u8>> {
+    (0..PAYLOAD_VARIANTS)
+        .map(|v| {
+            let reports: Vec<Report> = (0..BATCH_SIZE)
+                .map(|i| {
+                    let run = (v * BATCH_SIZE + i) as u64;
+                    let label = if (run + seed).is_multiple_of(10) {
+                        Label::Failure
+                    } else {
+                        Label::Success
+                    };
+                    let values = (0..counters)
+                        .map(|c| (run + seed).wrapping_mul(c as u64 + 1) % 4)
+                        .collect();
+                    Report::new(run, label, values)
+                })
+                .collect();
+            wire::encode_reports(&reports, layout_hash, counters).expect("encode payload")
+        })
+        .collect()
+}
+
+/// The `b`-th envelope of the stream: batches round-robin over the
+/// simulated client population, so (client, seq) is unique.
+fn envelope(b: u64, clients: u64, payloads: &[Vec<u8>]) -> BatchEnvelope {
+    BatchEnvelope::new(
+        b % clients,
+        b / clients,
+        0,
+        payloads[(b % payloads.len() as u64) as usize].clone(),
+    )
+}
+
+struct SocketRow {
+    shards: usize,
+    ingest_secs: f64,
+    fold_secs: f64,
+    p50_us: u64,
+    p99_us: u64,
+    max_us: u64,
+    shed: u64,
+    rendered: String,
+}
+
+fn run_socket(
+    sites: &SiteTable,
+    shards: usize,
+    clients: u64,
+    batches: u64,
+    epoch_len: u64,
+    payloads: &[Vec<u8>],
+) -> SocketRow {
+    let config = ServeConfig {
+        shards,
+        queue_cap: 1024,
+        epoch_len,
+        ..ServeConfig::default()
+    };
+    let core = IngestCore::new(sites.clone(), config).expect("core");
+    let server = TcpIngestServer::bind(
+        core,
+        "127.0.0.1:0",
+        ServerOptions {
+            acceptors: CONNECTIONS,
+            max_clients: CONNECTIONS as u64,
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let server_thread = std::thread::spawn(move || server.run().expect("serve"));
+
+    let ingest_start = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CONNECTIONS as u64)
+            .map(|conn| {
+                scope.spawn(move || {
+                    let mut stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_nodelay(true).ok();
+                    let mut reader = std::io::BufReader::new(stream.try_clone().expect("clone"));
+                    let mut lat = Vec::new();
+                    let mut b = conn;
+                    while b < batches {
+                        let env = envelope(b, clients, payloads);
+                        let bytes = env.encode();
+                        let start = Instant::now();
+                        loop {
+                            stream.write_all(&bytes).expect("send");
+                            let ack = read_ack(&mut reader)
+                                .expect("ack")
+                                .expect("server closed early");
+                            match ack.verdict {
+                                AckVerdict::Accepted | AckVerdict::Duplicate => break,
+                                AckVerdict::Overloaded => continue,
+                                other => panic!("unexpected verdict {other:?}"),
+                            }
+                        }
+                        lat.push(start.elapsed().as_micros() as u64);
+                        b += CONNECTIONS as u64;
+                    }
+                    lat
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let ingest_secs = ingest_start.elapsed().as_secs_f64();
+
+    let fold_start = Instant::now();
+    let outcome = server_thread.join().expect("server thread");
+    let fold_secs = fold_start.elapsed().as_secs_f64();
+    assert_eq!(outcome.summary.batches, batches, "every batch must commit");
+
+    latencies.sort_unstable();
+    let q = |f: usize, of: usize| latencies[(latencies.len() * f / of).min(latencies.len() - 1)];
+    SocketRow {
+        shards,
+        ingest_secs,
+        fold_secs,
+        p50_us: q(50, 100),
+        p99_us: q(99, 100),
+        max_us: *latencies.last().expect("nonempty"),
+        shed: outcome.summary.shed,
+        rendered: render_analysis(&outcome.aggregator, 10),
+    }
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let clients: u64 = args
+        .next()
+        .map(|a| a.parse().expect("clients must be a number"))
+        .unwrap_or(100_000);
+    let reports: u64 = args
+        .next()
+        .map(|a| a.parse().expect("reports must be a number"))
+        .unwrap_or(10_000_000);
+    let seed: u64 = args
+        .next()
+        .map(|a| a.parse().expect("seed must be a number"))
+        .unwrap_or(0x5e12e);
+
+    let program = parse(RARE).expect("parse");
+    resolve(&program).expect("resolve");
+    let inst = instrument(&program, Scheme::Returns).expect("instrument");
+    let sites = inst.sites;
+    let counters = sites.total_counters();
+    let payloads = payloads(sites.layout_hash(), counters, seed);
+
+    let batches = (reports / BATCH_SIZE as u64).max(1);
+    let total_reports = batches * BATCH_SIZE as u64;
+    let epoch_len = (total_reports / 8).max(1);
+
+    println!("== production ingest throughput and recovery ==");
+    println!(
+        "{clients} simulated clients, {total_reports} reports in {batches} batches \
+         over {CONNECTIONS} connections"
+    );
+    println!();
+    println!("shards   reports/sec   p50 µs   p99 µs   max µs   fold s");
+
+    let mut rows = Vec::new();
+    let mut golden: Option<String> = None;
+    let mut identical = true;
+    for shards in SHARD_COUNTS {
+        let row = run_socket(&sites, shards, clients, batches, epoch_len, &payloads);
+        let rps = total_reports as f64 / row.ingest_secs;
+        println!(
+            "{:>6} {rps:>13.0} {:>8} {:>8} {:>8} {:>8.2}",
+            row.shards, row.p50_us, row.p99_us, row.max_us, row.fold_secs
+        );
+        match &golden {
+            None => golden = Some(row.rendered.clone()),
+            Some(g) => identical &= *g == row.rendered,
+        }
+        rows.push(format!(
+            "    {{\"shards\": {}, \"reports_per_sec\": {rps:.0}, \"p50_us\": {}, \"p99_us\": {}, \"max_us\": {}, \"shed\": {}, \"fold_secs\": {:.3}}}",
+            row.shards, row.p50_us, row.p99_us, row.max_us, row.shed, row.fold_secs
+        ));
+    }
+    assert!(
+        identical,
+        "analysis must be byte-identical at any shard count"
+    );
+    println!();
+    println!("analysis byte-identical at shards {SHARD_COUNTS:?}: {identical}");
+
+    // Recovery after a kill: journal half the stream, tear the final
+    // record (the crash landed mid-append), resume, then run the full
+    // retransmit sweep a real fleet would.  The resumed analysis must
+    // match an uninterrupted journaled run byte for byte.
+    let recovery_batches = (batches / 10).clamp(1, 50_000);
+    let dir = std::env::temp_dir();
+    let golden_path = dir.join(format!("serve-study-golden-{}.cbij", std::process::id()));
+    let crash_path = dir.join(format!("serve-study-crash-{}.cbij", std::process::id()));
+    let submit_all = |mut core: IngestCore| -> IngestCore {
+        for b in 0..recovery_batches {
+            let verdict = core
+                .submit(None, envelope(b, clients, &payloads), true)
+                .expect("submit");
+            assert!(matches!(
+                verdict,
+                AckVerdict::Accepted | AckVerdict::Duplicate
+            ));
+        }
+        core
+    };
+    let config = || ServeConfig {
+        epoch_len: (recovery_batches * BATCH_SIZE as u64 / 8).max(1),
+        ..ServeConfig::default()
+    };
+    let policy = FsyncPolicy::EveryN(4096);
+
+    let core = IngestCore::new(sites.clone(), config())
+        .expect("core")
+        .with_journal(&golden_path, policy)
+        .expect("journal");
+    let golden_outcome = submit_all(core).finish().expect("finish");
+    let golden_render = render_analysis(&golden_outcome.aggregator, 10);
+
+    let mut core = IngestCore::new(sites.clone(), config())
+        .expect("core")
+        .with_journal(&crash_path, policy)
+        .expect("journal");
+    for b in 0..recovery_batches / 2 {
+        core.submit(None, envelope(b, clients, &payloads), true)
+            .expect("submit");
+    }
+    drop(core); // the kill
+    {
+        // Tear the tail: a partial append of the next record.
+        let torn = envelope(recovery_batches / 2, clients, &payloads).encode();
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&crash_path)
+            .expect("open crash journal");
+        f.write_all(&torn[..torn.len() * 2 / 3]).expect("tear");
+    }
+    let resume_start = Instant::now();
+    let resumed = IngestCore::new(sites.clone(), config())
+        .expect("core")
+        .resume(&crash_path, policy)
+        .expect("resume");
+    let resume_ms = resume_start.elapsed().as_secs_f64() * 1e3;
+    let outcome = submit_all(resumed).finish().expect("finish");
+    let recovered_render = render_analysis(&outcome.aggregator, 10);
+    let recovery_identical = recovered_render == golden_render;
+    assert!(recovery_identical, "resumed analysis must match golden");
+    assert!(outcome.summary.torn_tail, "the torn record must be seen");
+    println!(
+        "recovery: {} batches journaled, {} replayed after kill (torn tail truncated), \
+         resume {resume_ms:.0} ms, analysis identical: {recovery_identical}",
+        recovery_batches, outcome.summary.replayed
+    );
+    std::fs::remove_file(&golden_path).ok();
+    std::fs::remove_file(&crash_path).ok();
+
+    let json = format!(
+        "{{\n  \"benchmark\": \"serve\",\n  \"clients\": {clients},\n  \"reports\": {total_reports},\n  \"batches\": {batches},\n  \"batch_size\": {BATCH_SIZE},\n  \"connections\": {CONNECTIONS},\n  \"seed\": {seed},\n  \"shard_rows\": [\n{}\n  ],\n  \"analysis_identical_across_shards\": {identical},\n  \"recovery\": {{\"batches\": {recovery_batches}, \"replayed\": {}, \"torn_tail\": {}, \"resume_ms\": {resume_ms:.1}, \"identical\": {recovery_identical}}}\n}}\n",
+        rows.join(",\n"),
+        outcome.summary.replayed,
+        outcome.summary.torn_tail,
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json");
+    std::fs::write(out, json).expect("write BENCH_serve.json");
+    println!();
+    println!("wrote {out}");
+}

@@ -26,9 +26,11 @@ usage:
                  [--metrics-out metrics.jsonl] [--trace-out trace.json]
   cbi analyze    <reports.jsonl|.cbr> <file.mc> [--scheme S]
                  [--mode eliminate|regress]
-  cbi serve      <file.mc> [--scheme S] [--addr 127.0.0.1:0] [--max-conns 1]
+  cbi serve      <file.mc> [--scheme S] [--addr 127.0.0.1:0] [--max-clients 1]
+                 [--shards N] [--queue-cap N] [--acceptors N] [--epoch-len N]
+                 [--journal FILE | --resume FILE] [--fsync never|batch|every:N]
                  [--mode eliminate|regress|both] [--spool reports.cbr]
-                 [--metrics] [--metrics-out metrics.jsonl]
+                 [--flight-cap N] [--metrics] [--metrics-out metrics.jsonl]
   cbi transmit   <reports.jsonl|.cbr> --to HOST:PORT [<file.mc>] [--scheme S]
   cbi corpus     generate <dir> [--size N] [--seed N] [--trials N]
   cbi corpus     evaluate <dir> [--densities 1,10,100,1000] [--jobs N] [--engine E]
@@ -41,13 +43,15 @@ usage:
                  [--flight-cap N] [--prom-out FILE] [--timeline-out FILE]
                  [--metrics] [--metrics-out metrics.jsonl] [--trace-out trace.json]
   cbi fleet      --corpus <dir> [--entry ID] [--pool N] [same knobs]
+  cbi fleet      <file.mc> <inputs.txt> --serve HOST:PORT [--ack-drop F]
+                 [--streams N] [same fleet knobs]
   cbi monitor    <file.mc> <inputs.txt> [same fleet knobs] [--warmup N]
                  [--corruption-pm N] [--rejection-pm N] [--stale-pm N]
                  [--stall-epochs N] [--flight-cap N] [--health-out FILE]
                  [--prom-out FILE] [--timeline-out FILE]
   cbi monitor    --corpus <dir> [--entry ID] [--pool N] [same knobs]
-  cbi monitor    --replay <spool.cbr> <file.mc> [--scheme S] [--epoch-len N]
-                 [--batch-size N] [same health knobs]
+  cbi monitor    --replay <spool.cbr|journal.cbij> <file.mc> [--scheme S]
+                 [--epoch-len N] [--batch-size N] [same health knobs]
 
   --engine E picks the interpreter: `bytecode` (default — programs are
   compiled once to flat instructions and dispatched by a straight-line
@@ -65,13 +69,26 @@ usage:
   span file; `cbi profile` runs a campaign with telemetry on and prints
   the phase/worker breakdown.
 
-  Remote collection: `cbi serve` binds a loopback ingest daemon for the
-  given instrumented program (it prints `listening on ADDR`), validates
-  each client stream's layout hash, and analyzes reports as they arrive.
-  `cbi campaign --transmit ADDR` streams reports to such a server in the
-  compact binary wire format; `--spool FILE` writes the same frames to
-  disk; `cbi transmit` replays a saved JSONL or spool file to a server.
-  `cbi analyze` accepts both JSONL and binary spool files.
+  Remote collection: `cbi serve` binds the production ingest server for
+  the given instrumented program (it prints `listening on ADDR`),
+  validates each client stream's layout hash, routes batches to
+  `client mod --shards` worker shards over bounded queues (--queue-cap;
+  a full queue sheds with an `overloaded` NACK and the client retries),
+  dedups retransmits by (client, seq), and at shutdown folds every
+  committed batch in canonical order — the analysis is byte-identical
+  at any shard count.  --journal FILE appends every batch to a
+  crash-safe journal before acking it (--fsync picks the durability
+  level); after a crash, --resume FILE replays the journal, truncates a
+  torn final record, and continues where the server died.  --max-conns
+  is a deprecated alias for --max-clients.  `cbi campaign --transmit
+  ADDR` streams reports to such a server in the compact binary wire
+  format; `cbi fleet --serve ADDR` drives the whole simulated community
+  against it over real sockets (--ack-drop loses acks to exercise
+  retransmit dedup, --streams bounds client concurrency); `--spool
+  FILE` writes accepted reports to disk; `cbi transmit` replays a saved
+  JSONL or spool file to a server.  `cbi analyze` accepts both JSONL
+  and binary spool files, and `cbi monitor --replay` additionally walks
+  serve journals with full per-batch provenance.
 
   Ground-truth corpus: `cbi corpus generate` plants one labeled bug per
   program into seeded testgen programs and the ccrypt/bc workloads,
@@ -688,9 +705,24 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
     let program = load_program(args, 1)?;
     let scheme = scheme_of(args)?;
     let addr = args.flag("addr").unwrap_or("127.0.0.1:0");
-    let max_conns: usize = args.flag_or("max-conns", 1)?;
-    if max_conns == 0 {
-        return Err("--max-conns must be a positive integer (got 0)".to_string());
+
+    // Every flag is validated before the listener binds, so a typo
+    // never claims a port.  --max-conns survives as a deprecated alias
+    // for --max-clients.
+    let max_clients: u64 = match (args.flag("max-clients"), args.flag("max-conns")) {
+        (Some(_), _) => args.flag_or("max-clients", 1u64)?,
+        (None, Some(_)) => {
+            let n = args.flag_or("max-conns", 1u64)?;
+            if n == 0 {
+                return Err("--max-conns must be a positive integer (got 0)".to_string());
+            }
+            eprintln!("note: --max-conns is deprecated; use --max-clients");
+            n
+        }
+        (None, None) => 1,
+    };
+    if max_clients == 0 {
+        return Err("--max-clients must be a positive integer (got 0)".to_string());
     }
     let mode = args.flag("mode").unwrap_or("eliminate");
     if !matches!(mode, "eliminate" | "regress" | "both") {
@@ -698,60 +730,95 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             "unknown --mode `{mode}` (expected eliminate, regress, or both)"
         ));
     }
+    let shards: usize = args.flag_or("shards", 1usize)?;
+    if shards == 0 {
+        return Err("--shards must be a positive integer (got 0)".to_string());
+    }
+    let queue_cap: usize = args.flag_or("queue-cap", 64usize)?;
+    if queue_cap == 0 {
+        return Err("--queue-cap must be a positive integer (got 0)".to_string());
+    }
+    let epoch_len: u64 = args.flag_or("epoch-len", 256u64)?;
+    if epoch_len == 0 {
+        return Err("--epoch-len must be a positive integer (got 0)".to_string());
+    }
+    let acceptors: usize = args.flag_or("acceptors", 0usize)?;
+    let fsync = match args.flag("fsync") {
+        Some(s) => cbi_serve::FsyncPolicy::parse(s).map_err(|e| format!("--fsync: {e}"))?,
+        None => cbi_serve::FsyncPolicy::EveryBatch,
+    };
+    if args.flag("journal").is_some() && args.flag("resume").is_some() {
+        return Err(
+            "--journal and --resume are mutually exclusive (--resume reopens an existing journal)"
+                .to_string(),
+        );
+    }
     let telemetry = TelemetryOpts::from_args(args);
     let recording = telemetry.begin();
 
     // The server pins the layout of the binary it was started for:
     // clients built from anything else are rejected at the handshake.
     let inst = instrument(&program, scheme).map_err(|e| e.to_string())?;
-    let layout = ReportLayout {
-        counters: inst.sites.total_counters(),
-        layout_hash: inst.sites.layout_hash(),
+    let config = cbi_serve::ServeConfig {
+        shards,
+        queue_cap,
+        epoch_len,
+        streaming: StreamingConfig::default(),
+        flight_capacity: args.flag_or("flight-cap", 64usize)?,
+        target_counter: None,
+        keep_reports: args.flag("spool").is_some() || matches!(mode, "regress" | "both"),
+    };
+    let core = cbi_serve::IngestCore::new(inst.sites.clone(), config).map_err(|e| e.to_string())?;
+    let core = match (args.flag("journal"), args.flag("resume")) {
+        (Some(path), None) => core.with_journal(path, fsync).map_err(|e| e.to_string())?,
+        (None, Some(path)) => core.resume(path, fsync).map_err(|e| e.to_string())?,
+        _ => core,
     };
 
-    let server = cbi::IngestServer::bind(addr).map_err(|e| format!("cannot bind {addr}: {e}"))?;
+    let options = cbi_serve::ServerOptions {
+        acceptors,
+        max_clients,
+    };
+    let server = cbi_serve::TcpIngestServer::bind(core, addr, options)
+        .map_err(|e| format!("cannot bind {addr}: {e}"))?;
     let bound = server.local_addr().map_err(|e| e.to_string())?;
     println!("listening on {bound}");
     std::io::stdout().flush().map_err(|e| e.to_string())?;
 
-    // Aggregates stream into the analyzer; the collector keeps the full
-    // archive for the batch regression study; the spool keeps the frames.
-    let spool = match args.flag("spool") {
-        Some(path) => {
-            Some(SpoolSink::create(path).map_err(|e| format!("cannot create spool {path}: {e}"))?)
-        }
-        None => None,
-    };
-    let mut sink = (
-        (
-            Collector::default(),
-            StreamingAnalyzer::new(StreamingConfig::default()),
-        ),
-        spool,
-    );
-    let summary = server
-        .serve(max_conns, Some(layout), &mut sink)
-        .map_err(|e| e.to_string())?;
-    let ((collector, analyzer), spool) = sink;
+    let outcome = server.run().map_err(|e| e.to_string())?;
+    eprint!("{}", outcome.summary.render());
 
-    eprintln!(
-        "ingested {} reports ({} bytes) over {} connection(s)",
-        summary.reports, summary.bytes, summary.connections
-    );
-    if let (Some(path), Some(s)) = (args.flag("spool"), &spool) {
-        eprintln!("{} reports spooled to {path}", s.reports_written());
+    if let Some(path) = args.flag("spool") {
+        let collector = outcome
+            .collector
+            .as_ref()
+            .expect("keep_reports is set whenever --spool is");
+        let mut spool =
+            SpoolSink::create(path).map_err(|e| format!("cannot create spool {path}: {e}"))?;
+        spool
+            .begin(ReportLayout {
+                counters: inst.sites.total_counters(),
+                layout_hash: inst.sites.layout_hash(),
+            })
+            .map_err(|e| e.to_string())?;
+        for report in collector.reports() {
+            spool.accept(report.clone()).map_err(|e| e.to_string())?;
+        }
+        spool.finish().map_err(|e| e.to_string())?;
+        eprintln!("{} reports spooled to {path}", spool.reports_written());
     }
 
-    println!(
-        "{} runs: {} success, {} failure",
-        collector.len(),
-        collector.success_count(),
-        collector.failure_count()
-    );
+    // The canonical analysis (byte-identical at any shard count), then
+    // the shared elimination/regression blocks `cbi analyze` also
+    // prints, so local and remote analyses diff cleanly.
+    print!("{}", cbi_serve::render_analysis(&outcome.aggregator, 10));
     if matches!(mode, "eliminate" | "both") {
-        print_elimination(&analyzer.eliminate(&inst.sites));
+        print_elimination(&outcome.aggregator.analyzer().eliminate(&inst.sites));
     }
     if matches!(mode, "regress" | "both") {
+        let collector = outcome
+            .collector
+            .expect("keep_reports is set for regression modes");
         let n = collector.len();
         let result = cbi::workloads::CampaignResult {
             instrumented: inst,
@@ -1031,9 +1098,63 @@ fn fleet_report(args: &Args) -> Result<(cbi_fleet::FleetReport, bool), String> {
     }
 }
 
+/// Drives the fleet against a live `cbi serve` ingest server instead of
+/// the in-memory channel fold.  The committed set — and therefore the
+/// server's analysis — is coin-for-coin identical to the in-memory run
+/// of the same spec.
+fn socket_fleet(args: &Args, addr: &str) -> Result<(), String> {
+    if args.flag("corpus").is_some() {
+        return Err(
+            "--serve drives a program fleet over a socket; --corpus is not supported".into(),
+        );
+    }
+    let program = cbi::telemetry::time("phase.parse", || load_program(args, 1))?;
+    let inputs_path = args
+        .positional(2)
+        .ok_or_else(|| "missing inputs file (the community's input pool)".to_string())?;
+    let raw =
+        fs::read_to_string(inputs_path).map_err(|e| format!("cannot read {inputs_path}: {e}"))?;
+    let pool: Vec<Vec<i64>> = raw
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(parse_input)
+        .collect::<Result<_, _>>()?;
+    let spec = fleet_spec(args)?;
+    let ack_drop: f64 = args.flag_or("ack-drop", 0.0)?;
+    if !(0.0..=1.0).contains(&ack_drop) {
+        return Err(format!("--ack-drop must be in [0, 1], got {ack_drop}"));
+    }
+    let streams: usize = args.flag_or("streams", 8usize)?;
+    if streams == 0 {
+        return Err("--streams must be a positive integer (got 0)".to_string());
+    }
+    let options = cbi_fleet::SocketOptions { ack_drop, streams };
+    let summary = cbi::telemetry::time("phase.fleet", || {
+        cbi_fleet::run_fleet_over_socket(&program, &pool, &spec, addr, &options)
+    })
+    .map_err(|e| e.to_string())?;
+    let rendered = summary.render();
+    match args.flag("summary-out") {
+        Some(path) => {
+            fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("fleet summary written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    Ok(())
+}
+
 fn cmd_fleet(args: &Args) -> Result<(), String> {
     let telemetry = TelemetryOpts::from_args(args);
     let recording = telemetry.begin();
+
+    if let Some(addr) = args.flag("serve") {
+        socket_fleet(args, addr)?;
+        if recording {
+            telemetry.finish()?;
+        }
+        return Ok(());
+    }
 
     let (report, target_tracked) = fleet_report(args)?;
 
@@ -1174,11 +1295,66 @@ fn replay_spool(args: &Args, path: &str) -> Result<cbi::EpochAggregator, String>
     Ok(aggregator)
 }
 
+/// Replays a `cbi serve` journal (detected by the `CBIJ` magic) through
+/// the server's own ordered fold, read-only: intact records fold with
+/// their real per-envelope provenance (client id, attempt), so the
+/// flight recorder and retry columns reflect what actually happened on
+/// the wire — unlike a report spool, which carries none of that.
+fn replay_journal(args: &Args, path: &str) -> Result<cbi::EpochAggregator, String> {
+    let program = load_program(args, 1)?;
+    let inst = instrument(&program, scheme_of(args)?).map_err(|e| e.to_string())?;
+    let epoch_len: u64 = args.flag_or("epoch-len", 256u64)?;
+    if epoch_len == 0 {
+        return Err("--epoch-len must be a positive integer (got 0)".to_string());
+    }
+    let config = cbi_serve::ServeConfig {
+        epoch_len,
+        flight_capacity: args.flag_or("flight-cap", 64usize)?,
+        ..cbi_serve::ServeConfig::default()
+    };
+    let outcome = cbi_serve::IngestCore::new(inst.sites, config)
+        .map_err(|e| e.to_string())?
+        .load_journal(path)
+        .map_err(|e| format!("{path}: {e}"))?
+        .finish()
+        .map_err(|e| e.to_string())?;
+    let s = &outcome.summary;
+    eprintln!(
+        "{} batches ({} reports, {} payload bytes) replayed from {path}{}{}",
+        s.replayed,
+        s.reports,
+        s.bytes,
+        if s.torn_tail {
+            "; torn tail ignored"
+        } else {
+            ""
+        },
+        if s.journal_skipped_crc > 0 {
+            "; crc-damaged records skipped"
+        } else {
+            ""
+        },
+    );
+    Ok(outcome.aggregator)
+}
+
 fn cmd_monitor(args: &Args) -> Result<(), String> {
     let config = health_config(args)?;
     let (epochs, aggregator, target_tracked) = match args.flag("replay") {
         Some(path) => {
-            let aggregator = replay_spool(args, path)?;
+            let magic = {
+                let mut head = [0u8; 4];
+                let mut file =
+                    fs::File::open(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+                std::io::Read::read_exact(&mut file, &mut head)
+                    .map_err(|e| format!("cannot read {path}: {e}"))?;
+                head
+            };
+            let aggregator = if magic == cbi_serve::journal::JOURNAL_MAGIC {
+                replay_journal(args, path)?
+            } else {
+                replay_spool(args, path)?
+            };
             (aggregator.snapshots().to_vec(), aggregator, false)
         }
         None => {
@@ -1439,6 +1615,105 @@ mod tests {
         assert!(err.contains("--mode"), "{err}");
         let err = dispatch_strs(&["serve", p.to_str().unwrap(), "--max-conns", "0"]).unwrap_err();
         assert!(err.contains("--max-conns"), "{err}");
+    }
+
+    #[test]
+    fn serve_validates_sharding_and_journal_flags_before_binding() {
+        let p = tmp("prog-serve-flags.mc", PROG);
+        let prog = p.to_str().unwrap();
+        let err = dispatch_strs(&["serve", prog, "--shards", "0"]).unwrap_err();
+        assert!(err.contains("--shards"), "{err}");
+        let err = dispatch_strs(&["serve", prog, "--queue-cap", "0"]).unwrap_err();
+        assert!(err.contains("--queue-cap"), "{err}");
+        let err = dispatch_strs(&["serve", prog, "--max-clients", "0"]).unwrap_err();
+        assert!(err.contains("--max-clients"), "{err}");
+        let err = dispatch_strs(&["serve", prog, "--epoch-len", "0"]).unwrap_err();
+        assert!(err.contains("--epoch-len"), "{err}");
+        let err = dispatch_strs(&["serve", prog, "--fsync", "sometimes"]).unwrap_err();
+        assert!(err.contains("--fsync"), "{err}");
+        let err = dispatch_strs(&["serve", prog, "--journal", "/tmp/j", "--resume", "/tmp/j"])
+            .unwrap_err();
+        assert!(err.contains("mutually exclusive"), "{err}");
+    }
+
+    #[test]
+    fn fleet_serve_rejects_bad_arguments() {
+        let p = tmp("prog-fleet-serve.mc", PROG);
+        let inputs = tmp("inputs-fleet-serve.txt", "5\n");
+        let err =
+            dispatch_strs(&["fleet", "--corpus", "/tmp/x", "--serve", "127.0.0.1:1"]).unwrap_err();
+        assert!(err.contains("--corpus"), "{err}");
+        let base = [
+            "fleet",
+            p.to_str().unwrap(),
+            inputs.to_str().unwrap(),
+            "--serve",
+            "127.0.0.1:1",
+        ];
+        let with = |extra: &[&str]| {
+            let mut a: Vec<&str> = base.to_vec();
+            a.extend_from_slice(extra);
+            dispatch_strs(&a)
+        };
+        let err = with(&["--ack-drop", "1.5"]).unwrap_err();
+        assert!(err.contains("--ack-drop"), "{err}");
+        let err = with(&["--streams", "0"]).unwrap_err();
+        assert!(err.contains("--streams"), "{err}");
+    }
+
+    #[test]
+    fn monitor_replays_a_serve_journal() {
+        let p = tmp("prog-mon-journal.mc", PROG);
+        let program = parse(PROG).unwrap();
+        resolve(&program).unwrap();
+        let inst = instrument(&program, Scheme::Returns).unwrap();
+        let hash = inst.sites.layout_hash();
+        let n = inst.sites.total_counters();
+        let journal = std::env::temp_dir().join("cbi-cli-test-mon-journal.cbij");
+        let mut j =
+            cbi_serve::Journal::create(&journal, hash, cbi_serve::FsyncPolicy::Never).unwrap();
+        for run in 0..4u64 {
+            let label = if run == 3 {
+                Label::Failure
+            } else {
+                Label::Success
+            };
+            let report = Report::new(run, label, vec![1; n]);
+            let payload = wire::encode_reports(&[report], hash, n).unwrap();
+            j.append(&cbi::reports::BatchEnvelope::new(run % 2, run, 1, payload))
+                .unwrap();
+        }
+        drop(j);
+        let health = std::env::temp_dir().join("cbi-cli-test-mon-journal-health.txt");
+        dispatch_strs(&[
+            "monitor",
+            "--replay",
+            journal.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "--scheme",
+            "returns",
+            "--epoch-len",
+            "2",
+            "--health-out",
+            health.to_str().unwrap(),
+        ])
+        .unwrap();
+        let text = fs::read_to_string(&health).unwrap();
+        assert!(text.contains("epoch"), "{text}");
+        // A journal from a different instrumented binary is rejected at
+        // the layout handshake, like a spool.
+        let err = dispatch_strs(&[
+            "monitor",
+            "--replay",
+            journal.to_str().unwrap(),
+            p.to_str().unwrap(),
+            "--scheme",
+            "branches",
+        ])
+        .unwrap_err();
+        assert!(err.contains("layout"), "{err}");
+        fs::remove_file(&journal).ok();
+        fs::remove_file(&health).ok();
     }
 
     #[test]

@@ -1,6 +1,14 @@
 //! Loopback ingest server — the "central database" end of §1's feedback
 //! loop, made a real network endpoint.
 //!
+//! This is the *legacy* single-threaded reference: connections are
+//! served sequentially into one sink and nothing survives a crash.
+//! Production deployments use the `cbi-serve` crate (sharded analyzers,
+//! backpressure, batch acks with idempotent dedup, crash-safe journal),
+//! which `cbi serve` now fronts; this server remains as the minimal
+//! in-process baseline and the `--transmit` loopback endpoint for
+//! tests.
+//!
 //! [`IngestServer`] listens on a TCP address, accepts framed wire-format
 //! report streams (see `cbi_reports::wire`), validates each stream's
 //! layout hash against the instrumented binary it is serving, and feeds
@@ -72,8 +80,11 @@ impl From<SinkError> for ServeError {
 /// What an ingest session saw, summed over its connections.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct IngestSummary {
-    /// Connections accepted and drained.
+    /// Connections accepted and fully drained.
     pub connections: usize,
+    /// Connections rejected or short-circuited by a malformed or
+    /// mismatched stream — counted separately, never drained further.
+    pub rejected: usize,
     /// Reports ingested.
     pub reports: u64,
     /// Wire bytes consumed (headers + frames).
@@ -117,10 +128,15 @@ impl IngestServer {
     /// sink's own `begin` additionally enforces cross-connection layout
     /// agreement when `expected` is `None`.
     ///
+    /// A malformed or mismatched client stream rejects that
+    /// *connection* — counted in [`IngestSummary::rejected`] — and the
+    /// server moves on to the next one; one bad client cannot end the
+    /// session.
+    ///
     /// # Errors
     ///
-    /// Returns [`ServeError`] on listener I/O failure, a malformed or
-    /// mismatched client stream, or sink rejection.
+    /// Returns [`ServeError`] on listener I/O failure or sink
+    /// rejection.
     pub fn serve<S: ReportSink>(
         &self,
         connections: usize,
@@ -136,7 +152,14 @@ impl IngestServer {
             telemetry::set_worker(conn as u32 + 1);
             let result = Self::drain(stream, expected, sink, &mut summary);
             telemetry::set_worker(telemetry::MAIN_WORKER);
-            result.inspect_err(|_| telemetry::count("serve.rejected", 1))?;
+            match result {
+                Ok(()) => {}
+                Err(ServeError::Wire(_) | ServeError::Io(_)) => {
+                    summary.rejected += 1;
+                    telemetry::count("serve.rejected", 1);
+                }
+                Err(err @ ServeError::Sink(_)) => return Err(err),
+            }
         }
         sink.finish()?;
         Ok(summary)
@@ -234,7 +257,7 @@ mod tests {
         });
 
         let mut collector = Collector::default();
-        let err = server
+        let summary = server
             .serve(
                 1,
                 Some(ReportLayout {
@@ -243,12 +266,11 @@ mod tests {
                 }),
                 &mut collector,
             )
-            .unwrap_err();
+            .unwrap();
         client.join().unwrap();
-        assert!(matches!(
-            err,
-            ServeError::Wire(WireError::LayoutHashMismatch { .. })
-        ));
+        assert_eq!(summary.connections, 0, "a rejected stream is not drained");
+        assert_eq!(summary.rejected, 1);
+        assert_eq!(summary.reports, 0);
         assert!(collector.is_empty(), "no frame may land after rejection");
     }
 }

@@ -12,12 +12,23 @@
 use cbi_reports::{decode_batch, Report, ReportLayout, WireErrorKind};
 use cbi_sampler::Pcg32;
 
-/// PRNG stream tag for channel faults (one stream per attempt).
-const CHANNEL_STREAM: u64 = 0x63_68_61_6e; // "chan"
+/// PRNG stream tag for channel faults (one stream per attempt).  Shared
+/// with the socket driver so a real-wire fleet draws the exact same
+/// fault coins as the in-memory fold.
+pub(crate) const CHANNEL_STREAM: u64 = 0x63_68_61_6e; // "chan"
 
 /// Attempts per batch are bounded, so per-attempt streams can be packed
 /// as `batch_uid * ATTEMPT_STRIDE + attempt`.
-const ATTEMPT_STRIDE: u64 = 64;
+pub(crate) const ATTEMPT_STRIDE: u64 = 64;
+
+/// The seeded fault RNG for one `(batch_uid, attempt)` pair — the coins
+/// [`send_batch`] flips, reproducible by any transport.
+pub(crate) fn attempt_rng(seed: u64, batch_uid: u64, attempt: u64) -> Pcg32 {
+    Pcg32::with_stream(
+        seed,
+        CHANNEL_STREAM ^ (batch_uid.wrapping_mul(ATTEMPT_STRIDE) + attempt),
+    )
+}
 
 /// Fault probabilities and retry policy for the client↔server channel.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -163,10 +174,7 @@ pub fn send_batch(
         rejections: Vec::new(),
     };
     for attempt in 0..=u64::from(channel.max_retries) {
-        let mut rng = Pcg32::with_stream(
-            seed,
-            CHANNEL_STREAM ^ (batch_uid.wrapping_mul(ATTEMPT_STRIDE) + attempt),
-        );
+        let mut rng = attempt_rng(seed, batch_uid, attempt);
         result.attempts += 1;
         result.bytes_sent += bytes.len() as u64;
         let verdict = match transmit(bytes, &mut rng, channel) {

@@ -52,6 +52,7 @@ pub mod channel;
 pub mod corpus;
 pub mod profile;
 pub mod sim;
+pub mod socket;
 pub mod summary;
 
 pub use channel::{
@@ -60,6 +61,7 @@ pub use channel::{
 pub use corpus::{corpus_pool, run_corpus_fleet};
 pub use profile::{draw_profiles, ClientProfile};
 pub use sim::{run_fleet, FleetReport, FleetSpec, FleetSummary};
+pub use socket::{run_fleet_over_socket, SocketFleetSummary, SocketOptions};
 pub use summary::render_summary;
 
 use std::error::Error;

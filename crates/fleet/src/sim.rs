@@ -13,7 +13,7 @@
 //! exactly one batch.  Workers therefore shard batches freely and the
 //! ordered merge reproduces the serial fold bit-for-bit.
 
-use crate::channel::{send_batch, ChannelSpec, SendOutcome, SendResult};
+use crate::channel::{send_batch, ChannelSpec, SendOutcome};
 use crate::profile::{draw_profiles, ClientProfile};
 use crate::FleetError;
 use cbi::epoch::{EpochAggregator, EpochSnapshot};
@@ -225,35 +225,44 @@ struct BatchPlan {
     runs: Vec<usize>,
 }
 
-/// What one batch produced: the send-loop accounting plus client-side
-/// spool accounting, keyed for the ordered merge.
-struct BatchOutcome {
-    last_run: usize,
-    client: usize,
-    dropped_runs: usize,
-    spooled_reports: u64,
-    send: SendResult,
+/// One spooled batch, fully materialized but not yet transmitted: the
+/// client ran its VM for every run in the spool and encoded the wire
+/// payload (under the stale layout salt if the client is stale).  Which
+/// transport carries it — the in-memory channel fold of [`run_fleet`]
+/// or a real TCP socket — is the caller's choice; production is a pure
+/// function of `(spec, plan)` either way.
+#[derive(Debug, Clone)]
+pub(crate) struct ProducedBatch {
+    /// Owning client's index in the community.
+    pub client: usize,
+    /// Index of the batch's last run — globally unique, the batch uid.
+    pub last_run: usize,
+    /// Runs dropped client-side (operation budget exhausted).
+    pub dropped_runs: usize,
+    /// Reports spooled into the payload.
+    pub spooled_reports: u64,
+    /// The encoded CBIR wire payload.
+    pub bytes: Vec<u8>,
 }
 
-/// Simulates the fleet: `pool` is the input population clients draw
-/// from (Zipf-skewed by `spec.zipf_exponent`), and `target_counter` is
-/// the ground-truth counter whose latency and rank the report tracks.
-///
-/// # Errors
-///
-/// Returns [`FleetError`] if the spec is inconsistent or
-/// instrumentation, transformation, or VM setup fails.  Individual run
-/// crashes and channel faults are data, not errors.
-///
-/// # Panics
-///
-/// Panics if a worker thread panics (a bug, not an input condition).
-pub fn run_fleet(
+/// The fleet with every batch produced: instrumentation, the community
+/// profiles, and the spooled wire payloads sorted by last run — the
+/// serial transmission schedule.
+pub(crate) struct FleetProduction {
+    pub sites: SiteTable,
+    pub layout: ReportLayout,
+    pub profiles: Vec<ClientProfile>,
+    pub batches: Vec<ProducedBatch>,
+}
+
+/// Runs every client's VM and spools every batch, sharded over
+/// `spec.jobs` workers.  No transport is touched: the result is the
+/// exact byte streams the community would put on any wire.
+pub(crate) fn produce_fleet(
     program: &Program,
     pool: &[Vec<i64>],
     spec: &FleetSpec,
-    target_counter: Option<usize>,
-) -> Result<FleetReport, FleetError> {
+) -> Result<FleetProduction, FleetError> {
     spec.validate()?;
     if pool.is_empty() {
         return Err(FleetError::Config(
@@ -264,7 +273,7 @@ pub fn run_fleet(
     // ---- Setup: instrument once, compile every binary the fleet runs.
     let _setup = telemetry::span("fleet.setup");
     let inst = instrument(program, spec.scheme)?;
-    let sites = &inst.sites;
+    let sites = inst.sites.clone();
     let layout = ReportLayout {
         counters: sites.total_counters(),
         layout_hash: sites.layout_hash(),
@@ -287,7 +296,7 @@ pub fn run_fleet(
 
     // ---- Execute: shard batches over workers; each batch is pure in
     // its indices, so the partition cannot affect any outcome.
-    let outcomes: Vec<Result<Vec<BatchOutcome>, FleetError>> = {
+    let outcomes: Vec<Result<Vec<ProducedBatch>, FleetError>> = {
         let _execute = telemetry::span("fleet.execute");
         let jobs = spec.jobs.clamp(1, plans.len().max(1));
         let chunk = plans.len().div_ceil(jobs);
@@ -301,7 +310,7 @@ pub fn run_fleet(
                         spec,
                         pool,
                         zipf: &zipf,
-                        sites,
+                        sites: &sites,
                         layout,
                         exe: &exe,
                         profiles: &profiles,
@@ -311,7 +320,7 @@ pub fn run_fleet(
                             telemetry::set_worker(w as u32 + 1);
                         }
                         let _shard_span = telemetry::span("fleet.shard");
-                        shard.iter().map(|plan| run_batch(&ctx, plan)).collect()
+                        shard.iter().map(|plan| produce_batch(&ctx, plan)).collect()
                     })
                 })
                 .collect();
@@ -321,15 +330,50 @@ pub fn run_fleet(
                 .collect()
         })
     };
-
-    // ---- Merge: fold batches in last-run order — the serial schedule.
-    let _merge = telemetry::span("fleet.merge");
-    let mut batches: Vec<BatchOutcome> = Vec::with_capacity(plans.len());
+    let mut batches: Vec<ProducedBatch> = Vec::with_capacity(plans.len());
     for shard in outcomes {
         batches.extend(shard?);
     }
     batches.sort_by_key(|b| b.last_run);
 
+    Ok(FleetProduction {
+        sites,
+        layout,
+        profiles,
+        batches,
+    })
+}
+
+/// Simulates the fleet: `pool` is the input population clients draw
+/// from (Zipf-skewed by `spec.zipf_exponent`), and `target_counter` is
+/// the ground-truth counter whose latency and rank the report tracks.
+///
+/// # Errors
+///
+/// Returns [`FleetError`] if the spec is inconsistent or
+/// instrumentation, transformation, or VM setup fails.  Individual run
+/// crashes and channel faults are data, not errors.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics (a bug, not an input condition).
+pub fn run_fleet(
+    program: &Program,
+    pool: &[Vec<i64>],
+    spec: &FleetSpec,
+    target_counter: Option<usize>,
+) -> Result<FleetReport, FleetError> {
+    let production = produce_fleet(program, pool, spec)?;
+    let FleetProduction {
+        sites,
+        layout,
+        profiles,
+        batches,
+    } = &production;
+
+    // ---- Merge: push every batch through the channel and fold the
+    // survivors in last-run order — the serial schedule.
+    let _merge = telemetry::span("fleet.merge");
     let mut aggregator = EpochAggregator::new(
         sites.clone(),
         spec.epoch_len,
@@ -337,10 +381,17 @@ pub fn run_fleet(
         target_counter,
     )
     .with_flight_capacity(spec.flight_recorder);
-    aggregator.begin(layout)?;
+    aggregator.begin(*layout)?;
 
-    let mut summary = summary_skeleton(spec, &profiles, layout.counters);
-    for batch in &batches {
+    let mut summary = summary_skeleton(spec, profiles, layout.counters);
+    for batch in batches {
+        let send = send_batch(
+            &batch.bytes,
+            batch.last_run as u64,
+            spec.seed,
+            &spec.channel,
+            *layout,
+        );
         let cohort = profiles[batch.client].cohort();
         let provenance = |attempt: u32| {
             Provenance::new(batch.client as u64, attempt).with_cohort(cohort.clone())
@@ -348,12 +399,12 @@ pub fn run_fleet(
         summary.dropped_runs += batch.dropped_runs;
         summary.spooled_reports += batch.spooled_reports;
         summary.batches += 1;
-        let retries = u64::from(batch.send.attempts.saturating_sub(1));
+        let retries = u64::from(send.attempts.saturating_sub(1));
         summary.retries += retries;
         aggregator.note_retries(&cohort, retries);
-        summary.backoff_ticks += batch.send.backoff_ticks;
-        summary.bytes_sent += batch.send.bytes_sent;
-        for rejection in &batch.send.rejections {
+        summary.backoff_ticks += send.backoff_ticks;
+        summary.bytes_sent += send.bytes_sent;
+        for rejection in &send.rejections {
             summary.rejected_deliveries += 1;
             summary.stale_rejections += u64::from(rejection.is_stale());
             aggregator.note_batch(
@@ -362,7 +413,7 @@ pub fn run_fleet(
                 0,
             );
         }
-        match &batch.send.outcome {
+        match &send.outcome {
             SendOutcome::Accepted {
                 reports,
                 bytes,
@@ -377,7 +428,7 @@ pub fn run_fleet(
                     DecodeOutcome::Clean
                 };
                 aggregator.note_batch(
-                    &provenance(batch.send.attempts.saturating_sub(1)),
+                    &provenance(send.attempts.saturating_sub(1)),
                     outcome,
                     *bytes,
                 );
@@ -425,7 +476,7 @@ pub fn run_fleet(
         epochs,
         target_rank,
         aggregator,
-        profiles,
+        profiles: production.profiles,
     })
 }
 
@@ -524,9 +575,9 @@ fn plan_batches(spec: &FleetSpec) -> Vec<BatchPlan> {
     plans
 }
 
-/// Executes one batch end to end: run the client's VM for every run in
-/// the spool, encode the wire stream, and push it through the channel.
-fn run_batch(ctx: &WorkerCtx<'_>, plan: &BatchPlan) -> Result<BatchOutcome, FleetError> {
+/// Produces one batch: run the client's VM for every run in the spool
+/// and encode the wire payload.  Transmission happens elsewhere.
+fn produce_batch(ctx: &WorkerCtx<'_>, plan: &BatchPlan) -> Result<ProducedBatch, FleetError> {
     let spec = ctx.spec;
     let profile = &ctx.profiles[plan.client];
     let mut reports = Vec::with_capacity(plan.runs.len());
@@ -569,19 +620,12 @@ fn run_batch(ctx: &WorkerCtx<'_>, plan: &BatchPlan) -> Result<BatchOutcome, Flee
     };
     let bytes = encode_reports(&reports, wire_hash, ctx.layout.counters)?;
     let last_run = *plan.runs.last().expect("chunks are nonempty");
-    let send = send_batch(
-        &bytes,
-        last_run as u64,
-        spec.seed,
-        &spec.channel,
-        ctx.layout,
-    );
-    Ok(BatchOutcome {
+    Ok(ProducedBatch {
         client: plan.client,
         last_run,
         dropped_runs: dropped,
         spooled_reports: reports.len() as u64,
-        send,
+        bytes,
     })
 }
 

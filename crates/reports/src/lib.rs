@@ -31,6 +31,7 @@
 #![warn(missing_docs)]
 
 pub mod collector;
+pub mod frame;
 pub mod ingest;
 pub mod report;
 pub mod sink;
@@ -38,6 +39,7 @@ pub mod suffstats;
 pub mod wire;
 
 pub use collector::{CollectError, Collector};
+pub use frame::{AckVerdict, BatchAck, BatchEnvelope, EnvelopeRead};
 pub use ingest::{decode_batch, BatchIngest, BatchRejected, BatchStats, DecodeOutcome, Provenance};
 pub use report::{Label, Report, ReportParseError};
 pub use sink::{ReportLayout, ReportSink, SinkError, SpoolSink, TransmitSink, WireSink};

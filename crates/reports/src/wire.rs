@@ -220,7 +220,7 @@ impl From<std::io::Error> for WireError {
 }
 
 /// Appends `v` to `buf` as an LEB128 varint.
-fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
+pub(crate) fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -233,7 +233,7 @@ fn push_varint(buf: &mut Vec<u8>, mut v: u64) {
 }
 
 /// Decodes one varint from a slice cursor.
-fn take_varint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
+pub(crate) fn take_varint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
     let mut v: u64 = 0;
     for shift in (0..).step_by(7) {
         if shift >= 64 {
@@ -255,7 +255,7 @@ fn take_varint(buf: &[u8], pos: &mut usize) -> Result<u64, WireError> {
     unreachable!("loop returns or errors")
 }
 
-fn read_u8<R: Read>(r: &mut R, what: &'static str) -> Result<u8, WireError> {
+pub(crate) fn read_u8<R: Read>(r: &mut R, what: &'static str) -> Result<u8, WireError> {
     let mut b = [0u8; 1];
     match r.read_exact(&mut b) {
         Ok(()) => Ok(b[0]),

@@ -1,0 +1,434 @@
+//! The TCP front end: thread-per-core accept loop feeding the shard
+//! workers over bounded queues.
+//!
+//! Topology: `acceptors` threads block in `accept` on clones of one
+//! listener (claim-then-accept, so exactly `max_clients` connections
+//! are served in total, after which the server drains and shuts down).
+//! Each connection is handled on its acceptor thread: envelopes are
+//! read, routed to `client mod shards` over a bounded
+//! `sync_channel`, and acked in order once the owning shard worker has
+//! processed them.  A full shard queue surfaces as the typed
+//! [`ServeError::Backpressure`], answered on the wire with an
+//! `overloaded` NACK — the queue bound is the only buffer.
+//!
+//! Two protocols share the port, discriminated by the first byte:
+//! `'B'` opens an envelope session (ack per batch), `'C'` — the first
+//! byte of the `CBIR` magic — a legacy raw stream (`cbi transmit`),
+//! which is drained to EOF and committed as one synthetic envelope.
+//!
+//! Telemetry lanes: shard worker `i` records under worker label `i +
+//! 1`; acceptor `a` under `shards + 1 + a`.  Queue-depth high-water
+//! marks are tracked per shard and surface in the summary and the
+//! `serve.queue_depth` histogram.
+
+use crate::core::{finish_parts, IngestCore, ServeOutcome};
+use crate::shard::ShardState;
+use crate::ServeError;
+use cbi_reports::frame::{read_envelope, read_envelope_body, BatchAck, ENVELOPE_TAG};
+use cbi_reports::{AckVerdict, BatchEnvelope, WireError};
+use cbi_telemetry as telemetry;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::Mutex;
+use std::thread;
+
+/// TCP front-end options.
+#[derive(Debug, Clone)]
+pub struct ServerOptions {
+    /// Accept threads; 0 means one per available core, capped at 16.
+    pub acceptors: usize,
+    /// Connections to serve before draining and shutting down.
+    pub max_clients: u64,
+}
+
+impl Default for ServerOptions {
+    fn default() -> Self {
+        ServerOptions {
+            acceptors: 0,
+            max_clients: 1,
+        }
+    }
+}
+
+impl ServerOptions {
+    fn resolved_acceptors(&self) -> usize {
+        if self.acceptors > 0 {
+            return self.acceptors;
+        }
+        thread::available_parallelism()
+            .map(|n| n.get().min(16))
+            .unwrap_or(4)
+    }
+}
+
+/// One queued delivery awaiting its shard worker.
+struct Delivery {
+    envelope: BatchEnvelope,
+    crc_ok: bool,
+    origin: Option<String>,
+    enqueued_ns: u64,
+    reply: mpsc::Sender<Result<AckVerdict, ServeError>>,
+}
+
+/// Shard queue messages: deliveries, then one shutdown sentinel.
+enum ShardMsg {
+    Batch(Box<Delivery>),
+    Shutdown,
+}
+
+/// Counters the connection handlers share.
+#[derive(Default)]
+struct ServerCounters {
+    connections: AtomicU64,
+    legacy_connections: AtomicU64,
+    rejected_connections: AtomicU64,
+    legacy_seq: AtomicU64,
+    shed: Vec<AtomicU64>,
+    queue_depth: Vec<AtomicUsize>,
+    queue_high_water: Vec<AtomicU64>,
+}
+
+/// Routing handles the connection handlers use to reach the shards.
+struct ShardRouter {
+    senders: Vec<SyncSender<ShardMsg>>,
+    queue_cap: usize,
+    counters: ServerCounters,
+}
+
+impl ShardRouter {
+    /// Queues one delivery on its shard, enforcing the bound.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Backpressure`] when the shard queue is
+    /// full; the delivery is shed, not buffered.
+    fn try_submit(
+        &self,
+        envelope: BatchEnvelope,
+        crc_ok: bool,
+        origin: Option<String>,
+    ) -> Result<Receiver<Result<AckVerdict, ServeError>>, ServeError> {
+        let shard = (envelope.client % self.senders.len() as u64) as usize;
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let msg = ShardMsg::Batch(Box::new(Delivery {
+            envelope,
+            crc_ok,
+            origin,
+            enqueued_ns: telemetry::now_ns(),
+            reply: reply_tx,
+        }));
+        let depth = self.counters.queue_depth[shard].fetch_add(1, Ordering::AcqRel) + 1;
+        match self.senders[shard].try_send(msg) {
+            Ok(()) => {
+                self.counters.queue_high_water[shard].fetch_max(depth as u64, Ordering::AcqRel);
+                Ok(reply_rx)
+            }
+            Err(TrySendError::Full(_)) => {
+                self.counters.queue_depth[shard].fetch_sub(1, Ordering::AcqRel);
+                self.counters.shed[shard].fetch_add(1, Ordering::AcqRel);
+                telemetry::count("serve.shed", 1);
+                Err(ServeError::Backpressure {
+                    shard,
+                    capacity: self.queue_cap,
+                })
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.counters.queue_depth[shard].fetch_sub(1, Ordering::AcqRel);
+                Err(ServeError::Io(io::Error::new(
+                    io::ErrorKind::BrokenPipe,
+                    "shard worker exited",
+                )))
+            }
+        }
+    }
+}
+
+/// The TCP ingest server: an [`IngestCore`] behind a listener.
+pub struct TcpIngestServer {
+    core: IngestCore,
+    listener: TcpListener,
+    options: ServerOptions,
+}
+
+impl TcpIngestServer {
+    /// Binds a listener for the core.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Io`] if the address cannot be bound.
+    pub fn bind(
+        core: IngestCore,
+        addr: &str,
+        options: ServerOptions,
+    ) -> Result<TcpIngestServer, ServeError> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(TcpIngestServer {
+            core,
+            listener,
+            options,
+        })
+    }
+
+    /// The bound address.
+    ///
+    /// # Errors
+    ///
+    /// Returns the listener's I/O error.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves exactly `max_clients` connections, then drains the
+    /// shards, folds, and returns the outcome.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal and fold errors; per-connection failures are
+    /// counted in the summary instead.
+    pub fn run(self) -> Result<ServeOutcome, ServeError> {
+        let TcpIngestServer {
+            core,
+            listener,
+            options,
+        } = self;
+        let (config, sites, layout, shards, journal, replay) = core.into_parts();
+        let n_shards = config.shards;
+        let queue_cap = config.queue_cap;
+
+        let mut counters = ServerCounters::default();
+        for _ in 0..n_shards {
+            counters.shed.push(AtomicU64::new(0));
+            counters.queue_depth.push(AtomicUsize::new(0));
+            counters.queue_high_water.push(AtomicU64::new(0));
+        }
+
+        let mut senders = Vec::with_capacity(n_shards);
+        let mut receivers = Vec::with_capacity(n_shards);
+        for _ in 0..n_shards {
+            let (tx, rx) = mpsc::sync_channel::<ShardMsg>(queue_cap);
+            senders.push(tx);
+            receivers.push(rx);
+        }
+        let router = ShardRouter {
+            senders,
+            queue_cap,
+            counters,
+        };
+        let journal_error: Mutex<Option<ServeError>> = Mutex::new(None);
+        let claimed = AtomicU64::new(0);
+        let acceptors = options.resolved_acceptors();
+        let listeners = (0..acceptors)
+            .map(|_| listener.try_clone())
+            .collect::<io::Result<Vec<_>>>()?;
+
+        let shards = thread::scope(|scope| -> Vec<ShardState> {
+            let router = &router;
+            let journal = &journal;
+            let journal_error = &journal_error;
+            let claimed = &claimed;
+            let options = &options;
+
+            let mut workers = Vec::with_capacity(n_shards);
+            for (index, (mut state, rx)) in shards.into_iter().zip(receivers).enumerate() {
+                workers.push(scope.spawn(move || {
+                    telemetry::set_worker(index as u32 + 1);
+                    while let Ok(msg) = rx.recv() {
+                        let delivery = match msg {
+                            ShardMsg::Shutdown => break,
+                            ShardMsg::Batch(delivery) => delivery,
+                        };
+                        router.counters.queue_depth[index].fetch_sub(1, Ordering::AcqRel);
+                        let verdict = state.process(
+                            delivery.origin.as_deref(),
+                            delivery.envelope,
+                            delivery.crc_ok,
+                            journal.as_ref(),
+                        );
+                        telemetry::record(
+                            "serve.ingest_us",
+                            telemetry::now_ns().saturating_sub(delivery.enqueued_ns) / 1_000,
+                        );
+                        telemetry::count("serve.batches_processed", 1);
+                        if let Err(err) = &verdict {
+                            let mut slot = journal_error
+                                .lock()
+                                .unwrap_or_else(std::sync::PoisonError::into_inner);
+                            if slot.is_none() {
+                                *slot = Some(ServeError::Config(err.to_string()));
+                            }
+                        }
+                        let _ = delivery.reply.send(verdict);
+                    }
+                    state
+                }));
+            }
+
+            let mut accept_threads = Vec::with_capacity(acceptors);
+            for (a, listener) in listeners.into_iter().enumerate() {
+                accept_threads.push(scope.spawn(move || {
+                    telemetry::set_worker((n_shards + 1 + a) as u32);
+                    loop {
+                        if claimed.fetch_add(1, Ordering::AcqRel) >= options.max_clients {
+                            break;
+                        }
+                        match listener.accept() {
+                            Ok((stream, peer)) => handle_connection(router, stream, peer),
+                            Err(_) => {
+                                router
+                                    .counters
+                                    .rejected_connections
+                                    .fetch_add(1, Ordering::AcqRel);
+                                break;
+                            }
+                        }
+                    }
+                }));
+            }
+            for t in accept_threads {
+                let _ = t.join();
+            }
+            // All connections served: a sentinel per shard lets each
+            // worker drain its queue and exit.
+            for sender in &router.senders {
+                let _ = sender.send(ShardMsg::Shutdown);
+            }
+            let mut out = Vec::with_capacity(n_shards);
+            for w in workers {
+                out.push(w.join().expect("shard worker panicked"));
+            }
+            out
+        });
+
+        if let Some(err) = journal_error
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+        {
+            return Err(err);
+        }
+
+        let mut outcome = finish_parts(config, sites, layout, shards, journal, replay)?;
+        let c = &router.counters;
+        outcome.summary.connections = c.connections.load(Ordering::Acquire);
+        outcome.summary.legacy_connections = c.legacy_connections.load(Ordering::Acquire);
+        outcome.summary.rejected_connections = c.rejected_connections.load(Ordering::Acquire);
+        outcome.summary.shed = c.shed.iter().map(|s| s.load(Ordering::Acquire)).sum();
+        outcome.summary.queue_high_water = c
+            .queue_high_water
+            .iter()
+            .map(|s| s.load(Ordering::Acquire))
+            .collect();
+        Ok(outcome)
+    }
+}
+
+/// Serves one connection to completion, counting its fate.
+fn handle_connection(router: &ShardRouter, stream: TcpStream, peer: SocketAddr) {
+    let _span = telemetry::span("serve.connection");
+    let origin = peer.ip().to_string();
+    match serve_connection(router, stream, &origin) {
+        Ok(ConnectionKind::Envelope) => {
+            router.counters.connections.fetch_add(1, Ordering::AcqRel);
+        }
+        Ok(ConnectionKind::Legacy) => {
+            router.counters.connections.fetch_add(1, Ordering::AcqRel);
+            router
+                .counters
+                .legacy_connections
+                .fetch_add(1, Ordering::AcqRel);
+        }
+        Err(_) => {
+            router
+                .counters
+                .rejected_connections
+                .fetch_add(1, Ordering::AcqRel);
+            telemetry::count("serve.rejected_connections", 1);
+        }
+    }
+}
+
+enum ConnectionKind {
+    Envelope,
+    Legacy,
+}
+
+fn serve_connection(
+    router: &ShardRouter,
+    stream: TcpStream,
+    origin: &str,
+) -> Result<ConnectionKind, ServeError> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+
+    let mut first = [0u8; 1];
+    loop {
+        match reader.read(&mut first) {
+            Ok(0) => return Ok(ConnectionKind::Envelope), // empty connection
+            Ok(_) => break,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(ServeError::Io(e)),
+        }
+    }
+
+    if first[0] == ENVELOPE_TAG {
+        let read = read_envelope_body(&mut reader)?;
+        answer(router, &mut writer, read.envelope, read.crc_ok, origin)?;
+        while let Some(read) = read_envelope(&mut reader)? {
+            answer(router, &mut writer, read.envelope, read.crc_ok, origin)?;
+        }
+        Ok(ConnectionKind::Envelope)
+    } else {
+        // Legacy raw CBIR stream: drain to EOF, commit as one
+        // synthetic envelope.  No acks — legacy senders don't read.
+        let mut payload = vec![first[0]];
+        reader.read_to_end(&mut payload)?;
+        let n = router.counters.legacy_seq.fetch_add(1, Ordering::AcqRel);
+        let envelope = crate::legacy_envelope(n, payload);
+        match router.try_submit(envelope, true, Some(origin.to_string())) {
+            Ok(reply) => {
+                let verdict = reply
+                    .recv()
+                    .map_err(|_| ServeError::Io(io::ErrorKind::BrokenPipe.into()))??;
+                match verdict {
+                    AckVerdict::Accepted | AckVerdict::Duplicate => Ok(ConnectionKind::Legacy),
+                    // A rejected legacy stream (stale layout, torn
+                    // frame) is a rejected connection, mirroring the
+                    // loopback server's accounting.
+                    _ => Err(ServeError::Wire(WireError::Truncated(
+                        "legacy stream rejected",
+                    ))),
+                }
+            }
+            Err(err) => Err(err),
+        }
+    }
+}
+
+/// Routes one envelope and writes its ack (NACKing overload inline).
+fn answer<W: Write>(
+    router: &ShardRouter,
+    writer: &mut W,
+    envelope: BatchEnvelope,
+    crc_ok: bool,
+    origin: &str,
+) -> Result<(), ServeError> {
+    let (client, seq) = (envelope.client, envelope.seq);
+    let verdict = match router.try_submit(envelope, crc_ok, Some(origin.to_string())) {
+        Ok(reply) => reply
+            .recv()
+            .map_err(|_| ServeError::Io(io::ErrorKind::BrokenPipe.into()))??,
+        Err(ServeError::Backpressure { .. }) => AckVerdict::Overloaded,
+        Err(other) => return Err(other),
+    };
+    let ack = BatchAck {
+        client,
+        seq,
+        verdict,
+    };
+    writer.write_all(&ack.encode())?;
+    writer.flush()?;
+    Ok(())
+}

@@ -1,0 +1,273 @@
+//! Per-shard ingest state and the ordered merge that turns committed
+//! batches into the authoritative analysis.
+//!
+//! A shard owns everything keyed by `client mod shards`: the dedup set,
+//! a live [`StreamingAnalyzer`] over its own arrival order (cheap
+//! monitoring; order-dependent, so never merged directly), and — when
+//! no journal holds them — the committed envelopes themselves.  The
+//! final analysis never reads the live analyzers: [`fold_ordered`]
+//! re-decodes every committed batch in `(seq, client)` order into a
+//! fresh [`EpochAggregator`], the same discipline the campaign driver
+//! uses to keep `--jobs` out of its output.  Shard count, arrival
+//! interleaving, and crash/replay history therefore cannot leak into
+//! the result: any history committing the same batch set folds to the
+//! same bytes.
+
+use crate::journal::Journal;
+use crate::ServeError;
+use cbi::{EpochAggregator, StreamingAnalyzer, StreamingConfig};
+use cbi_instrument::SiteTable;
+use cbi_reports::{
+    decode_batch, AckVerdict, BatchEnvelope, Collector, DecodeOutcome, Provenance, ReportLayout,
+    ReportSink, WireErrorKind,
+};
+use std::collections::HashSet;
+use std::sync::Mutex;
+
+/// One shard's ingest accounting.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardStats {
+    /// Batches committed (first-time accepts).
+    pub batches: u64,
+    /// Retransmits answered `duplicate` without re-ingest.
+    pub duplicates: u64,
+    /// Deliveries whose payload failed to decode.
+    pub rejected: u64,
+    /// Deliveries whose payload failed its envelope CRC.
+    pub crc_failures: u64,
+    /// Reports inside committed batches.
+    pub reports: u64,
+    /// Payload bytes inside committed batches.
+    pub bytes: u64,
+}
+
+/// A committed batch retained for the shutdown fold (in-memory mode;
+/// with a journal the journal file is the retained copy).
+#[derive(Debug, Clone)]
+pub(crate) struct CommittedBatch {
+    pub client: u64,
+    pub seq: u64,
+    pub attempt: u32,
+    pub origin: Option<String>,
+    pub payload: Vec<u8>,
+}
+
+/// A delivery whose payload failed to decode — kept so the fold can
+/// attribute rejections (stale clients, truncation) with provenance.
+#[derive(Debug, Clone)]
+pub(crate) struct RejectEvent {
+    pub client: u64,
+    pub seq: u64,
+    pub attempt: u32,
+    pub origin: Option<String>,
+    pub kind: WireErrorKind,
+}
+
+/// Everything one shard owns.
+pub(crate) struct ShardState {
+    pub index: usize,
+    layout: ReportLayout,
+    keep: bool,
+    analyzer: StreamingAnalyzer,
+    dedup: HashSet<(u64, u64)>,
+    pub committed: Vec<CommittedBatch>,
+    pub rejects: Vec<RejectEvent>,
+    pub stats: ShardStats,
+}
+
+impl ShardState {
+    /// Builds a shard.  `keep` retains committed payloads in memory for
+    /// the shutdown fold; pass `false` when a journal holds them.
+    pub fn new(
+        index: usize,
+        layout: ReportLayout,
+        streaming: StreamingConfig,
+        keep: bool,
+    ) -> Result<ShardState, ServeError> {
+        let mut analyzer = StreamingAnalyzer::new(streaming);
+        analyzer.begin(layout)?;
+        Ok(ShardState {
+            index,
+            layout,
+            keep,
+            analyzer,
+            dedup: HashSet::new(),
+            committed: Vec::new(),
+            rejects: Vec::new(),
+            stats: ShardStats::default(),
+        })
+    }
+
+    /// Processes one delivered envelope: CRC gate, dedup, decode,
+    /// journal-then-commit.  Returns the verdict to ack with.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Journal`] if the journal append fails (the
+    /// batch is then *not* committed and must not be acked) or
+    /// [`ServeError::Sink`] if the live analyzer rejects a report.
+    pub fn process(
+        &mut self,
+        origin: Option<&str>,
+        envelope: BatchEnvelope,
+        crc_ok: bool,
+        journal: Option<&Mutex<Journal>>,
+    ) -> Result<AckVerdict, ServeError> {
+        if !crc_ok {
+            self.stats.crc_failures += 1;
+            return Ok(AckVerdict::BadCrc);
+        }
+        if self.dedup.contains(&(envelope.client, envelope.seq)) {
+            self.stats.duplicates += 1;
+            return Ok(AckVerdict::Duplicate);
+        }
+        match decode_batch(&envelope.payload, Some(self.layout)) {
+            Err(rejected) => {
+                let kind = rejected.error.kind();
+                self.stats.rejected += 1;
+                self.rejects.push(RejectEvent {
+                    client: envelope.client,
+                    seq: envelope.seq,
+                    attempt: envelope.attempt,
+                    origin: origin.map(str::to_string),
+                    kind,
+                });
+                Ok(AckVerdict::Rejected(kind))
+            }
+            Ok((reports, _header, consumed)) => {
+                if let Some(journal) = journal {
+                    let mut journal = journal
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    journal.append(&envelope)?;
+                }
+                self.commit(origin, envelope, &reports, consumed)?;
+                Ok(AckVerdict::Accepted)
+            }
+        }
+    }
+
+    /// Re-ingests a journaled envelope during resume: rebuilds dedup
+    /// and live-analyzer state without re-appending or re-retaining.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Wire`] if a journaled payload no longer
+    /// decodes (it was validated before it was written, so this means
+    /// on-disk damage the CRC missed) or [`ServeError::Sink`] from the
+    /// live analyzer.
+    pub fn replay(&mut self, envelope: BatchEnvelope) -> Result<(), ServeError> {
+        let (reports, _header, consumed) = decode_batch(&envelope.payload, Some(self.layout))
+            .map_err(|rejected| ServeError::Wire(rejected.error))?;
+        let keep = self.keep;
+        self.keep = false; // the journal already holds it
+        let committed = self.commit(None, envelope, &reports, consumed);
+        self.keep = keep;
+        committed
+    }
+
+    fn commit(
+        &mut self,
+        origin: Option<&str>,
+        envelope: BatchEnvelope,
+        reports: &[cbi_reports::Report],
+        consumed: u64,
+    ) -> Result<(), ServeError> {
+        self.dedup.insert((envelope.client, envelope.seq));
+        for report in reports {
+            self.analyzer.accept(report.clone())?;
+        }
+        self.stats.batches += 1;
+        self.stats.reports += reports.len() as u64;
+        self.stats.bytes += consumed;
+        if self.keep {
+            self.committed.push(CommittedBatch {
+                client: envelope.client,
+                seq: envelope.seq,
+                attempt: envelope.attempt,
+                origin: origin.map(str::to_string),
+                payload: envelope.payload,
+            });
+        }
+        Ok(())
+    }
+
+    /// The live analyzer's resident-report high-water mark.
+    pub fn high_water(&self) -> usize {
+        self.analyzer.high_water()
+    }
+}
+
+fn provenance(client: u64, attempt: u32, origin: Option<&str>) -> Provenance {
+    match origin {
+        Some(origin) => Provenance::new(client, attempt).with_cohort(origin),
+        None => Provenance::new(client, attempt),
+    }
+}
+
+/// The ordered merge: folds every committed batch (and every rejected
+/// delivery) into a fresh [`EpochAggregator`] in `(seq, client,
+/// attempt)` order, re-decoding payloads as it goes.
+///
+/// `collector` optionally archives every accepted report (the
+/// regression path needs the full archive).
+///
+/// # Errors
+///
+/// Returns [`ServeError::Wire`] if a retained payload fails to decode
+/// and [`ServeError::Sink`] on aggregator/collector rejection.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn fold_ordered(
+    sites: &SiteTable,
+    layout: ReportLayout,
+    epoch_len: u64,
+    streaming: StreamingConfig,
+    flight_capacity: usize,
+    target_counter: Option<usize>,
+    mut committed: Vec<CommittedBatch>,
+    mut rejects: Vec<RejectEvent>,
+    mut collector: Option<&mut Collector>,
+) -> Result<EpochAggregator, ServeError> {
+    let _fold = cbi_telemetry::span("serve.fold");
+    committed.sort_by_key(|a| (a.seq, a.client));
+    rejects.sort_by_key(|a| (a.seq, a.client, a.attempt));
+
+    let mut aggregator = EpochAggregator::new(sites.clone(), epoch_len, streaming, target_counter)
+        .with_flight_capacity(flight_capacity);
+    aggregator.begin(layout)?;
+
+    // Merge the two sorted runs; a rejected delivery of a batch sorts
+    // before the delivery that finally committed it.
+    let mut rejects = rejects.into_iter().peekable();
+    for batch in committed {
+        while rejects
+            .peek()
+            .is_some_and(|r| (r.seq, r.client) <= (batch.seq, batch.client))
+        {
+            let r = rejects.next().expect("peeked");
+            let prov = provenance(r.client, r.attempt, r.origin.as_deref());
+            aggregator.note_batch(&prov, DecodeOutcome::Rejected(r.kind), 0);
+        }
+        let (reports, _header, consumed) = decode_batch(&batch.payload, Some(layout))
+            .map_err(|rejected| ServeError::Wire(rejected.error))?;
+        let prov = provenance(batch.client, batch.attempt, batch.origin.as_deref());
+        aggregator.note_retries(prov.cohort_label(), batch.attempt as u64);
+        aggregator.note_batch(&prov, DecodeOutcome::Clean, consumed);
+        for report in reports {
+            if let Some(collector) = collector.as_deref_mut() {
+                collector
+                    .add(report.clone())
+                    .map_err(cbi_reports::SinkError::from)?;
+            }
+            aggregator.accept(report)?;
+        }
+    }
+    for r in rejects {
+        let prov = provenance(r.client, r.attempt, r.origin.as_deref());
+        aggregator.note_batch(&prov, DecodeOutcome::Rejected(r.kind), 0);
+    }
+    if !aggregator.runs().is_multiple_of(epoch_len) || aggregator.snapshots().is_empty() {
+        aggregator.snapshot_now();
+    }
+    Ok(aggregator)
+}

@@ -1,0 +1,182 @@
+//! Crash recovery: kill the server mid-ingest — after a partial
+//! journal append, including a torn final record — restart, replay,
+//! and a full client retransmit sweep must end in an analysis
+//! byte-identical to an uninterrupted run.
+
+use cbi::prelude::*;
+use cbi_reports::frame::BatchEnvelope;
+use cbi_reports::wire::encode_reports;
+use cbi_reports::{AckVerdict, Report};
+use cbi_serve::{render_analysis, FsyncPolicy, IngestCore, ServeConfig};
+use std::path::PathBuf;
+
+const BUGGY: &str = "fn g() -> int { if (has_input() == 0) { return 0; } return read(); }\n\
+     fn main() -> int { int v = g(); print(100 / v); return 0; }";
+
+fn trials(n: usize) -> Vec<Vec<i64>> {
+    (0..n)
+        .map(|i| {
+            if i % 11 == 0 {
+                vec![]
+            } else {
+                vec![(i as i64 % 9) + 1]
+            }
+        })
+        .collect()
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("cbi-serve-recovery-{}-{name}", std::process::id()));
+    p
+}
+
+fn fixture() -> (cbi::instrument::SiteTable, Vec<BatchEnvelope>) {
+    let program = parse(BUGGY).unwrap();
+    let config = CampaignConfig::sampled(Scheme::Returns, SamplingDensity::one_in(2));
+    let result = cbi::workloads::run_campaign(&program, &trials(500), &config).unwrap();
+    let sites = result.instrumented.sites.clone();
+    let reports: Vec<Report> = result.collector.reports().to_vec();
+    let envelopes = reports
+        .chunks(16)
+        .enumerate()
+        .map(|(i, chunk)| {
+            let payload =
+                encode_reports(chunk, sites.layout_hash(), sites.total_counters()).unwrap();
+            BatchEnvelope::new((i % 4) as u64, i as u64, 0, payload)
+        })
+        .collect();
+    (sites, envelopes)
+}
+
+fn config(shards: usize) -> ServeConfig {
+    ServeConfig {
+        shards,
+        epoch_len: 128,
+        ..ServeConfig::default()
+    }
+}
+
+#[test]
+fn journal_resume_after_torn_append_is_byte_identical() {
+    let (sites, envelopes) = fixture();
+    let n = envelopes.len();
+    assert!(n > 10, "fixture too small to interrupt meaningfully");
+    let crash_at = n / 2;
+
+    // Uninterrupted golden: every batch through a journaled core.
+    let golden_path = tmp("golden.journal");
+    let mut core = IngestCore::new(sites.clone(), config(2))
+        .unwrap()
+        .with_journal(&golden_path, FsyncPolicy::EveryN(4))
+        .unwrap();
+    for env in &envelopes {
+        assert_eq!(
+            core.submit(None, env.clone(), true).unwrap(),
+            AckVerdict::Accepted
+        );
+    }
+    let golden_outcome = core.finish().unwrap();
+    let golden = render_analysis(&golden_outcome.aggregator, 10);
+    assert!(golden.contains("g() == 0"), "culprit must survive");
+
+    // Crashed run: half the batches land, then the process dies while
+    // appending the next record — the journal ends in a torn record.
+    let path = tmp("crash.journal");
+    let mut core = IngestCore::new(sites.clone(), config(2))
+        .unwrap()
+        .with_journal(&path, FsyncPolicy::EveryN(4))
+        .unwrap();
+    for env in &envelopes[..crash_at] {
+        core.submit(None, env.clone(), true).unwrap();
+    }
+    drop(core); // crash: no finish, no final sync
+    let torn = envelopes[crash_at].encode();
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes.extend_from_slice(&torn[..torn.len() * 2 / 3]);
+    std::fs::write(&path, &bytes).unwrap();
+
+    // Restart: replay recovers the intact half and truncates the tear.
+    let mut core = IngestCore::new(sites.clone(), config(2))
+        .unwrap()
+        .resume(&path, FsyncPolicy::EveryN(4))
+        .unwrap();
+
+    // The client never saw acks for the tail, so it retransmits the
+    // whole campaign (attempt 1).  The journaled half dedups; the torn
+    // batch and the tail commit.
+    let mut duplicates = 0;
+    let mut accepted = 0;
+    for env in &envelopes {
+        let retry = BatchEnvelope::new(env.client, env.seq, 1, env.payload.clone());
+        match core.submit(None, retry, true).unwrap() {
+            AckVerdict::Duplicate => duplicates += 1,
+            AckVerdict::Accepted => accepted += 1,
+            other => panic!("unexpected verdict {other:?}"),
+        }
+    }
+    assert_eq!(duplicates, crash_at);
+    assert_eq!(accepted, n - crash_at);
+
+    let outcome = core.finish().unwrap();
+    assert_eq!(outcome.summary.replayed, crash_at as u64);
+    assert!(outcome.summary.torn_tail, "the torn record must be seen");
+
+    let resumed = render_analysis(&outcome.aggregator, 10);
+    assert_eq!(
+        resumed, golden,
+        "resumed analysis must be byte-identical to the uninterrupted run"
+    );
+    // Snapshot-by-snapshot equality of everything the analysis owns.
+    // (Retry attribution legitimately differs: the tail committed on
+    // attempt 1 after the crash, attempt 0 in the golden run.)
+    let project = |agg: &cbi::EpochAggregator| {
+        agg.snapshots()
+            .iter()
+            .map(|s| {
+                (
+                    s.epoch,
+                    s.runs,
+                    s.failures,
+                    s.observed,
+                    s.survivors,
+                    s.bytes,
+                    s.batches,
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(
+        project(&outcome.aggregator),
+        project(&golden_outcome.aggregator)
+    );
+
+    std::fs::remove_file(&golden_path).unwrap();
+    std::fs::remove_file(&path).unwrap();
+}
+
+#[test]
+fn journaled_run_matches_memory_run() {
+    // The journal must be an implementation detail: with or without
+    // one, the same batches fold to the same analysis.
+    let (sites, envelopes) = fixture();
+    let path = tmp("parity.journal");
+
+    let mut with_journal = IngestCore::new(sites.clone(), config(2))
+        .unwrap()
+        .with_journal(&path, FsyncPolicy::Never)
+        .unwrap();
+    let mut in_memory = IngestCore::new(sites, config(2)).unwrap();
+    for env in &envelopes {
+        with_journal.submit(None, env.clone(), true).unwrap();
+        in_memory.submit(None, env.clone(), true).unwrap();
+    }
+    let a = with_journal.finish().unwrap();
+    let b = in_memory.finish().unwrap();
+    assert_eq!(
+        render_analysis(&a.aggregator, 10),
+        render_analysis(&b.aggregator, 10)
+    );
+    assert_eq!(a.aggregator.snapshots(), b.aggregator.snapshots());
+    std::fs::remove_file(&path).unwrap();
+}
