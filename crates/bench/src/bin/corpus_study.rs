@@ -44,7 +44,7 @@ fn main() {
     let deterministic = corpus
         .entries
         .iter()
-        .filter(|e| e.bug.deterministic)
+        .filter(|e| e.bug.deterministic())
         .count();
     println!("== corpus isolation quality (planted ground truth) ==");
     println!(

@@ -45,12 +45,14 @@ fn main() {
     let entry = corpus
         .entries
         .iter()
-        .find(|e| e.bug.deterministic)
+        .find(|e| e.bug.deterministic())
         .unwrap_or_else(|| corpus.entries.first().expect("non-empty corpus"));
     println!("== fleet throughput and detection economics ==");
     println!(
         "entry {} ({}, {}), {clients} clients, {runs} community runs, jobs {JOBS}",
-        entry.bug.id, entry.bug.operator, entry.bug.trigger
+        entry.bug.id,
+        entry.bug.operator_label(),
+        entry.bug.primary().trigger
     );
     println!();
     println!("density   runs/sec   bytes/report   accepted   latency      rank");

@@ -32,9 +32,14 @@ usage:
                  [--mode eliminate|regress|both] [--spool reports.cbr]
                  [--flight-cap N] [--metrics] [--metrics-out metrics.jsonl]
   cbi transmit   <reports.jsonl|.cbr> --to HOST:PORT [<file.mc>] [--scheme S]
-  cbi corpus     generate <dir> [--size N] [--seed N] [--trials N]
+  cbi corpus     generate <dir> [--size N] [--seed N] [--trials N] [--bugs N]
   cbi corpus     evaluate <dir> [--densities 1,10,100,1000] [--jobs N] [--engine E]
+                 [--scorer ochiai|tarantula|jaccard|increase|importance|posterior|odds]
                  [--out report.txt] [--summary-out summary.txt]
+  cbi isolate    <file.mc> <inputs.txt> [--scheme S] [--density D] [--seed N]
+                 [--jobs N] [--engine E] [--scorer S] [--top N]
+  cbi isolate    --corpus <dir> [--densities 1,10,100] [--scorers ochiai,importance]
+                 [--jobs N] [--engine E] [--out report.txt] [--summary-out summary.txt]
   cbi fleet      <file.mc> <inputs.txt> [--scheme S] [--clients N] [--runs N]
                  [--batch-size N] [--epoch-len N] [--densities 100:1,1000:3]
                  [--zipf S] [--variant-fraction F] [--stale-fraction F]
@@ -93,10 +98,24 @@ usage:
   Ground-truth corpus: `cbi corpus generate` plants one labeled bug per
   program into seeded testgen programs and the ccrypt/bc workloads,
   validating each by an instrumented campaign, and writes
-  <dir>/manifest.jsonl plus <dir>/programs/.  `cbi corpus evaluate`
-  replays a campaign per entry across the density sweep, scoring
-  elimination survival, regression rank, recall@k, and wasted effort
-  against the manifest; output is byte-identical at any --jobs value.
+  <dir>/manifest.jsonl plus <dir>/programs/.  With --bugs N (2 or 3)
+  it instead plants N interacting deterministic bugs per program and
+  writes a schema-2 multi-bug manifest.  `cbi corpus evaluate` replays
+  a campaign per entry across the density sweep, scoring elimination
+  survival, regression rank, recall@k, and wasted effort against the
+  manifest; --scorer swaps the float regression ranking for a pure
+  integer statistical scorer (byte-identical at any --jobs).
+
+  Iterative isolation: `cbi isolate` runs the paper's multi-bug
+  redundancy-elimination loop — rank all predicates with --scorer
+  (default ochiai), attribute the top predicate to a bug cluster,
+  discard the failing runs it explains, re-rank, repeat until no
+  failures remain.  Program mode streams a campaign over an input file
+  and prints the per-iteration trace; --corpus mode sweeps every
+  manifest entry across --densities x --scorers and scores cluster
+  purity, per-bug rank, and iterations-to-isolation against planted
+  ground truth.  All output is integer-only and byte-identical at any
+  --jobs value.
 
   Fleet simulation: `cbi fleet` drives a seeded community of simulated
   clients through the whole remote pipeline — each client draws a
@@ -144,6 +163,7 @@ pub fn dispatch(raw: Vec<String>) -> Result<(), String> {
         Some("serve") => cmd_serve(&args),
         Some("transmit") => cmd_transmit(&args),
         Some("corpus") => cmd_corpus(&args),
+        Some("isolate") => cmd_isolate(&args),
         Some("fleet") => cmd_fleet(&args),
         Some("monitor") => cmd_monitor(&args),
         Some(other) => Err(format!("unknown subcommand `{other}`")),
@@ -906,6 +926,10 @@ fn corpus_dir(args: &Args) -> Result<&str, String> {
 
 fn cmd_corpus_generate(args: &Args) -> Result<(), String> {
     let dir = corpus_dir(args)?;
+    let bugs: usize = args.flag_or("bugs", 1usize)?;
+    if bugs > 1 {
+        return cmd_corpus_generate_multi(args, dir, bugs);
+    }
     let config = cbi_corpus::GenerateConfig {
         size: args.flag_or("size", 100usize)?,
         seed: args.flag_or("seed", 0xc0deu64)?,
@@ -922,7 +946,7 @@ fn cmd_corpus_generate(args: &Args) -> Result<(), String> {
     let dets = corpus
         .entries
         .iter()
-        .filter(|e| e.bug.deterministic)
+        .filter(|e| e.bug.deterministic())
         .count();
     println!(
         "{} entries written to {dir} ({} deterministic, {} input-conditioned or sampling-dependent)",
@@ -951,6 +975,7 @@ fn cmd_corpus_evaluate(args: &Args) -> Result<(), String> {
         densities,
         jobs: jobs_of(args)?,
         engine: engine_of(args)?,
+        scorer: args.flag("scorer").map(str::to_string),
     };
     let entries = cbi_corpus::load_corpus(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
     eprintln!("evaluating {} entries from {dir}", entries.len());
@@ -971,6 +996,159 @@ fn cmd_corpus_evaluate(args: &Args) -> Result<(), String> {
             eprintln!("summary written to {path}");
         }
         None => print!("{summary}"),
+    }
+    Ok(())
+}
+
+fn cmd_corpus_generate_multi(args: &Args, dir: &str, bugs: usize) -> Result<(), String> {
+    let config = cbi_corpus::MultiGenerateConfig {
+        size: args.flag_or("size", 12usize)?,
+        seed: args.flag_or("seed", 0xc0deu64)?,
+        trials: args.flag_or("trials", 96usize)?,
+        bugs_per_entry: bugs,
+    };
+    if config.size == 0 || config.trials == 0 {
+        return Err("--size and --trials must be positive".to_string());
+    }
+    let corpus = cbi_corpus::generate_multi_corpus(&config).map_err(|e| e.to_string())?;
+    for note in &corpus.log {
+        eprintln!("note: {note}");
+    }
+    cbi_corpus::write_corpus(std::path::Path::new(dir), &corpus).map_err(|e| e.to_string())?;
+    let faults: usize = corpus.entries.iter().map(|e| e.bug.faults.len()).sum();
+    println!(
+        "{} multi-bug entries written to {dir} ({} planted faults, schema {})",
+        corpus.entries.len(),
+        faults,
+        cbi_corpus::MANIFEST_SCHEMA
+    );
+    Ok(())
+}
+
+/// Comma-separated scorer names, each validated against the registry.
+fn scorer_list(args: &Args, default: &str) -> Result<Vec<String>, String> {
+    args.flag("scorers")
+        .unwrap_or(default)
+        .split(',')
+        .map(|t| {
+            let t = t.trim();
+            cbi_scoring::scorer_by_name(t)
+                .map(|_| t.to_string())
+                .ok_or_else(|| {
+                    format!(
+                        "unknown scorer `{t}` (expected one of {})",
+                        cbi_scoring::SCORER_NAMES.join(", ")
+                    )
+                })
+        })
+        .collect()
+}
+
+fn cmd_isolate(args: &Args) -> Result<(), String> {
+    if let Some(dir) = args.flag("corpus") {
+        return cmd_isolate_corpus(args, dir);
+    }
+    let (program, trials, config) = campaign_setup(args)?;
+    let scheme = scheme_of(args)?;
+    let scorer_name = args.flag("scorer").unwrap_or("ochiai");
+    let scorer = cbi_scoring::scorer_by_name(scorer_name).ok_or_else(|| {
+        format!(
+            "unknown scorer `{scorer_name}` (expected one of {})",
+            cbi_scoring::SCORER_NAMES.join(", ")
+        )
+    })?;
+    let top: usize = args.flag_or("top", 5usize)?;
+
+    let inst = instrument(&program, scheme).map_err(|e| e.to_string())?;
+    let sites = &inst.sites;
+    let groups: Vec<(usize, usize)> = sites
+        .iter()
+        .map(|s| (s.counter_base, s.kind.arity()))
+        .collect();
+
+    let mut index = cbi_scoring::FailureIndex::new();
+    run_campaign_into(&program, &trials, &config, &mut index).map_err(|e| e.to_string())?;
+    eprintln!(
+        "{} runs: {} failing retained, {} successes folded",
+        index.failure_runs() + index.success_runs(),
+        index.failure_runs(),
+        index.success_runs()
+    );
+
+    let run = cbi_scoring::isolate(&index, &groups, scorer);
+    println!("isolation trace ({} scorer, scores in per-mille):", run.scorer);
+    println!();
+    println!("initial ranking (top {top}):");
+    for &(c, score) in run.initial_ranking.iter().take(top) {
+        println!("  {score:>6}  {}", sites.predicate_name(c));
+    }
+    println!();
+    if run.steps.is_empty() {
+        println!("no iterations: no positively-scored predicate covers a failure");
+    }
+    for step in &run.steps {
+        println!(
+            "iteration {}: {} failing runs -> {}",
+            step.iteration, step.failures_before, step.failures_after
+        );
+        println!(
+            "  bug cluster: {} runs explained by [{}] (score {})",
+            step.cluster.trials.len(),
+            sites.predicate_name(step.cluster.counter),
+            step.cluster.score
+        );
+    }
+    println!();
+    if run.is_complete() {
+        println!(
+            "complete: every failing run attributed in {} iterations",
+            run.iterations()
+        );
+    } else {
+        println!(
+            "{} failing runs unexplained (trials {:?})",
+            run.unexplained.len(),
+            run.unexplained
+        );
+    }
+    Ok(())
+}
+
+fn cmd_isolate_corpus(args: &Args, dir: &str) -> Result<(), String> {
+    let densities: Vec<u64> = args
+        .flag("densities")
+        .unwrap_or("1,10,100")
+        .split(',')
+        .map(|t| {
+            let t = t.trim();
+            t.parse::<u64>()
+                .ok()
+                .filter(|&d| d > 0)
+                .ok_or_else(|| format!("bad density `{t}` (expected positive integers)"))
+        })
+        .collect::<Result<_, _>>()?;
+    let config = cbi_corpus::MultiEvalConfig {
+        densities,
+        scorers: scorer_list(args, "ochiai,importance")?,
+        jobs: jobs_of(args)?,
+        engine: engine_of(args)?,
+    };
+    let entries = cbi_corpus::load_corpus(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+    eprintln!("isolating {} entries from {dir}", entries.len());
+    let report = cbi_corpus::evaluate_multi(&entries, &config).map_err(|e| e.to_string())?;
+
+    let rendered = cbi_corpus::render_multi_report(&report);
+    match args.flag("out") {
+        Some(path) => {
+            fs::write(path, &rendered).map_err(|e| format!("cannot write {path}: {e}"))?;
+            eprintln!("isolation report written to {path}");
+        }
+        None => print!("{rendered}"),
+    }
+    if let Some(path) = args.flag("summary-out") {
+        let summary = cbi_corpus::render_multi_summary(&report);
+        fs::write(path, &summary).map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("summary written to {path}");
     }
     Ok(())
 }
@@ -1056,7 +1234,9 @@ fn fleet_report(args: &Args) -> Result<(cbi_fleet::FleetReport, bool), String> {
         let pool = args.flag_or("pool", 128usize)?;
         eprintln!(
             "fleet vs corpus entry {} ({}, {})",
-            entry.bug.id, entry.bug.operator, entry.bug.trigger
+            entry.bug.id,
+            entry.bug.operator_label(),
+            entry.bug.primary().trigger
         );
         let report = cbi::telemetry::time("phase.fleet", || {
             cbi_fleet::run_corpus_fleet(entry, pool, &spec)

@@ -126,6 +126,29 @@ impl StreamingAnalyzer {
             .map(|(c, w)| (sites.predicate_name(c), w))
             .collect()
     }
+
+    /// Per-counter contingency tables over the accumulated aggregates,
+    /// with site-reach estimates from the site layout — the input every
+    /// `cbi-scoring` measure consumes.
+    pub fn contingency(&self, sites: &SiteTable) -> Vec<cbi_stats::Contingency> {
+        let groups: Vec<(usize, usize)> = sites
+            .iter()
+            .map(|s| (s.counter_base, s.kind.arity()))
+            .collect();
+        cbi_stats::contingency_tables(&self.stats, &groups)
+    }
+
+    /// Counter indices ranked by a statistical scorer over the streamed
+    /// aggregates, best first, scores in fixed-point per-mille.  Pure
+    /// integer arithmetic end to end: byte-identical at any worker
+    /// count, unlike the float-weighted regression [`ranking`](Self::ranking).
+    pub fn scored_ranking(
+        &self,
+        sites: &SiteTable,
+        scorer: &dyn cbi_scoring::Scorer,
+    ) -> Vec<(usize, i64)> {
+        cbi_scoring::rank_tables(scorer, &self.contingency(sites))
+    }
 }
 
 impl ReportSink for StreamingAnalyzer {

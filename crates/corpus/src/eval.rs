@@ -26,6 +26,7 @@ use cbi::{StreamingAnalyzer, StreamingConfig};
 use cbi_instrument::{instrument, Scheme};
 use cbi_minic::parse;
 use cbi_sampler::SamplingDensity;
+use cbi_scoring::scorer_by_name;
 use cbi_workloads::{run_campaign_into, CampaignConfig};
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
@@ -41,6 +42,11 @@ pub struct EvalConfig {
     /// Interpreter engine for every campaign (scores are identical on
     /// every engine; bytecode is the throughput default).
     pub engine: cbi_vm::Engine,
+    /// Rank with a `cbi-scoring` measure (by registry name) instead of
+    /// the streaming regression model.  Scorer rankings are pure
+    /// integer, so rank and wasted-effort are bit-stable by
+    /// construction.
+    pub scorer: Option<String>,
 }
 
 impl Default for EvalConfig {
@@ -49,8 +55,24 @@ impl Default for EvalConfig {
             densities: vec![1, 10, 100, 1000],
             jobs: 1,
             engine: cbi_vm::Engine::Bytecode,
+            scorer: None,
         }
     }
+}
+
+/// Deterministic rank order for float-weighted rankings: magnitude
+/// descending, ties broken by counter (site) index ascending.  The
+/// regression model emits this order already, but evaluation re-sorts
+/// so the reported rank and wasted-effort numbers cannot permute
+/// between equal-scored predicates no matter which ranking source fed
+/// them.
+fn break_ties(ranking: &mut [(usize, f64)]) {
+    ranking.sort_by(|a, b| {
+        b.1.abs()
+            .partial_cmp(&a.1.abs())
+            .expect("ranking weights are finite")
+            .then(a.0.cmp(&b.0))
+    });
 }
 
 /// Scores for one corpus entry at one sampling density.
@@ -93,8 +115,16 @@ pub struct EvalReport {
     pub scores: Vec<EntryScore>,
 }
 
-/// Runs the evaluation sweep over `entries`.
+/// Runs the evaluation sweep over `entries`.  Multi-fault entries are
+/// scored against their primary fault here; cluster-level metrics live
+/// in [`crate::eval_multi`].
 pub fn evaluate(entries: &[CorpusEntry], cfg: &EvalConfig) -> Result<EvalReport, CorpusError> {
+    let scorer = match &cfg.scorer {
+        Some(name) => Some(scorer_by_name(name).ok_or_else(|| CorpusError::Config {
+            message: format!("unknown scorer {name:?}"),
+        })?),
+        None => None,
+    };
     let mut scores = Vec::with_capacity(entries.len() * cfg.densities.len());
     for entry in entries {
         let bug = &entry.bug;
@@ -118,14 +148,17 @@ pub fn evaluate(entries: &[CorpusEntry], cfg: &EvalConfig) -> Result<EvalReport,
                 got: sites.layout_hash(),
             });
         }
-        let named = sites.predicate_name(bug.true_counter);
-        if named != bug.true_predicate {
-            return Err(CorpusError::PredicateDrift {
-                id: bug.id.clone(),
-                expected: bug.true_predicate.clone(),
-                got: named,
-            });
+        for fault in &bug.faults {
+            let named = sites.predicate_name(fault.true_counter);
+            if named != fault.true_predicate {
+                return Err(CorpusError::PredicateDrift {
+                    id: bug.id.clone(),
+                    expected: fault.true_predicate.clone(),
+                    got: named,
+                });
+            }
         }
+        let truth = bug.primary();
         let trials = trials_for(bug);
         for &density in &cfg.densities {
             let config = CampaignConfig::sampled(Scheme::Checks, SamplingDensity::one_in(density))
@@ -140,21 +173,36 @@ pub fn evaluate(entries: &[CorpusEntry], cfg: &EvalConfig) -> Result<EvalReport,
                     }
                 })?;
             let elim = analyzer.eliminate(&run.instrumented.sites);
-            let ranking = analyzer.ranking();
+            let ranking: Vec<(usize, f64)> = match scorer {
+                // Scorer rankings arrive already ordered (score
+                // descending, counter ascending) in pure integers;
+                // re-sorting by magnitude would misplace negative
+                // Increase scores.
+                Some(s) => analyzer
+                    .scored_ranking(&run.instrumented.sites, s)
+                    .into_iter()
+                    .map(|(c, score)| (c, score as f64 / 1000.0))
+                    .collect(),
+                None => {
+                    let mut r = analyzer.ranking();
+                    break_ties(&mut r);
+                    r
+                }
+            };
             let rank = ranking
                 .iter()
-                .position(|&(c, _)| c == bug.true_counter)
+                .position(|&(c, _)| c == truth.true_counter)
                 .expect("ranking is total over the counter layout");
             let weight = ranking[rank].1;
             scores.push(EntryScore {
                 id: bug.id.clone(),
-                operator: bug.operator.clone(),
-                deterministic: bug.deterministic,
+                operator: bug.operator_label(),
+                deterministic: bug.deterministic(),
                 density,
                 runs: elim.runs,
                 failures: elim.failures,
                 dropped: run.dropped,
-                survived: elim.combined.contains(&bug.true_counter),
+                survived: elim.combined.contains(&truth.true_counter),
                 survivors: elim.combined.len(),
                 rank,
                 counters: bug.counters,
@@ -393,6 +441,54 @@ mod tests {
         .unwrap();
         assert_eq!(render_report(&a), render_report(&par));
         assert_eq!(render_summary(&a), render_summary(&par));
+    }
+
+    #[test]
+    fn ties_break_by_site_index() {
+        // Three predicates tie at magnitude 0.5 (one negatively); the
+        // deterministic order is strictly by counter index among them.
+        let mut r = vec![(3, 0.5), (0, -0.5), (2, 0.7), (1, 0.5)];
+        break_ties(&mut r);
+        let order: Vec<usize> = r.iter().map(|&(c, _)| c).collect();
+        assert_eq!(order, vec![2, 0, 1, 3]);
+    }
+
+    #[test]
+    fn scorer_rankings_are_identical_at_any_jobs() {
+        let entries = small_corpus();
+        for scorer in ["ochiai", "tarantula"] {
+            let reports: Vec<String> = [1, 2, 4]
+                .into_iter()
+                .map(|jobs| {
+                    let report = evaluate(
+                        &entries,
+                        &EvalConfig {
+                            densities: vec![1],
+                            jobs,
+                            scorer: Some(scorer.to_string()),
+                            ..EvalConfig::default()
+                        },
+                    )
+                    .unwrap();
+                    render_report(&report)
+                })
+                .collect();
+            assert_eq!(reports[0], reports[1], "{scorer}: jobs 1 vs 2");
+            assert_eq!(reports[0], reports[2], "{scorer}: jobs 1 vs 4");
+        }
+    }
+
+    #[test]
+    fn unknown_scorer_is_a_config_error() {
+        let err = evaluate(
+            &[],
+            &EvalConfig {
+                scorer: Some("regress".to_string()),
+                ..EvalConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(matches!(err, CorpusError::Config { .. }), "{err}");
     }
 
     #[test]

@@ -24,9 +24,10 @@
 //! advancing program seeds and mutation sites until it has the requested
 //! number of demonstrated bugs.
 
-use crate::manifest::{PlantedBug, Workload};
+use crate::manifest::{Fault, PlantedBug, Workload};
 use crate::mutate::{
-    plant_testgen, plant_workload, store_candidates, workload_candidates, Mutation, Operator,
+    plant_testgen, plant_testgen_named, plant_workload, store_candidates, workload_candidates,
+    Mutation, Operator, MULTI_FAULT_VARS,
 };
 use crate::CorpusError;
 use cbi_instrument::{instrument, Scheme, SiteKind};
@@ -217,19 +218,22 @@ fn entry_from(
 ) -> CorpusEntry {
     CorpusEntry {
         bug: PlantedBug {
+            schema: 1,
             source: format!("programs/{id}.mc"),
             id,
             workload,
-            operator,
-            deterministic: mutation.deterministic,
-            trigger: v.trigger.to_string(),
-            true_counter: v.true_counter,
-            true_predicate: v.true_predicate,
             layout_hash: v.layout_hash,
             counters: v.counters,
             trials: trials_n,
             trial_seed,
             baseline_failures: v.baseline_failures,
+            faults: vec![Fault {
+                operator,
+                deterministic: mutation.deterministic,
+                trigger: v.trigger.to_string(),
+                true_counter: v.true_counter,
+                true_predicate: v.true_predicate,
+            }],
         },
         source,
     }
@@ -386,6 +390,218 @@ pub fn generate_corpus(cfg: &GenerateConfig) -> Result<Corpus, CorpusError> {
     Ok(Corpus { entries, log })
 }
 
+/// Knobs for multi-bug corpus construction.
+#[derive(Debug, Clone)]
+pub struct MultiGenerateConfig {
+    /// Total entries to produce.
+    pub size: usize,
+    /// Master seed.
+    pub seed: u64,
+    /// Trials per entry.
+    pub trials: usize,
+    /// Interacting faults planted per entry (clamped to the fault
+    /// temporary pool, currently 3).
+    pub bugs_per_entry: usize,
+}
+
+impl Default for MultiGenerateConfig {
+    fn default() -> Self {
+        MultiGenerateConfig {
+            size: 12,
+            seed: 0xc0de,
+            trials: 96,
+            bugs_per_entry: 2,
+        }
+    }
+}
+
+/// Jointly validates a multi-fault mutant: every fault's predicate must
+/// fire in at least two failing runs and no successful one, and every
+/// fault must *uniquely* explain at least one failure — a failing run
+/// in which its counter is the only planted counter observed — so the
+/// isolation loop has a disjoint core to recover.
+fn validate_multi(
+    source: &str,
+    planted: &[(String, String, bool)], // (operator, site_text, deterministic)
+    trials: &[Vec<i64>],
+) -> Option<(Vec<Fault>, u64, usize, usize)> {
+    let program = parse(source).ok()?;
+    let instrumented = instrument(&program, Scheme::Checks).ok()?;
+    let sites = &instrumented.sites;
+    let mut counters_of = Vec::with_capacity(planted.len());
+    for (_, site_text, _) in planted {
+        let mut matches = sites
+            .iter()
+            .filter(|s| s.kind == SiteKind::Bounds && s.text == *site_text);
+        let site = matches.next()?;
+        if matches.next().is_some() {
+            return None; // ambiguous ground truth
+        }
+        counters_of.push(site.counter_base);
+    }
+    let config = CampaignConfig::sampled(Scheme::Checks, SamplingDensity::one_in(1));
+    let result = run_campaign(&program, trials, &config).ok()?;
+    let collector = &result.collector;
+    let failures = collector.failure_count();
+    let successes = collector.success_count();
+    if successes < 2 {
+        return None;
+    }
+    let stats = collector.stats();
+    let mut validated = Vec::with_capacity(planted.len());
+    for (k, (operator, _, deterministic)) in planted.iter().enumerate() {
+        let tc = counters_of[k];
+        if stats.nonzero_failures(tc) < 2 || stats.nonzero_successes(tc) != 0 {
+            return None;
+        }
+        // Unique explanation: a failing run where this fault's counter
+        // is the only planted counter observed nonzero.
+        let unique_failures = collector
+            .with_label(cbi_reports::Label::Failure)
+            .filter(|r| {
+                counters_of
+                    .iter()
+                    .enumerate()
+                    .all(|(j, &c)| (r.counters[c] != 0) == (j == k))
+            })
+            .count();
+        if unique_failures == 0 {
+            return None;
+        }
+        let trigger = if stats.nonzero_failures(tc) as usize == trials.len() {
+            "always"
+        } else {
+            "conditional"
+        };
+        validated.push(Fault {
+            operator: operator.clone(),
+            deterministic: *deterministic,
+            trigger: trigger.to_string(),
+            true_counter: tc,
+            true_predicate: sites.predicate_name(tc),
+        });
+    }
+    let mut baseline_failures = 0usize;
+    for trial in trials {
+        let failed = match Vm::new(&program).with_input(trial.clone()).run() {
+            Ok(result) => !result.outcome.is_success(),
+            Err(_) => true,
+        };
+        baseline_failures += usize::from(failed);
+    }
+    if planted.iter().all(|(_, _, d)| *d) && baseline_failures != failures {
+        return None;
+    }
+    if baseline_failures > failures {
+        return None;
+    }
+    Some((
+        validated,
+        sites.layout_hash(),
+        sites.total_counters(),
+        baseline_failures,
+    ))
+}
+
+/// Generates a corpus whose entries each carry several interacting
+/// planted faults (manifest schema v2).
+///
+/// Faults come from the deterministic store-operator pool only: an
+/// `off_by_one_loop` plant fires on *every* run at density 1, which
+/// would abort every trial before the other faults could manifest and
+/// leave nothing for them to uniquely explain.  Faults are planted at
+/// spread-out candidate stores in descending index order (a rewritten
+/// store leaves the candidate list, so lower indices stay valid), each
+/// routed through its own temporary from
+/// [`MULTI_FAULT_VARS`](crate::mutate::MULTI_FAULT_VARS).
+pub fn generate_multi_corpus(cfg: &MultiGenerateConfig) -> Result<Corpus, CorpusError> {
+    let bugs = cfg.bugs_per_entry.clamp(2, MULTI_FAULT_VARS.len());
+    let ops = [
+        Operator::OffByOneIndex,
+        Operator::DroppedBoundsCheck,
+        Operator::BadPointerOffset(4),
+        Operator::FlippedComparison,
+        Operator::WrongGuardPolarity,
+        Operator::BadPointerOffset(8),
+    ];
+    let gen_cfg = corpus_gen_config();
+    let mut entries: Vec<CorpusEntry> = Vec::new();
+    let mut log = Vec::new();
+    let mut prog_seed = cfg.seed;
+    let mut attempts = 0usize;
+    let attempt_cap = cfg.size * 400 + 4000;
+    while entries.len() < cfg.size {
+        attempts += 1;
+        if attempts > attempt_cap {
+            return Err(CorpusError::Exhausted {
+                wanted: cfg.size,
+                got: entries.len(),
+            });
+        }
+        let program = program_for_seed_with(prog_seed, &gen_cfg);
+        let this_seed = prog_seed;
+        prog_seed = prog_seed.wrapping_add(1);
+        let candidates = store_candidates(&program, gen_cfg.buf_len);
+        if candidates < bugs {
+            continue;
+        }
+        // Spread the planted stores across the candidate list; indices
+        // are strictly increasing because candidates >= bugs.
+        let indices: Vec<usize> = (0..bugs).map(|k| k * candidates / bugs).collect();
+        let mut current = program;
+        let mut planted: Vec<(String, String, bool)> = Vec::new();
+        let mut ok = true;
+        for k in (0..bugs).rev() {
+            let op = &ops[(attempts + k) % ops.len()];
+            let Some(m) =
+                plant_testgen_named(&current, op, indices[k], gen_cfg.buf_len, MULTI_FAULT_VARS[k])
+            else {
+                ok = false;
+                break;
+            };
+            current = m.program;
+            planted.push((op.name(), m.site_text, m.deterministic));
+        }
+        if !ok {
+            continue;
+        }
+        planted.reverse(); // fault_t first, matching MULTI_FAULT_VARS order
+        let Some(source) = normalize(&current) else {
+            continue;
+        };
+        let trial_seed = cfg.seed.wrapping_add(0xb000).wrapping_add(this_seed);
+        let trials = testgen_trials(cfg.trials, trial_seed);
+        let Some((faults, layout_hash, counters, baseline_failures)) =
+            validate_multi(&source, &planted, &trials)
+        else {
+            continue;
+        };
+        let id = format!("mb-{:04}", entries.len());
+        entries.push(CorpusEntry {
+            bug: PlantedBug {
+                schema: 2,
+                source: format!("programs/{id}.mc"),
+                id,
+                workload: Workload::Testgen,
+                layout_hash,
+                counters,
+                trials: cfg.trials,
+                trial_seed,
+                baseline_failures,
+                faults,
+            },
+            source,
+        });
+    }
+    if attempts > cfg.size * 40 {
+        log.push(format!(
+            "multi: {attempts} attempts for {} entries of {bugs} faults each",
+            entries.len()
+        ));
+    }
+    Ok(Corpus { entries, log })
+}
+
 /// Writes a corpus to `dir`: `manifest.jsonl` plus one `programs/<id>.mc`
 /// per entry.
 pub fn write_corpus(dir: &Path, corpus: &Corpus) -> Result<(), CorpusError> {
@@ -438,8 +654,9 @@ mod tests {
             .any(|e| e.bug.workload == Workload::Testgen));
         for entry in &corpus.entries {
             assert!(entry.bug.counters > 0);
-            assert!(entry.bug.true_counter < entry.bug.counters);
-            assert!(["always", "conditional"].contains(&entry.bug.trigger.as_str()));
+            assert_eq!(entry.bug.schema, 1);
+            assert!(entry.bug.primary().true_counter < entry.bug.counters);
+            assert!(["always", "conditional"].contains(&entry.bug.primary().trigger.as_str()));
             // Normal form on disk: the stored source is a fixed point.
             let reparsed = parse(&entry.source).unwrap();
             assert_eq!(pretty(&reparsed), entry.source);
@@ -448,6 +665,42 @@ mod tests {
         write_corpus(&dir, &corpus).unwrap();
         let back = load_corpus(&dir).unwrap();
         assert_eq!(back.len(), corpus.entries.len());
+        for (a, b) in corpus.entries.iter().zip(&back) {
+            assert_eq!(a.bug, b.bug);
+            assert_eq!(a.source, b.source);
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn multi_bug_corpus_generates_disjoint_validated_faults() {
+        let cfg = MultiGenerateConfig {
+            size: 2,
+            seed: 31,
+            trials: 48,
+            bugs_per_entry: 2,
+        };
+        let corpus = generate_multi_corpus(&cfg).expect("multi generation must succeed");
+        assert_eq!(corpus.entries.len(), 2);
+        for entry in &corpus.entries {
+            let bug = &entry.bug;
+            assert_eq!(bug.schema, 2);
+            assert_eq!(bug.faults.len(), 2);
+            assert!(bug.id.starts_with("mb-"));
+            // Distinct counters, all within the layout.
+            let tcs = bug.true_counters();
+            assert!(tcs.iter().all(|&c| c < bug.counters));
+            assert_ne!(tcs[0], tcs[1]);
+            // Each fault routes through its own temporary.
+            assert!(entry.source.contains("fault_t") && entry.source.contains("fault_u"));
+            // Stored source is a pretty∘parse fixed point.
+            let reparsed = parse(&entry.source).unwrap();
+            assert_eq!(pretty(&reparsed), entry.source);
+        }
+        // v2 entries round-trip through the manifest codec.
+        let dir = std::env::temp_dir().join(format!("cbi-multi-test-{}", std::process::id()));
+        write_corpus(&dir, &corpus).unwrap();
+        let back = load_corpus(&dir).unwrap();
         for (a, b) in corpus.entries.iter().zip(&back) {
             assert_eq!(a.bug, b.bug);
             assert_eq!(a.source, b.source);

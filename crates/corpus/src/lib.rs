@@ -36,18 +36,24 @@
 #![warn(missing_docs)]
 
 pub mod eval;
+pub mod eval_multi;
 pub mod generate;
 pub mod manifest;
 pub mod mutate;
 
 pub use eval::{evaluate, render_report, render_summary, EntryScore, EvalConfig, EvalReport};
-pub use generate::{
-    corpus_gen_config, generate_corpus, load_corpus, testgen_trials, write_corpus, Corpus,
-    CorpusEntry, GenerateConfig,
+pub use eval_multi::{
+    evaluate_multi, render_multi_report, render_multi_summary, BugOutcome, MultiEntryScore,
+    MultiEvalConfig, MultiEvalReport,
 };
-pub use manifest::{read_manifest, write_manifest, PlantedBug, Workload};
+pub use generate::{
+    corpus_gen_config, generate_corpus, generate_multi_corpus, load_corpus, testgen_trials,
+    write_corpus, Corpus, CorpusEntry, GenerateConfig, MultiGenerateConfig,
+};
+pub use manifest::{read_manifest, write_manifest, Fault, PlantedBug, Workload, MANIFEST_SCHEMA};
 pub use mutate::{
-    plant_testgen, plant_workload, store_candidates, workload_candidates, Mutation, Operator,
+    plant_testgen, plant_testgen_named, plant_workload, store_candidates, workload_candidates,
+    Mutation, Operator, MULTI_FAULT_VARS,
 };
 
 use std::fmt;
@@ -106,6 +112,12 @@ pub enum CorpusError {
         /// Predicate observed now.
         got: String,
     },
+    /// An evaluation configuration is invalid (e.g. an unknown scorer
+    /// name).
+    Config {
+        /// What was wrong.
+        message: String,
+    },
     /// Generation could not validate enough planted bugs.
     Exhausted {
         /// Entries requested.
@@ -140,6 +152,9 @@ impl fmt::Display for CorpusError {
                 f,
                 "corpus entry {id}: true counter names {got:?}, manifest says {expected:?}"
             ),
+            CorpusError::Config { message } => {
+                write!(f, "evaluation config error: {message}")
+            }
             CorpusError::Exhausted { wanted, got } => write!(
                 f,
                 "corpus generation exhausted: validated {got} of {wanted} requested entries"

@@ -1,14 +1,32 @@
-//! The `PlantedBug` ground-truth manifest and its JSONL codec.
+//! The `PlantedBug` ground-truth manifest and its versioned JSONL codec.
 //!
 //! One line per corpus entry, hand-rolled JSON in the same
 //! zero-dependency style as the report codec: a tolerant scanner that
 //! accepts any field order and insignificant whitespace, and an emitter
 //! that always writes fields in a fixed order so manifests are
 //! byte-stable across runs.
+//!
+//! Two schema versions coexist:
+//!
+//! * **v1** — one fault per entry, spelled as flat fields (`operator`,
+//!   `deterministic`, `trigger`, `true_counter`, `true_predicate`) on
+//!   the entry object.  Every manifest written before multi-bug corpora
+//!   existed is v1, and single-fault entries still emit the identical
+//!   bytes so existing goldens and diff-based tooling keep working.
+//! * **v2** — adds `"schema":2` and moves the per-fault fields into a
+//!   `"bugs"` array, one object per planted fault.  An entry with two
+//!   or more faults always emits v2.
+//!
+//! The decoder accepts both shapes regardless of declared version and
+//! rejects any `schema` beyond 2, so older readers fail loudly on
+//! manifests from the future instead of silently dropping faults.
 
 use crate::CorpusError;
 use std::fmt;
 use std::io::{BufRead, Write};
+
+/// Latest manifest schema version this codec writes.
+pub const MANIFEST_SCHEMA: u32 = 2;
 
 /// Which workload family a corpus entry was planted into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -50,30 +68,38 @@ impl fmt::Display for Workload {
     }
 }
 
-/// Ground truth for one corpus entry.
+/// Ground truth for one planted fault.
 #[derive(Debug, Clone, PartialEq)]
-pub struct PlantedBug {
-    /// Stable entry id (`tg-0007`, `cc-0001`, …); also names the source
-    /// file.
-    pub id: String,
-    /// Workload family the bug was planted into.
-    pub workload: Workload,
+pub struct Fault {
     /// Mutation operator name (see [`crate::Operator::name`]).
     pub operator: String,
-    /// Path of the mutated program, relative to the corpus directory.
-    pub source: String,
     /// Whether a violation fails the run even without instrumentation.
     pub deterministic: bool,
     /// `"always"` if every validation trial failed, `"conditional"` if
-    /// the bug depends on trial input.
+    /// the fault depends on trial input.
     pub trigger: String,
     /// Counter index (in the `checks`-scheme layout) of the true
     /// predicate — the violated slot of the fault's bounds site.
     pub true_counter: usize,
     /// Human-readable name of the true predicate.
     pub true_predicate: String,
+}
+
+/// Ground truth for one corpus entry: shared program metadata plus one
+/// or more planted faults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlantedBug {
+    /// Manifest schema version this entry round-trips as (1 or 2).
+    pub schema: u32,
+    /// Stable entry id (`tg-0007`, `mb-0003`, …); also names the source
+    /// file.
+    pub id: String,
+    /// Workload family the faults were planted into.
+    pub workload: Workload,
+    /// Path of the mutated program, relative to the corpus directory.
+    pub source: String,
     /// Site-table layout hash of the instrumented program, pinning
-    /// `true_counter` to a concrete layout.
+    /// every `true_counter` to a concrete layout.
     pub layout_hash: u64,
     /// Total counters in that layout.
     pub counters: usize,
@@ -84,6 +110,36 @@ pub struct PlantedBug {
     pub trial_seed: u64,
     /// Failing runs among the uninstrumented baseline trials.
     pub baseline_failures: usize,
+    /// The planted faults, in planting order.  Never empty; v1 entries
+    /// have exactly one.
+    pub faults: Vec<Fault>,
+}
+
+impl PlantedBug {
+    /// The first planted fault — the only one for v1 entries.
+    pub fn primary(&self) -> &Fault {
+        &self.faults[0]
+    }
+
+    /// True when every planted fault crashes uninstrumented runs.
+    pub fn deterministic(&self) -> bool {
+        self.faults.iter().all(|f| f.deterministic)
+    }
+
+    /// `+`-joined operator names of all faults (`off_by_one_index`
+    /// alone for v1 entries).
+    pub fn operator_label(&self) -> String {
+        self.faults
+            .iter()
+            .map(|f| f.operator.as_str())
+            .collect::<Vec<_>>()
+            .join("+")
+    }
+
+    /// Counter indices of every fault's true predicate, planting order.
+    pub fn true_counters(&self) -> Vec<usize> {
+        self.faults.iter().map(|f| f.true_counter).collect()
+    }
 }
 
 fn escape_into(out: &mut String, s: &str) {
@@ -100,29 +156,51 @@ fn escape_into(out: &mut String, s: &str) {
     }
 }
 
+fn str_field(out: &mut String, key: &str, val: &str, comma: bool) {
+    if comma {
+        out.push(',');
+    }
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    escape_into(out, val);
+    out.push('"');
+}
+
+impl Fault {
+    fn emit_fields(&self, out: &mut String, comma_first: bool) {
+        str_field(out, "operator", &self.operator, comma_first);
+        out.push_str(&format!(",\"deterministic\":{}", self.deterministic));
+        str_field(out, "trigger", &self.trigger, true);
+        out.push_str(&format!(",\"true_counter\":{}", self.true_counter));
+        str_field(out, "true_predicate", &self.true_predicate, true);
+    }
+}
+
 impl PlantedBug {
     /// Encodes the record as a single JSON line (no trailing newline).
+    /// Single-fault v1 entries emit the legacy flat field order,
+    /// byte-identical to manifests written before schema versioning.
     pub fn to_json(&self) -> String {
+        assert!(!self.faults.is_empty(), "entry without faults");
         let mut out = String::with_capacity(256);
-        let str_field = |out: &mut String, key: &str, val: &str, comma: bool| {
-            if comma {
-                out.push(',');
-            }
-            out.push('"');
-            out.push_str(key);
-            out.push_str("\":\"");
-            escape_into(out, val);
-            out.push('"');
-        };
         out.push('{');
-        str_field(&mut out, "id", &self.id, false);
-        str_field(&mut out, "workload", self.workload.as_str(), true);
-        str_field(&mut out, "operator", &self.operator, true);
-        str_field(&mut out, "source", &self.source, true);
-        out.push_str(&format!(",\"deterministic\":{}", self.deterministic));
-        str_field(&mut out, "trigger", &self.trigger, true);
-        out.push_str(&format!(",\"true_counter\":{}", self.true_counter));
-        str_field(&mut out, "true_predicate", &self.true_predicate, true);
+        if self.schema == 1 && self.faults.len() == 1 {
+            str_field(&mut out, "id", &self.id, false);
+            str_field(&mut out, "workload", self.workload.as_str(), true);
+            let f = self.primary();
+            str_field(&mut out, "operator", &f.operator, true);
+            str_field(&mut out, "source", &self.source, true);
+            out.push_str(&format!(",\"deterministic\":{}", f.deterministic));
+            str_field(&mut out, "trigger", &f.trigger, true);
+            out.push_str(&format!(",\"true_counter\":{}", f.true_counter));
+            str_field(&mut out, "true_predicate", &f.true_predicate, true);
+        } else {
+            out.push_str("\"schema\":2");
+            str_field(&mut out, "id", &self.id, true);
+            str_field(&mut out, "workload", self.workload.as_str(), true);
+            str_field(&mut out, "source", &self.source, true);
+        }
         out.push_str(&format!(",\"layout_hash\":{}", self.layout_hash));
         out.push_str(&format!(",\"counters\":{}", self.counters));
         out.push_str(&format!(",\"trials\":{}", self.trials));
@@ -131,26 +209,42 @@ impl PlantedBug {
             ",\"baseline_failures\":{}",
             self.baseline_failures
         ));
+        if !(self.schema == 1 && self.faults.len() == 1) {
+            out.push_str(",\"bugs\":[");
+            for (i, f) in self.faults.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push('{');
+                f.emit_fields(&mut out, false);
+                out.push('}');
+            }
+            out.push(']');
+        }
         out.push('}');
         out
     }
 
-    /// Decodes one JSON line; field order and whitespace are free.
+    /// Decodes one JSON line; field order and whitespace are free, and
+    /// both the v1 flat shape and the v2 `bugs` array are accepted.
     pub fn from_json(line: &str) -> Result<PlantedBug, String> {
         let mut p = Scanner::new(line);
+        let mut schema = None;
         let mut id = None;
         let mut workload = None;
-        let mut operator = None;
         let mut source = None;
-        let mut deterministic = None;
-        let mut trigger = None;
-        let mut true_counter = None;
-        let mut true_predicate = None;
         let mut layout_hash = None;
         let mut counters = None;
         let mut trials = None;
         let mut trial_seed = None;
         let mut baseline_failures = None;
+        let mut faults: Vec<Fault> = Vec::new();
+        // v1 flat fault fields, collected as they appear.
+        let mut operator = None;
+        let mut deterministic = None;
+        let mut trigger = None;
+        let mut true_counter = None;
+        let mut true_predicate = None;
         p.expect('{')?;
         loop {
             p.skip_ws();
@@ -162,23 +256,38 @@ impl PlantedBug {
             p.expect(':')?;
             p.skip_ws();
             match key.as_str() {
+                "schema" => schema = Some(p.number()? as u32),
                 "id" => id = Some(p.string()?),
                 "workload" => {
                     let w = p.string()?;
                     workload =
                         Some(Workload::from_str_opt(&w).ok_or(format!("unknown workload {w:?}"))?);
                 }
-                "operator" => operator = Some(p.string()?),
                 "source" => source = Some(p.string()?),
-                "deterministic" => deterministic = Some(p.boolean()?),
-                "trigger" => trigger = Some(p.string()?),
-                "true_counter" => true_counter = Some(p.number()? as usize),
-                "true_predicate" => true_predicate = Some(p.string()?),
                 "layout_hash" => layout_hash = Some(p.number()?),
                 "counters" => counters = Some(p.number()? as usize),
                 "trials" => trials = Some(p.number()? as usize),
                 "trial_seed" => trial_seed = Some(p.number()?),
                 "baseline_failures" => baseline_failures = Some(p.number()? as usize),
+                "bugs" => {
+                    p.expect('[')?;
+                    p.skip_ws();
+                    if !p.eat(']') {
+                        loop {
+                            faults.push(parse_fault(&mut p)?);
+                            p.skip_ws();
+                            if !p.eat(',') {
+                                p.expect(']')?;
+                                break;
+                            }
+                        }
+                    }
+                }
+                "operator" => operator = Some(p.string()?),
+                "deterministic" => deterministic = Some(p.boolean()?),
+                "trigger" => trigger = Some(p.string()?),
+                "true_counter" => true_counter = Some(p.number()? as usize),
+                "true_predicate" => true_predicate = Some(p.string()?),
                 other => return Err(format!("unknown field {other:?}")),
             }
             p.skip_ws();
@@ -188,22 +297,86 @@ impl PlantedBug {
             }
         }
         let req = |name: &str| format!("missing field {name:?}");
+        let flat_present = operator.is_some()
+            || deterministic.is_some()
+            || trigger.is_some()
+            || true_counter.is_some()
+            || true_predicate.is_some();
+        if flat_present && !faults.is_empty() {
+            return Err("entry mixes v1 flat fault fields with a v2 \"bugs\" array".to_string());
+        }
+        if flat_present {
+            faults.push(Fault {
+                operator: operator.ok_or_else(|| req("operator"))?,
+                deterministic: deterministic.ok_or_else(|| req("deterministic"))?,
+                trigger: trigger.ok_or_else(|| req("trigger"))?,
+                true_counter: true_counter.ok_or_else(|| req("true_counter"))?,
+                true_predicate: true_predicate.ok_or_else(|| req("true_predicate"))?,
+            });
+        }
+        if faults.is_empty() {
+            return Err("entry has no faults (neither flat fields nor \"bugs\")".to_string());
+        }
+        let schema = schema.unwrap_or(if flat_present { 1 } else { 2 });
+        if schema == 0 || schema > MANIFEST_SCHEMA {
+            return Err(format!(
+                "unsupported manifest schema {schema} (this reader understands 1..={MANIFEST_SCHEMA})"
+            ));
+        }
         Ok(PlantedBug {
+            schema,
             id: id.ok_or_else(|| req("id"))?,
             workload: workload.ok_or_else(|| req("workload"))?,
-            operator: operator.ok_or_else(|| req("operator"))?,
             source: source.ok_or_else(|| req("source"))?,
-            deterministic: deterministic.ok_or_else(|| req("deterministic"))?,
-            trigger: trigger.ok_or_else(|| req("trigger"))?,
-            true_counter: true_counter.ok_or_else(|| req("true_counter"))?,
-            true_predicate: true_predicate.ok_or_else(|| req("true_predicate"))?,
             layout_hash: layout_hash.ok_or_else(|| req("layout_hash"))?,
             counters: counters.ok_or_else(|| req("counters"))?,
             trials: trials.ok_or_else(|| req("trials"))?,
             trial_seed: trial_seed.ok_or_else(|| req("trial_seed"))?,
             baseline_failures: baseline_failures.ok_or_else(|| req("baseline_failures"))?,
+            faults,
         })
     }
+}
+
+/// Parses one fault object from a v2 `bugs` array.
+fn parse_fault(p: &mut Scanner<'_>) -> Result<Fault, String> {
+    let mut operator = None;
+    let mut deterministic = None;
+    let mut trigger = None;
+    let mut true_counter = None;
+    let mut true_predicate = None;
+    p.expect('{')?;
+    loop {
+        p.skip_ws();
+        if p.eat('}') {
+            break;
+        }
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(':')?;
+        p.skip_ws();
+        match key.as_str() {
+            "operator" => operator = Some(p.string()?),
+            "deterministic" => deterministic = Some(p.boolean()?),
+            "trigger" => trigger = Some(p.string()?),
+            "true_counter" => true_counter = Some(p.number()? as usize),
+            "true_predicate" => true_predicate = Some(p.string()?),
+            other => return Err(format!("unknown fault field {other:?}")),
+        }
+        p.skip_ws();
+        if !p.eat(',') {
+            p.expect('}')?;
+            break;
+        }
+    }
+    let req = |name: &str| format!("missing fault field {name:?}");
+    Ok(Fault {
+        operator: operator.ok_or_else(|| req("operator"))?,
+        deterministic: deterministic.ok_or_else(|| req("deterministic"))?,
+        trigger: trigger.ok_or_else(|| req("trigger"))?,
+        true_counter: true_counter.ok_or_else(|| req("true_counter"))?,
+        true_predicate: true_predicate.ok_or_else(|| req("true_predicate"))?,
+    })
 }
 
 /// Minimal JSON scanner over one manifest line.
@@ -355,29 +528,92 @@ pub fn read_manifest<R: BufRead>(r: R) -> Result<Vec<PlantedBug>, CorpusError> {
 mod tests {
     use super::*;
 
-    fn sample() -> PlantedBug {
-        PlantedBug {
-            id: "tg-0007".to_string(),
-            workload: Workload::Testgen,
+    fn sample_fault() -> Fault {
+        Fault {
             operator: "off_by_one_index".to_string(),
-            source: "programs/tg-0007.mc".to_string(),
             deterministic: true,
             trigger: "conditional".to_string(),
             true_counter: 12,
             true_predicate: "!(0 <= fault_t < len(buf))".to_string(),
+        }
+    }
+
+    fn sample() -> PlantedBug {
+        PlantedBug {
+            schema: 1,
+            id: "tg-0007".to_string(),
+            workload: Workload::Testgen,
+            source: "programs/tg-0007.mc".to_string(),
             layout_hash: u64::MAX - 3,
             counters: 40,
             trials: 48,
             trial_seed: 0xc0de,
             baseline_failures: 9,
+            faults: vec![sample_fault()],
+        }
+    }
+
+    fn sample_multi() -> PlantedBug {
+        let mut second = sample_fault();
+        second.operator = "dropped_bounds_check".to_string();
+        second.deterministic = false;
+        second.true_counter = 30;
+        second.true_predicate = "!(0 <= fault_u < len(p))".to_string();
+        PlantedBug {
+            schema: 2,
+            id: "mb-0001".to_string(),
+            workload: Workload::Testgen,
+            source: "programs/mb-0001.mc".to_string(),
+            layout_hash: 77,
+            counters: 64,
+            trials: 96,
+            trial_seed: 0xabad,
+            baseline_failures: 11,
+            faults: vec![sample_fault(), second],
         }
     }
 
     #[test]
-    fn json_round_trip() {
+    fn v1_json_round_trip() {
         let bug = sample();
         let line = bug.to_json();
         assert_eq!(PlantedBug::from_json(&line).unwrap(), bug);
+    }
+
+    /// A v1 entry emits the exact byte sequence the pre-versioning
+    /// codec wrote — no `schema` field, flat fault fields in the legacy
+    /// order — so old manifests and goldens diff clean.
+    #[test]
+    fn v1_emission_is_the_legacy_flat_format() {
+        let line = sample().to_json();
+        assert_eq!(
+            line,
+            "{\"id\":\"tg-0007\",\"workload\":\"testgen\",\
+             \"operator\":\"off_by_one_index\",\"source\":\"programs/tg-0007.mc\",\
+             \"deterministic\":true,\"trigger\":\"conditional\",\"true_counter\":12,\
+             \"true_predicate\":\"!(0 <= fault_t < len(buf))\",\
+             \"layout_hash\":18446744073709551612,\"counters\":40,\"trials\":48,\
+             \"trial_seed\":49374,\"baseline_failures\":9}"
+        );
+    }
+
+    #[test]
+    fn v2_json_round_trip() {
+        let bug = sample_multi();
+        let line = bug.to_json();
+        assert!(line.starts_with("{\"schema\":2,"));
+        assert!(line.contains("\"bugs\":[{"));
+        assert_eq!(PlantedBug::from_json(&line).unwrap(), bug);
+    }
+
+    #[test]
+    fn v1_and_v2_lines_coexist_in_one_manifest() {
+        let v1 = sample();
+        let v2 = sample_multi();
+        let mut buf = Vec::new();
+        write_manifest(&mut buf, &[v1.clone(), v2.clone()]).unwrap();
+        let back = read_manifest(&buf[..]).unwrap();
+        assert_eq!(back, vec![v1, v2]);
     }
 
     #[test]
@@ -391,6 +627,21 @@ mod tests {
         let bug = PlantedBug::from_json(&line).unwrap();
         assert_eq!(bug.workload, Workload::Bc);
         assert_eq!(bug.trials, 48);
+        assert_eq!(bug.schema, 1);
+        assert_eq!(bug.primary().true_counter, 3);
+    }
+
+    #[test]
+    fn accessors_summarize_the_fault_list() {
+        let multi = sample_multi();
+        assert_eq!(multi.primary().true_counter, 12);
+        assert!(!multi.deterministic(), "one fault is non-deterministic");
+        assert_eq!(
+            multi.operator_label(),
+            "off_by_one_index+dropped_bounds_check"
+        );
+        assert_eq!(multi.true_counters(), vec![12, 30]);
+        assert!(sample().deterministic());
     }
 
     #[test]
@@ -399,7 +650,7 @@ mod tests {
         let mut b = sample();
         b.id = "cc-0000".to_string();
         b.workload = Workload::Ccrypt;
-        a.true_predicate = "weird \"quoted\" \\ name".to_string();
+        a.faults[0].true_predicate = "weird \"quoted\" \\ name".to_string();
         let mut buf = Vec::new();
         write_manifest(&mut buf, &[a.clone(), b.clone()]).unwrap();
         let back = read_manifest(&buf[..]).unwrap();
@@ -414,5 +665,32 @@ mod tests {
             CorpusError::Manifest { line, .. } => assert_eq!(line, 2),
             other => panic!("unexpected error {other:?}"),
         }
+    }
+
+    #[test]
+    fn future_schema_is_rejected() {
+        let line = sample_multi().to_json().replace("\"schema\":2", "\"schema\":3");
+        let err = PlantedBug::from_json(&line).unwrap_err();
+        assert!(err.contains("unsupported manifest schema 3"), "{err}");
+    }
+
+    #[test]
+    fn mixed_flat_and_array_faults_are_rejected() {
+        let line = sample_multi()
+            .to_json()
+            .replacen("\"id\"", "\"operator\":\"x\",\"id\"", 1);
+        let err = PlantedBug::from_json(&line).unwrap_err();
+        assert!(err.contains("mixes v1"), "{err}");
+    }
+
+    #[test]
+    fn entry_without_faults_is_rejected() {
+        let err = PlantedBug::from_json(
+            "{\"schema\":2,\"id\":\"x\",\"workload\":\"testgen\",\"source\":\"s\",\
+             \"layout_hash\":1,\"counters\":2,\"trials\":3,\"trial_seed\":4,\
+             \"baseline_failures\":0,\"bugs\":[]}",
+        )
+        .unwrap_err();
+        assert!(err.contains("no faults"), "{err}");
     }
 }

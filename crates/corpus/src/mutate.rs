@@ -28,8 +28,13 @@
 use cbi_minic::ast::{BinOp, Block, Expr, Program, Stmt, UnOp};
 use cbi_minic::{pretty, Span};
 
-/// Name of the temporary every mutation routes its faulty index through.
+/// Name of the temporary a single-bug mutation routes its faulty index
+/// through.  Multi-bug planting gives each fault its own temporary from
+/// [`MULTI_FAULT_VARS`] so every planted site stays distinguishable.
 pub const FAULT_VAR: &str = "fault_t";
+
+/// Fault temporaries for multi-bug entries, in planting order.
+pub const MULTI_FAULT_VARS: &[&str] = &["fault_t", "fault_u", "fault_v"];
 
 /// A fault-injection operator.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -156,29 +161,29 @@ fn expr_is_pure(e: &Expr) -> bool {
     }
 }
 
-fn assign_fault(value: Expr, span: Span) -> Stmt {
+fn assign_fault(var: &str, value: Expr, span: Span) -> Stmt {
     Stmt::Assign {
-        name: FAULT_VAR.to_string(),
+        name: var.to_string(),
         value,
         span,
     }
 }
 
-fn fault_store(target: String, value: Expr, span: Span) -> Stmt {
+fn fault_store(var: &str, target: String, value: Expr, span: Span) -> Stmt {
     Stmt::Store {
         target,
-        index: Expr::var(FAULT_VAR),
+        index: Expr::var(var),
         value,
         span,
     }
 }
 
-/// `0 <= fault_t && fault_t <cmp> len`
-fn range_guard(cmp: BinOp, len: i64) -> Expr {
+/// `0 <= <var> && <var> <cmp> len`
+fn range_guard(var: &str, cmp: BinOp, len: i64) -> Expr {
     Expr::binary(
         BinOp::And,
-        Expr::binary(BinOp::Le, Expr::int(0), Expr::var(FAULT_VAR)),
-        Expr::binary(cmp, Expr::var(FAULT_VAR), Expr::int(len)),
+        Expr::binary(BinOp::Le, Expr::int(0), Expr::var(var)),
+        Expr::binary(cmp, Expr::var(var), Expr::int(len)),
     )
 }
 
@@ -265,11 +270,12 @@ fn count_stores(block: &Block, is_candidate: &dyn Fn(&Expr) -> bool) -> usize {
 }
 
 /// Plants at the `nth` candidate store anywhere in the program and
-/// declares the `fault_t` temporary in the enclosing function.  Returns
+/// declares the `var` temporary in the enclosing function.  Returns
 /// the mutated program and the store's target pointer name.
 fn plant_at_store(
     program: &Program,
     nth: usize,
+    var: &str,
     is_candidate: &dyn Fn(&Expr) -> bool,
     build: &StoreBuilder,
 ) -> Option<(Program, String)> {
@@ -287,7 +293,7 @@ fn plant_at_store(
                 0,
                 Stmt::Decl {
                     ty: cbi_minic::ast::Type::Int,
-                    name: FAULT_VAR.to_string(),
+                    name: var.to_string(),
                     init: Some(Expr::int(0)),
                     span: sp(),
                 },
@@ -299,9 +305,9 @@ fn plant_at_store(
 }
 
 /// Conservative name-collision guard: refuses programs that already
-/// mention the fault temporary anywhere.
-fn mentions_fault_var(program: &Program) -> bool {
-    pretty(program).contains(FAULT_VAR)
+/// mention the given fault temporary anywhere.
+fn mentions_var(program: &Program, var: &str) -> bool {
+    pretty(program).contains(var)
 }
 
 /// Number of testgen-clamped stores (`p[((e % len + len) % len)] = v;`)
@@ -337,7 +343,20 @@ pub fn plant_testgen(
     nth: usize,
     buf_len: i64,
 ) -> Option<Mutation> {
-    if mentions_fault_var(program) {
+    plant_testgen_named(program, op, nth, buf_len, FAULT_VAR)
+}
+
+/// [`plant_testgen`] with an explicit fault-temporary name, so a
+/// multi-bug generator can plant several faults into one program and
+/// keep each planted bounds site distinguishable by its variable.
+pub fn plant_testgen_named(
+    program: &Program,
+    op: &Operator,
+    nth: usize,
+    buf_len: i64,
+    var: &str,
+) -> Option<Mutation> {
+    if mentions_var(program, var) {
         return None;
     }
     if matches!(op, Operator::OffByOneLoop) {
@@ -346,43 +365,48 @@ pub fn plant_testgen(
     let is_candidate = |index: &Expr| clamp_inner(index, buf_len).is_some();
     let deterministic = op.deterministic();
     let op = op.clone();
+    let fv = var.to_string();
     let build = move |target: String, index: Expr, value: Expr, span: Span| -> Vec<Stmt> {
         let inner = clamp_inner(&index, buf_len)
             .expect("candidate store must carry the clamp")
             .clone();
         match &op {
             Operator::OffByOneIndex => vec![
-                assign_fault(clamp_expr(inner, buf_len + 1), span),
-                fault_store(target, value, span),
+                assign_fault(&fv, clamp_expr(inner, buf_len + 1), span),
+                fault_store(&fv, target, value, span),
             ],
             Operator::DroppedBoundsCheck => {
-                vec![assign_fault(inner, span), fault_store(target, value, span)]
+                vec![
+                    assign_fault(&fv, inner, span),
+                    fault_store(&fv, target, value, span),
+                ]
             }
             Operator::BadPointerOffset(k) => vec![
                 assign_fault(
+                    &fv,
                     Expr::binary(BinOp::Add, clamp_expr(inner, buf_len), Expr::int(*k)),
                     span,
                 ),
-                fault_store(target, value, span),
+                fault_store(&fv, target, value, span),
             ],
             Operator::FlippedComparison => vec![
-                assign_fault(inner, span),
+                assign_fault(&fv, inner, span),
                 Stmt::If {
-                    cond: range_guard(BinOp::Gt, buf_len),
-                    then_block: Block::new(vec![fault_store(target, value, span)]),
+                    cond: range_guard(&fv, BinOp::Gt, buf_len),
+                    then_block: Block::new(vec![fault_store(&fv, target, value, span)]),
                     else_block: None,
                     span,
                 },
             ],
             Operator::WrongGuardPolarity => vec![
-                assign_fault(inner, span),
+                assign_fault(&fv, inner, span),
                 Stmt::If {
                     cond: Expr::Unary {
                         op: UnOp::Not,
-                        expr: Box::new(range_guard(BinOp::Lt, buf_len)),
+                        expr: Box::new(range_guard(&fv, BinOp::Lt, buf_len)),
                         span,
                     },
-                    then_block: Block::new(vec![fault_store(target, value, span)]),
+                    then_block: Block::new(vec![fault_store(&fv, target, value, span)]),
                     else_block: None,
                     span,
                 },
@@ -390,10 +414,10 @@ pub fn plant_testgen(
             Operator::OffByOneLoop => unreachable!("handled above"),
         }
     };
-    let (program, target) = plant_at_store(program, nth, &is_candidate, &build)?;
+    let (program, target) = plant_at_store(program, nth, var, &is_candidate, &build)?;
     Some(Mutation {
         program,
-        site_text: format!("0 <= {FAULT_VAR} < len({target})"),
+        site_text: format!("0 <= {var} < len({target})"),
         deterministic,
     })
 }
@@ -584,17 +608,21 @@ fn plant_loop(program: &Program, buf_len: i64) -> Option<Mutation> {
 /// non-deterministic; corpus validation decides empirically whether the
 /// planted bug actually manifests.
 pub fn plant_workload(program: &Program, nth: usize, offset: i64) -> Option<Mutation> {
-    if mentions_fault_var(program) {
+    if mentions_var(program, FAULT_VAR) {
         return None;
     }
     let is_candidate = |index: &Expr| expr_is_pure(index);
     let build = move |target: String, index: Expr, value: Expr, span: Span| -> Vec<Stmt> {
         vec![
-            assign_fault(Expr::binary(BinOp::Add, index, Expr::int(offset)), span),
-            fault_store(target, value, span),
+            assign_fault(
+                FAULT_VAR,
+                Expr::binary(BinOp::Add, index, Expr::int(offset)),
+                span,
+            ),
+            fault_store(FAULT_VAR, target, value, span),
         ]
     };
-    let (program, target) = plant_at_store(program, nth, &is_candidate, &build)?;
+    let (program, target) = plant_at_store(program, nth, FAULT_VAR, &is_candidate, &build)?;
     Some(Mutation {
         program,
         site_text: format!("0 <= {FAULT_VAR} < len({target})"),
@@ -676,6 +704,31 @@ mod tests {
         let src = pretty(&m.program);
         resolve(&parse(&src).unwrap()).expect("mutant must resolve");
         assert!(m.site_text.starts_with("0 <= fault_t < len("));
+    }
+
+    #[test]
+    fn named_planting_stacks_distinct_faults_in_one_program() {
+        // Find a program with at least two candidate stores.
+        let p = (0..256)
+            .map(program_for_seed)
+            .find(|p| store_candidates(p, 8) >= 2)
+            .expect("some seed in 0..256 generates two stores");
+        let n = store_candidates(&p, 8);
+        // Plant descending: the rewritten store leaves the candidate
+        // list, so lower indices stay valid for the second plant.
+        let m1 =
+            plant_testgen_named(&p, &Operator::DroppedBoundsCheck, n - 1, 8, "fault_u").unwrap();
+        assert_eq!(m1.site_text, "0 <= fault_u < len(buf)");
+        assert_eq!(store_candidates(&m1.program, 8), n - 1);
+        let m2 =
+            plant_testgen_named(&m1.program, &Operator::OffByOneIndex, 0, 8, "fault_v").unwrap();
+        assert_eq!(m2.site_text, "0 <= fault_v < len(buf)");
+        let src = pretty(&m2.program);
+        assert!(src.contains("fault_u") && src.contains("fault_v"));
+        resolve(&parse(&src).unwrap()).expect("stacked mutant must resolve");
+        // Re-planting an already-used temporary is refused.
+        assert!(plant_testgen_named(&m2.program, &Operator::OffByOneIndex, 0, 8, "fault_u")
+            .is_none());
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub fn run_corpus_fleet(
         });
     }
     let pool = corpus_pool(bug, pool_size, spec.seed ^ 0xc0_70_01);
-    run_fleet(&program, &pool, &spec, Some(bug.true_counter))
+    run_fleet(&program, &pool, &spec, Some(bug.primary().true_counter))
 }
 
 #[cfg(test)]

@@ -1,0 +1,127 @@
+//! Per-predicate contingency tables extracted from sufficient statistics.
+//!
+//! Every coverage-based fault-localisation measure in the literature —
+//! Ochiai, Tarantula, Jaccard, the paper's §3.2 Increase statistic, the
+//! probabilistic measures Doric formalises — is a function of the same
+//! four cells: in how many failing and successful runs a predicate was
+//! observed true, against the failing and successful run totals.  All
+//! four are already present in [`SufficientStats`], so a scorer never
+//! needs a resident report: this module exposes the aggregates as one
+//! [`Contingency`] record per counter, ready for any measure to consume.
+//!
+//! The `obs_*` fields additionally estimate in how many runs of each
+//! class the predicate's *site* was reached (the denominator of the
+//! §3.2 "Context" term).  Sufficient statistics count nonzero runs per
+//! counter, not per site, so the site-level figure is reconstructed as
+//! the clamped sum over the site's counters — exact whenever a run
+//! observes at most one outcome of the site, an upper bound otherwise.
+
+use cbi_reports::SufficientStats;
+
+/// The 2×2 observation table (plus site-reach estimates) for one
+/// predicate.  All fields are run counts, so every derived score can be
+/// computed in integer arithmetic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Contingency {
+    /// Failing runs in which the predicate was observed true.
+    pub ef: u64,
+    /// Successful runs in which the predicate was observed true.
+    pub ep: u64,
+    /// Failing runs in total.
+    pub f: u64,
+    /// Successful runs in total.
+    pub s: u64,
+    /// Failing runs in which the predicate's site was reached (clamped
+    /// sum over the site's counters; exact for single-outcome runs).
+    pub obs_f: u64,
+    /// Successful runs in which the predicate's site was reached.
+    pub obs_s: u64,
+}
+
+/// Builds one [`Contingency`] per counter from folded sufficient
+/// statistics.  `groups` is the site layout as `(counter_base, arity)`
+/// pairs, the same shape [`crate::elimination::apply`] consumes; any
+/// counter not covered by a group falls back to its own observation
+/// counts as the site-reach estimate.
+pub fn contingency_tables(stats: &SufficientStats, groups: &[(usize, usize)]) -> Vec<Contingency> {
+    let n = stats.counter_count();
+    let f = stats.failure_runs();
+    let s = stats.success_runs();
+    let mut tables: Vec<Contingency> = (0..n)
+        .map(|i| Contingency {
+            ef: stats.nonzero_failures(i),
+            ep: stats.nonzero_successes(i),
+            f,
+            s,
+            obs_f: stats.nonzero_failures(i),
+            obs_s: stats.nonzero_successes(i),
+        })
+        .collect();
+    for &(base, arity) in groups {
+        let members = base..(base + arity).min(n);
+        let site_f: u64 = members
+            .clone()
+            .map(|i| stats.nonzero_failures(i))
+            .sum::<u64>()
+            .min(f);
+        let site_s: u64 = members
+            .clone()
+            .map(|i| stats.nonzero_successes(i))
+            .sum::<u64>()
+            .min(s);
+        for i in members {
+            tables[i].obs_f = site_f;
+            tables[i].obs_s = site_s;
+        }
+    }
+    tables
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cbi_reports::{Label, Report};
+
+    fn stats() -> SufficientStats {
+        let mut s = SufficientStats::new(4);
+        s.update(&Report::new(0, Label::Failure, vec![1, 0, 2, 0]));
+        s.update(&Report::new(1, Label::Failure, vec![0, 1, 1, 0]));
+        s.update(&Report::new(2, Label::Success, vec![0, 3, 0, 0]));
+        s
+    }
+
+    #[test]
+    fn per_counter_cells_match_aggregates() {
+        let t = contingency_tables(&stats(), &[]);
+        assert_eq!(t.len(), 4);
+        assert_eq!((t[0].ef, t[0].ep, t[0].f, t[0].s), (1, 0, 2, 1));
+        assert_eq!((t[1].ef, t[1].ep), (1, 1));
+        assert_eq!((t[2].ef, t[2].ep), (2, 0));
+        assert_eq!((t[3].ef, t[3].ep), (0, 0));
+        // Without groups the site-reach estimate is the counter's own.
+        assert_eq!((t[0].obs_f, t[0].obs_s), (1, 0));
+    }
+
+    #[test]
+    fn site_groups_clamp_reach_to_run_totals() {
+        // Counters 0 and 1 form one site: their failing-run sums (1 + 1)
+        // stay within the 2 failing runs, and the shared estimate lands
+        // on both members.
+        let t = contingency_tables(&stats(), &[(0, 2), (2, 2)]);
+        assert_eq!(t[0].obs_f, 2);
+        assert_eq!(t[1].obs_f, 2);
+        assert_eq!(t[0].obs_s, 1);
+        // Counter 2 fires in both failing runs; counter 3 never — the
+        // clamp keeps the site estimate at the failing-run total.
+        assert_eq!(t[2].obs_f, 2);
+        assert_eq!(t[3].obs_f, 2);
+        assert_eq!(t[2].obs_s, 0);
+    }
+
+    #[test]
+    fn group_past_layout_end_is_truncated() {
+        let t = contingency_tables(&stats(), &[(3, 5)]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t[3].obs_f, 0);
+    }
+}

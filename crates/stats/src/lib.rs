@@ -10,6 +10,9 @@
 //! * [`elimination`] — the four predicate-elimination strategies for
 //!   deterministic bugs (§3.2.2), plus [`progressive`] refinement over
 //!   time (Figure 2);
+//! * [`contingency`] — per-predicate 2×2 observation tables exposed
+//!   straight from sufficient statistics, the common input of every
+//!   coverage-based fault-localisation measure (see `cbi-scoring`);
 //! * [`logistic`] — ℓ₁-regularized logistic regression trained by
 //!   stochastic gradient ascent for non-deterministic bugs (§3.3), with
 //!   [`scaling`] and [`crossval`] for λ selection, over a [`dataset::Dataset`]
@@ -36,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub mod confidence;
+pub mod contingency;
 pub mod crossval;
 pub mod dataset;
 pub mod elimination;
@@ -45,6 +49,7 @@ pub mod progressive;
 pub mod scaling;
 
 pub use confidence::{detection_probability, runs_needed};
+pub use contingency::{contingency_tables, Contingency};
 pub use crossval::{
     choose_lambda, choose_lambda_kfold, try_choose_lambda, CrossvalError, LambdaChoice,
 };

@@ -177,6 +177,7 @@ fn corpus_scores_identical_across_engines() {
                 densities: vec![1, 100],
                 jobs: 2,
                 engine,
+                ..EvalConfig::default()
             },
         )
         .expect("evaluate");
